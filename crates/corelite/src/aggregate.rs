@@ -1,0 +1,322 @@
+//! Micro-flow aggregation at the ingress edge (§2: an edge-to-edge flow
+//! "can potentially comprise of several end to end micro flows"; §6 lists
+//! "aggregation of flows at the edge router" as ongoing work).
+//!
+//! [`AggregatingEdge`] treats all micro-flows sharing an egress edge as
+//! **one** edge-to-edge aggregate: a single rate class (weight), a single
+//! allowed rate `b_g`, a single marker stream — so the core-stateless
+//! fairness machinery sees exactly one flow per edge pair, however many
+//! end-to-end conversations ride inside it. The aggregate's allowance is
+//! divided round-robin among the currently active members.
+//!
+//! This is the scaling story of the Diffserv-style edge: per-flow state
+//! lives only at the edge, and even there it is per *aggregate*, not per
+//! TCP connection.
+
+use std::collections::BTreeMap;
+
+use sim_core::time::{SimDuration, SimTime};
+
+use netsim::ids::{FlowId, NodeId};
+use netsim::logic::{ControlMsg, Ctx, LogicReport, RouterLogic, TimerKind};
+use netsim::packet::Marker;
+
+use crate::config::CoreliteConfig;
+use crate::controller::RateController;
+
+const TIMER_EPOCH: u32 = 1;
+const TIMER_EMIT: u32 = 2;
+
+#[derive(Debug)]
+struct Group {
+    controller: RateController,
+    /// Currently active member micro-flows, emission round-robin order.
+    members: Vec<FlowId>,
+    next_member: usize,
+    emission_pending: bool,
+}
+
+/// Router logic for an ingress edge that aggregates all micro-flows
+/// toward the same egress into one rate-managed edge-to-edge flow of the
+/// configured `group_weight`.
+#[derive(Debug)]
+pub struct AggregatingEdge {
+    cfg: CoreliteConfig,
+    group_weight: u32,
+    /// One group per egress edge router.
+    groups: BTreeMap<NodeId, Group>,
+    flow_group: BTreeMap<FlowId, NodeId>,
+    markers_injected: u64,
+    #[allow(dead_code)]
+    seed: u64,
+}
+
+impl AggregatingEdge {
+    /// Creates aggregating-edge logic: every group formed at this edge
+    /// gets rate weight `group_weight` (its rate class), regardless of
+    /// how many micro-flows it contains.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`CoreliteConfig::validate`] or
+    /// `group_weight` is zero.
+    pub fn new(seed: u64, cfg: CoreliteConfig, group_weight: u32) -> Self {
+        cfg.validate();
+        assert!(group_weight > 0, "aggregate weight must be positive");
+        AggregatingEdge {
+            cfg,
+            group_weight,
+            groups: BTreeMap::new(),
+            flow_group: BTreeMap::new(),
+            markers_injected: 0,
+            seed,
+        }
+    }
+
+    fn ensure_emission(&mut self, ctx: &mut Ctx<'_>, egress: NodeId) {
+        let g = self.groups.get_mut(&egress).expect("group exists");
+        if !g.emission_pending && !g.members.is_empty() && g.controller.rate() > 0.0 {
+            g.emission_pending = true;
+            ctx.set_timer(
+                SimDuration::from_secs_f64(1.0 / g.controller.rate()),
+                TimerKind::with_param(TIMER_EMIT, egress.index() as u64),
+            );
+        }
+    }
+
+    fn handle_emit(&mut self, ctx: &mut Ctx<'_>, egress: NodeId) {
+        let node = ctx.node();
+        let Some(g) = self.groups.get_mut(&egress) else {
+            return;
+        };
+        g.emission_pending = false;
+        if g.members.is_empty() || g.controller.rate() <= 0.0 {
+            return;
+        }
+        // Round-robin the aggregate's allowance across its members.
+        g.next_member %= g.members.len();
+        let flow = g.members[g.next_member];
+        g.next_member = (g.next_member + 1) % g.members.len();
+        let mut packet = ctx.new_packet(flow);
+        if g.controller.take_marker(&self.cfg) {
+            packet = packet.with_marker(Marker {
+                flow,
+                edge: node,
+                normalized_rate: g.controller.normalized_excess(),
+            });
+            self.markers_injected += 1;
+        }
+        ctx.emit(packet);
+        let g = self.groups.get_mut(&egress).expect("group exists");
+        g.emission_pending = true;
+        ctx.set_timer(
+            SimDuration::from_secs_f64(1.0 / g.controller.rate()),
+            TimerKind::with_param(TIMER_EMIT, egress.index() as u64),
+        );
+    }
+}
+
+impl RouterLogic for AggregatingEdge {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.set_timer(self.cfg.edge_epoch, TimerKind::tagged(TIMER_EPOCH));
+    }
+
+    fn on_flow_start(&mut self, ctx: &mut Ctx<'_>, flow: FlowId) {
+        let now = ctx.now();
+        let egress = ctx.flow(flow).egress();
+        let rtt = 2.0 * ctx.one_way_delay(flow).as_secs_f64();
+        let weight = self.group_weight;
+        let cfg = &self.cfg;
+        let g = self.groups.entry(egress).or_insert_with(|| Group {
+            controller: RateController::new(weight, 0.0),
+            members: Vec::new(),
+            next_member: 0,
+            emission_pending: false,
+        });
+        if g.members.is_empty() {
+            // First member (re)activates the aggregate: fresh slow-start.
+            g.controller.start(cfg, now, rtt);
+        }
+        if !g.members.contains(&flow) {
+            g.members.push(flow);
+        }
+        self.flow_group.insert(flow, egress);
+        self.ensure_emission(ctx, egress);
+    }
+
+    fn on_flow_stop(&mut self, ctx: &mut Ctx<'_>, flow: FlowId) {
+        let Some(&egress) = self.flow_group.get(&flow) else {
+            return;
+        };
+        let g = self.groups.get_mut(&egress).expect("group exists");
+        g.members.retain(|&f| f != flow);
+        if g.members.is_empty() {
+            // Last member gone: the aggregate itself stops.
+            g.controller.stop(ctx.now());
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, timer: TimerKind) {
+        match timer.tag {
+            TIMER_EPOCH => {
+                let now = ctx.now();
+                let egresses: Vec<NodeId> = self.groups.keys().copied().collect();
+                for egress in egresses {
+                    let g = self.groups.get_mut(&egress).expect("group exists");
+                    g.controller.epoch_update(&self.cfg, now);
+                    self.ensure_emission(ctx, egress);
+                }
+                ctx.set_timer(self.cfg.edge_epoch, TimerKind::tagged(TIMER_EPOCH));
+            }
+            TIMER_EMIT => self.handle_emit(ctx, NodeId::from_index(timer.param as usize)),
+            _ => {}
+        }
+    }
+
+    fn on_control(&mut self, ctx: &mut Ctx<'_>, msg: ControlMsg) {
+        if let ControlMsg::MarkerFeedback { marker, from } = msg {
+            if let Some(egress) = self.flow_group.get(&marker.flow) {
+                if let Some(g) = self.groups.get_mut(egress) {
+                    g.controller.on_feedback(from, ctx.now());
+                }
+            }
+        }
+    }
+
+    fn report(&self, _now: SimTime) -> LogicReport {
+        let mut report = LogicReport::default();
+        // The aggregate's allotted-rate series is attributed to every
+        // member (each member's share is rate / members).
+        for (flow, egress) in &self.flow_group {
+            if let Some(g) = self.groups.get(egress) {
+                report
+                    .flow_rates
+                    .insert(*flow, g.controller.series().clone());
+            }
+        }
+        report.counters.insert(
+            "aggregate_markers_injected".to_owned(),
+            self.markers_injected as f64,
+        );
+        report
+            .counters
+            .insert("aggregate_groups".to_owned(), self.groups.len() as f64);
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge::CoreliteEdge;
+    use crate::router::CoreliteCore;
+    use netsim::flow::FlowSpec;
+    use netsim::link::LinkSpec;
+    use netsim::logic::ForwardLogic;
+    use netsim::topology::TopologyBuilder;
+    use netsim::{FlowId, SimReport};
+
+    /// Edge A aggregates `micro` micro-flows (group weight 1); edge B
+    /// runs one plain flow of weight 1. Both share a 500 pkt/s link.
+    fn aggregate_vs_single(micro: usize) -> SimReport {
+        let cfg = CoreliteConfig::default();
+        let mut b = TopologyBuilder::new(47);
+        let agg = b.node("agg-edge", |s| {
+            Box::new(AggregatingEdge::new(s, cfg.clone(), 1))
+        });
+        let plain = b.node("plain-edge", |s| Box::new(CoreliteEdge::new(s, cfg.clone())));
+        let core = b.node("core", |s| Box::new(CoreliteCore::new(s, cfg.clone())));
+        let sink = b.node("sink", |_| Box::new(ForwardLogic));
+        let access = LinkSpec::new(40_000_000, SimDuration::from_millis(1), 400);
+        b.link(agg, core, access);
+        b.link(plain, core, access);
+        b.link(
+            core,
+            sink,
+            LinkSpec::new(4_000_000, SimDuration::from_millis(10), 40),
+        );
+        for _ in 0..micro {
+            b.flow(FlowSpec::new(vec![agg, core, sink], 1).active(SimTime::ZERO, None));
+        }
+        b.flow(FlowSpec::new(vec![plain, core, sink], 1).active(SimTime::ZERO, None));
+        let end = SimTime::from_secs(260);
+        let mut net = b.build();
+        net.run_until(end);
+        net.into_report(end)
+    }
+
+    #[test]
+    fn aggregate_competes_as_one_flow_regardless_of_member_count() {
+        // Three micro-flows in a weight-1 aggregate vs one weight-1 flow:
+        // the AGGREGATE gets the weight-1 share (≈250), so each micro-flow
+        // gets ≈83 — not 3/4 of the link.
+        let report = aggregate_vs_single(3);
+        let from = SimTime::from_secs(200);
+        let to = SimTime::from_secs(260);
+        let micro_goodputs: Vec<f64> = (0..3)
+            .map(|i| {
+                report
+                    .flow(FlowId::from_index(i))
+                    .mean_goodput_in(from, to)
+                    .unwrap_or(0.0)
+            })
+            .collect();
+        let aggregate_total: f64 = micro_goodputs.iter().sum();
+        let single = report
+            .flow(FlowId::from_index(3))
+            .mean_goodput_in(from, to)
+            .unwrap_or(0.0);
+        assert!(
+            (aggregate_total - 250.0).abs() / 250.0 < 0.3,
+            "aggregate total {aggregate_total}, expected ≈250 ({micro_goodputs:?})"
+        );
+        assert!(
+            (single - 250.0).abs() / 250.0 < 0.3,
+            "single flow {single}, expected ≈250"
+        );
+        // Round-robin shares the aggregate evenly among members.
+        for g in &micro_goodputs {
+            assert!(
+                (g - aggregate_total / 3.0).abs() / (aggregate_total / 3.0) < 0.15,
+                "uneven member split: {micro_goodputs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn aggregate_survives_member_churn() {
+        // A member leaving must not stall the aggregate's emission.
+        let cfg = CoreliteConfig::default();
+        let mut b = TopologyBuilder::new(48);
+        let agg = b.node("agg-edge", |s| {
+            Box::new(AggregatingEdge::new(s, cfg.clone(), 1))
+        });
+        let sink = b.node("sink", |_| Box::new(ForwardLogic));
+        b.link(
+            agg,
+            sink,
+            LinkSpec::new(10_000_000, SimDuration::from_millis(10), 100),
+        );
+        b.flow(FlowSpec::new(vec![agg, sink], 1).active(SimTime::ZERO, Some(SimTime::from_secs(20))));
+        let f2 = b.flow(FlowSpec::new(vec![agg, sink], 1).active(SimTime::ZERO, None));
+        let end = SimTime::from_secs(40);
+        let mut net = b.build();
+        net.run_until(end);
+        let report = net.into_report(end);
+        let late = report
+            .flow(f2)
+            .mean_goodput_in(SimTime::from_secs(25), end)
+            .unwrap();
+        assert!(
+            late > 20.0,
+            "surviving member should inherit the full aggregate rate: {late}"
+        );
+        assert_eq!(report.counter_total("aggregate_groups"), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight")]
+    fn zero_group_weight_rejected() {
+        AggregatingEdge::new(0, CoreliteConfig::default(), 0);
+    }
+}

@@ -1,0 +1,196 @@
+//! The marker cache (§2): a bounded circular queue of recently forwarded
+//! markers.
+//!
+//! The cache holds the recent history of marker transmissions. Since edges
+//! inject markers at a flow's normalized rate, the number of markers a
+//! flow holds in the cache is proportional to its normalized rate — so
+//! selecting markers uniformly at random produces *weighted fair*
+//! feedback without the core router inspecting flows at all.
+
+use sim_core::rng::DetRng;
+
+use netsim::packet::Marker;
+
+/// A bounded circular queue of markers with uniform random selection.
+///
+/// # Example
+///
+/// ```
+/// use corelite::cache::MarkerCache;
+/// use netsim::packet::Marker;
+/// use netsim::{FlowId, NodeId};
+/// use sim_core::rng::DetRng;
+///
+/// let mut cache = MarkerCache::new(4);
+/// for i in 0..6 {
+///     cache.push(Marker {
+///         flow: FlowId::from_index(i),
+///         edge: NodeId::from_index(0),
+///         normalized_rate: i as f64,
+///     });
+/// }
+/// // Oldest two were overwritten.
+/// assert_eq!(cache.len(), 4);
+/// let mut rng = DetRng::new(1);
+/// let picks = cache.select(2, &mut rng);
+/// assert_eq!(picks.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MarkerCache {
+    ring: Vec<Marker>,
+    capacity: usize,
+    head: usize,
+    len: usize,
+}
+
+impl MarkerCache {
+    /// Creates a cache holding at most `capacity` markers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "marker cache capacity must be positive");
+        MarkerCache {
+            ring: Vec::with_capacity(capacity),
+            capacity,
+            head: 0,
+            len: 0,
+        }
+    }
+
+    /// Records a marker, overwriting the oldest entry when full.
+    pub fn push(&mut self, marker: Marker) {
+        if self.ring.len() < self.capacity {
+            self.ring.push(marker);
+            self.len = self.ring.len();
+        } else {
+            self.ring[self.head] = marker;
+            self.head = (self.head + 1) % self.capacity;
+        }
+    }
+
+    /// Number of markers currently cached.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if no markers are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The cache's capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Selects up to `n` distinct cached markers uniformly at random.
+    ///
+    /// If fewer than `n` markers are cached, all of them are returned.
+    /// Selected markers stay in the cache (the paper keeps the history;
+    /// stale entries age out by overwriting).
+    pub fn select(&self, n: usize, rng: &mut DetRng) -> Vec<Marker> {
+        if n >= self.len {
+            return self.ring.clone();
+        }
+        // Partial Fisher–Yates over an index table: O(n) swaps.
+        let mut idx: Vec<usize> = (0..self.len).collect();
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let j = i + rng.index(self.len - i);
+            idx.swap(i, j);
+            out.push(self.ring[idx[i]]);
+        }
+        out
+    }
+
+    /// Number of cached markers belonging to `flow` (test/diagnostic aid;
+    /// a real core router never inspects the cache contents per flow).
+    pub fn count_for_flow(&self, flow: netsim::FlowId) -> usize {
+        self.ring.iter().filter(|m| m.flow == flow).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::{FlowId, NodeId};
+
+    fn marker(flow: usize, rn: f64) -> Marker {
+        Marker {
+            flow: FlowId::from_index(flow),
+            edge: NodeId::from_index(0),
+            normalized_rate: rn,
+        }
+    }
+
+    #[test]
+    fn fills_then_overwrites_oldest() {
+        let mut c = MarkerCache::new(3);
+        for i in 0..3 {
+            c.push(marker(i, 0.0));
+        }
+        assert_eq!(c.len(), 3);
+        c.push(marker(99, 0.0));
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.count_for_flow(FlowId::from_index(0)), 0);
+        assert_eq!(c.count_for_flow(FlowId::from_index(99)), 1);
+    }
+
+    #[test]
+    fn select_returns_distinct_markers() {
+        let mut c = MarkerCache::new(10);
+        for i in 0..10 {
+            c.push(marker(i, 0.0));
+        }
+        let mut rng = DetRng::new(5);
+        let picks = c.select(5, &mut rng);
+        assert_eq!(picks.len(), 5);
+        let mut flows: Vec<_> = picks.iter().map(|m| m.flow).collect();
+        flows.sort();
+        flows.dedup();
+        assert_eq!(flows.len(), 5, "selections must be distinct slots");
+    }
+
+    #[test]
+    fn select_more_than_len_returns_all() {
+        let mut c = MarkerCache::new(10);
+        c.push(marker(0, 0.0));
+        c.push(marker(1, 0.0));
+        let mut rng = DetRng::new(5);
+        assert_eq!(c.select(100, &mut rng).len(), 2);
+        assert_eq!(c.select(0, &mut rng).len(), 0);
+    }
+
+    #[test]
+    fn selection_is_proportional_to_cache_share() {
+        // Flow A holds 2/3 of the cache, flow B 1/3: over many draws the
+        // feedback ratio must approach 2:1 — the weighted-fairness core of
+        // the mechanism.
+        let mut c = MarkerCache::new(300);
+        for i in 0..300 {
+            c.push(marker(if i % 3 == 0 { 1 } else { 0 }, 0.0));
+        }
+        let mut rng = DetRng::new(42);
+        let mut a = 0usize;
+        let mut b = 0usize;
+        for _ in 0..2000 {
+            for m in c.select(3, &mut rng) {
+                if m.flow == FlowId::from_index(0) {
+                    a += 1;
+                } else {
+                    b += 1;
+                }
+            }
+        }
+        let ratio = a as f64 / b as f64;
+        assert!((ratio - 2.0).abs() < 0.15, "ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        MarkerCache::new(0);
+    }
+}

@@ -1,0 +1,301 @@
+//! Corelite parameters.
+//!
+//! Defaults reproduce the paper's simulation setup (§4): `K1 = 1`,
+//! `β = 1`, 40-packet queues, congestion threshold 8 packets, 100 ms
+//! epochs, slow-start threshold 32 packets per second.
+
+use sim_core::time::SimDuration;
+
+/// How an edge router throttles a flow that received `m` feedback markers
+/// in an epoch.
+///
+/// The paper presents both forms: the piecewise rule
+/// `b_g ← max(0, b_g − β·m)` (§2.2, step 3) and — because `m ∝ b_g/w` —
+/// its *weighted LIMD* reading `b_g ← b_g·(1 − β·m/w)` (§2.2, closing
+/// discussion), which is the multiplicative decrease that the Chiu–Jain
+/// argument needs. With the paper's `β = 1` only the absolute rule is
+/// stable (it matches the §4 source agents: "decrease the sending rate
+/// proportional to the number of congestion indication messages
+/// received"), so it is the default; the multiplicative rule needs a
+/// fractional `β` (e.g. 0.05) and is provided for the LIMD ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DecreasePolicy {
+    /// `b_g ← max(0, b_g − β·m)`.
+    #[default]
+    Absolute,
+    /// `b_g ← b_g · max(0, 1 − β·m/w)`.
+    Multiplicative,
+}
+
+/// The unit in which the link service rate `μ` enters the feedback-count
+/// formula (§3.1).
+///
+/// The paper states `μ` is "the service rate of the outgoing link in
+/// packets per congestion epoch", which makes the M/M/1 term a low-gain
+/// proportional controller (gain = one epoch) and leaves the cubic term
+/// to handle large excursions. Interpreting `μ` in packets per *second*
+/// makes the term estimate the full arrival-rate excess per `β` = 1 pkt/s
+/// marker — a high-gain controller. Both are provided; the ablation
+/// benches compare them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MuUnit {
+    /// `μ` in packets per congestion epoch (the paper's phrasing).
+    #[default]
+    PerEpoch,
+    /// `μ` in packets per second (dimensional reading for `β` in pkt/s).
+    PerSecond,
+}
+
+/// The rate-control algorithm the edge runs per flow (§4.4 lists
+/// "different adaptation schemes at the edge router" as ongoing work).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdaptationScheme {
+    /// The paper's rate-based scheme: `+α` on silence, `−β·m` on
+    /// feedback (with the configured [`DecreasePolicy`]).
+    #[default]
+    RateLimd,
+    /// A TCP-like window scheme: the edge maintains a congestion window
+    /// `cwnd` and shapes the flow to `cwnd/RTT` (RTT estimated from the
+    /// path's propagation delay). `cwnd` doubles during slow-start, grows
+    /// by one packet per epoch in congestion avoidance, and halves once
+    /// per epoch that saw any marker feedback — so throttling frequency,
+    /// not amplitude, tracks the normalized rate. Exploratory: this gives
+    /// weight-*influenced* rather than exactly weight-proportional
+    /// sharing (see the `window_agent` integration test).
+    WindowAimd,
+}
+
+/// Which weighted fair marker-selection mechanism core routers run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelectorKind {
+    /// §2: keep recently forwarded markers in a bounded circular cache and
+    /// select feedback markers uniformly at random from it.
+    Cache {
+        /// Cache capacity in markers.
+        capacity: usize,
+    },
+    /// §3.2: no cache — select arriving markers with probability
+    /// `p_w = F_n / w_av`, send back only those whose labelled normalized
+    /// rate is at or above the running average `r_av`, and keep a deficit
+    /// counter to swap below-average selections for later above-average
+    /// markers.
+    Stateless,
+}
+
+/// Tunable parameters of the Corelite mechanisms.
+///
+/// Construct with [`CoreliteConfig::default`] for the paper's values and
+/// adjust fields builder-style:
+///
+/// ```
+/// use corelite::config::{CoreliteConfig, SelectorKind};
+///
+/// let cfg = CoreliteConfig::default().with_selector(SelectorKind::Cache { capacity: 256 });
+/// assert_eq!(cfg.selector, SelectorKind::Cache { capacity: 256 });
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoreliteConfig {
+    /// Marker spacing constant `K1`: a marker is piggybacked on every
+    /// `N_w = K1·w` data packets (paper: 1).
+    pub k1: u32,
+    /// Linear increase step `α` in packets per second, applied each edge
+    /// epoch with no feedback (paper: 1).
+    pub alpha: f64,
+    /// Whether the additive increase scales with the flow's rate weight
+    /// (`α·w`). Marker feedback trims every flow in proportion to its
+    /// normalized rate, so scaling the probe step symmetrically keeps the
+    /// relative oscillation equal across weight classes, at the price of
+    /// a more aggressive aggregate probe. Disabled by default (the paper
+    /// increases "by a constant"); the ablation benches cover both.
+    pub alpha_per_weight: bool,
+    /// Decrease constant `β` (paper: 1). Its meaning depends on
+    /// [`CoreliteConfig::decrease`]: packets per second per marker for
+    /// [`DecreasePolicy::Absolute`], the per-marker fraction `β/w` for
+    /// [`DecreasePolicy::Multiplicative`].
+    pub beta: f64,
+    /// The edge throttling rule applied on feedback.
+    pub decrease: DecreasePolicy,
+    /// The per-flow rate-control algorithm at the edge.
+    pub adaptation: AdaptationScheme,
+    /// Edge adaptation epoch. The paper specifies "an epoch size of
+    /// 100 ms **at the core router**" but leaves the edge epoch open;
+    /// 500 ms (between the core epoch and the slow-start second) gives
+    /// the loss-free operation §4.2 reports, while 100 ms makes the
+    /// control loop only marginally stable (see the `edge_epoch`
+    /// ablation bench).
+    pub edge_epoch: SimDuration,
+    /// Core congestion-detection epoch (paper: 100 ms).
+    pub core_epoch: SimDuration,
+    /// Congestion threshold `q_thresh` on the average queue length, in
+    /// packets (paper: 8).
+    pub q_thresh: f64,
+    /// The self-correcting cubic coefficient `k` in the feedback-count
+    /// formula; 0 disables the correction term (§3.1).
+    pub correction_k: f64,
+    /// Unit of the service rate `μ` in the feedback-count formula.
+    pub mu_unit: MuUnit,
+    /// Congestion estimation module at core routers (§3.1 notes the
+    /// module is replaceable; see [`crate::detector`]).
+    pub detector: crate::detector::DetectorKind,
+    /// Slow-start threshold in packets per second *per unit weight*:
+    /// a flow whose rate exceeds `ss_thresh·w` ends slow-start with a
+    /// halving (paper: 32). Scaling by the weight lets high-weight flows
+    /// ride slow-start until they are near their (larger) fair share, as
+    /// §4.2 describes; set [`CoreliteConfig::ss_thresh_per_weight`] to
+    /// `false` for a flat threshold.
+    pub ss_thresh: f64,
+    /// Whether `ss_thresh` scales with the flow's rate weight.
+    pub ss_thresh_per_weight: bool,
+    /// Initial allowed rate of a newly started flow, packets per second.
+    pub initial_rate: f64,
+    /// Slow-start doubling interval (paper: every second).
+    pub slow_start_interval: SimDuration,
+    /// Marker selection mechanism at core routers.
+    pub selector: SelectorKind,
+    /// Exponential-average gain for the stateless selector's running
+    /// averages `r_av` and `w_av` (per observation / per epoch).
+    pub running_avg_gain: f64,
+    /// Reference packet size in bytes used to express a link's service
+    /// rate `μ` in packets per epoch (paper: fixed 1 KB packets).
+    pub reference_packet_size: u32,
+}
+
+impl Default for CoreliteConfig {
+    fn default() -> Self {
+        CoreliteConfig {
+            k1: 1,
+            alpha: 1.0,
+            alpha_per_weight: false,
+            beta: 1.0,
+            decrease: DecreasePolicy::Absolute,
+            adaptation: AdaptationScheme::RateLimd,
+            edge_epoch: SimDuration::from_millis(500),
+            core_epoch: SimDuration::from_millis(100),
+            q_thresh: 8.0,
+            correction_k: 0.005,
+            mu_unit: MuUnit::PerEpoch,
+            detector: crate::detector::DetectorKind::Paper,
+            ss_thresh: 32.0,
+            ss_thresh_per_weight: true,
+            initial_rate: 1.0,
+            slow_start_interval: SimDuration::from_secs(1),
+            selector: SelectorKind::Stateless,
+            running_avg_gain: 0.1,
+            reference_packet_size: 1000,
+        }
+    }
+}
+
+impl CoreliteConfig {
+    /// Returns the marker spacing `N_w = K1·w` for a flow of weight `w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is zero.
+    pub fn marker_spacing(&self, weight: u32) -> u32 {
+        assert!(weight > 0, "flow weight must be positive");
+        self.k1 * weight
+    }
+
+    /// Sets the marker selection mechanism (builder-style).
+    pub fn with_selector(mut self, selector: SelectorKind) -> Self {
+        self.selector = selector;
+        self
+    }
+
+    /// Sets both epochs (builder-style) — the paper varies these together
+    /// in its sensitivity discussion.
+    pub fn with_epoch(mut self, epoch: SimDuration) -> Self {
+        self.edge_epoch = epoch;
+        self.core_epoch = epoch;
+        self
+    }
+
+    /// Sets the cubic correction coefficient `k` (builder-style).
+    pub fn with_correction_k(mut self, k: f64) -> Self {
+        self.correction_k = k;
+        self
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive epochs, negative thresholds, or a zero `K1`.
+    pub fn validate(&self) {
+        assert!(self.k1 > 0, "K1 must be positive");
+        assert!(self.alpha > 0.0, "alpha must be positive");
+        assert!(self.beta > 0.0, "beta must be positive");
+        assert!(!self.edge_epoch.is_zero(), "edge epoch must be positive");
+        assert!(!self.core_epoch.is_zero(), "core epoch must be positive");
+        assert!(self.q_thresh >= 0.0, "q_thresh must be non-negative");
+        assert!(self.correction_k >= 0.0, "correction k must be non-negative");
+        assert!(self.initial_rate > 0.0, "initial rate must be positive");
+        assert!(
+            self.running_avg_gain > 0.0 && self.running_avg_gain <= 1.0,
+            "running average gain must be in (0, 1]"
+        );
+        assert!(
+            self.reference_packet_size > 0,
+            "reference packet size must be positive"
+        );
+        if let SelectorKind::Cache { capacity } = self.selector {
+            assert!(capacity > 0, "marker cache capacity must be positive");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = CoreliteConfig::default();
+        assert_eq!(c.k1, 1);
+        assert_eq!(c.alpha, 1.0);
+        assert_eq!(c.beta, 1.0);
+        assert_eq!(c.edge_epoch, SimDuration::from_millis(500));
+        assert_eq!(c.core_epoch, SimDuration::from_millis(100));
+        assert_eq!(c.q_thresh, 8.0);
+        assert_eq!(c.ss_thresh, 32.0);
+        c.validate();
+    }
+
+    #[test]
+    fn marker_spacing_scales_with_weight() {
+        let c = CoreliteConfig::default();
+        assert_eq!(c.marker_spacing(1), 1);
+        assert_eq!(c.marker_spacing(3), 3);
+        let c2 = CoreliteConfig {
+            k1: 2,
+            ..CoreliteConfig::default()
+        };
+        assert_eq!(c2.marker_spacing(3), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight")]
+    fn zero_weight_spacing_panics() {
+        CoreliteConfig::default().marker_spacing(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_cache_capacity_rejected() {
+        CoreliteConfig::default()
+            .with_selector(SelectorKind::Cache { capacity: 0 })
+            .validate();
+    }
+
+    #[test]
+    fn builder_methods_apply() {
+        let c = CoreliteConfig::default()
+            .with_epoch(SimDuration::from_millis(50))
+            .with_correction_k(0.0);
+        assert_eq!(c.core_epoch, SimDuration::from_millis(50));
+        assert_eq!(c.edge_epoch, SimDuration::from_millis(50));
+        assert_eq!(c.correction_k, 0.0);
+        c.validate();
+    }
+}

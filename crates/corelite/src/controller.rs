@@ -1,0 +1,345 @@
+//! The per-flow rate-control state machine shared by Corelite ingress
+//! edges and inter-cloud gateways.
+//!
+//! A [`RateController`] owns everything §2 step 3 and §4 prescribe for
+//! one flow at one edge: the allowed rate `b_g`, the slow-start /
+//! linear-increase phase machine, the per-core feedback bookkeeping (the
+//! edge reacts to the **max** per-core marker count), the minimum-rate
+//! contract floor, the out-of-profile marker credit, and the recorded
+//! allotted-rate series. The hosting logic decides *what* to emit (a
+//! shaped synthetic source at an ingress edge, a store-and-forward buffer
+//! at a gateway); the controller decides *how fast*.
+
+use std::collections::BTreeMap;
+
+use sim_core::stats::TimeSeries;
+use sim_core::time::SimTime;
+
+use netsim::ids::NodeId;
+
+use crate::config::{AdaptationScheme, CoreliteConfig, DecreasePolicy};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    SlowStart,
+    Linear,
+}
+
+/// Rate-control state for one flow at one (ingress or gateway) edge.
+#[derive(Debug)]
+pub struct RateController {
+    weight: u32,
+    min_rate: f64,
+    active: bool,
+    rate: f64,
+    cwnd: f64,
+    rtt: f64,
+    phase: Phase,
+    last_double: SimTime,
+    marker_credit: f64,
+    feedback: BTreeMap<NodeId, u32>,
+    series: TimeSeries,
+}
+
+impl RateController {
+    /// Creates an inactive controller for a flow of the given `weight`
+    /// and contract `min_rate`.
+    pub fn new(weight: u32, min_rate: f64) -> Self {
+        RateController {
+            weight,
+            min_rate,
+            active: false,
+            rate: 0.0,
+            cwnd: 1.0,
+            rtt: 0.1,
+            phase: Phase::Linear,
+            last_double: SimTime::ZERO,
+            marker_credit: 0.0,
+            feedback: BTreeMap::new(),
+            series: TimeSeries::new(),
+        }
+    }
+
+    /// (Re)starts the flow at `now`: fresh slow-start for best-effort
+    /// flows, linear probing from the contract for contracted flows.
+    /// `rtt` is the flow's base round-trip estimate (propagation only).
+    pub fn start(&mut self, cfg: &CoreliteConfig, now: SimTime, rtt: f64) {
+        self.active = true;
+        self.rtt = rtt.max(1e-3);
+        self.cwnd = (cfg.initial_rate * self.rtt).max(1.0);
+        if self.min_rate > 0.0 {
+            self.rate = self.min_rate.max(cfg.initial_rate);
+            self.phase = Phase::Linear;
+        } else {
+            self.rate = match cfg.adaptation {
+                AdaptationScheme::RateLimd => cfg.initial_rate,
+                AdaptationScheme::WindowAimd => self.cwnd / self.rtt,
+            };
+            self.phase = Phase::SlowStart;
+        }
+        self.last_double = now;
+        self.marker_credit = 0.0;
+        self.feedback.clear();
+        self.record(now);
+    }
+
+    /// Stops the flow at `now`.
+    pub fn stop(&mut self, now: SimTime) {
+        self.active = false;
+        self.feedback.clear();
+        self.record(now);
+    }
+
+    /// Whether the flow is currently active.
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// The current allowed rate `b_g`, packets per second.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// The flow's rate weight.
+    pub fn weight(&self) -> u32 {
+        self.weight
+    }
+
+    /// The recorded allotted-rate series.
+    pub fn series(&self) -> &TimeSeries {
+        &self.series
+    }
+
+    /// The flow's normalized out-of-profile rate `(b_g − min)/w` — the
+    /// value carried in markers.
+    pub fn normalized_excess(&self) -> f64 {
+        (self.rate - self.min_rate).max(0.0) / self.weight as f64
+    }
+
+    /// Accounts one emitted packet toward marker injection. Returns
+    /// `true` when this packet should carry a marker (every
+    /// `N_w = K1·w` *out-of-profile* packets; contracted in-profile
+    /// traffic never marks).
+    pub fn take_marker(&mut self, cfg: &CoreliteConfig) -> bool {
+        let spacing = cfg.marker_spacing(self.weight) as f64;
+        let excess = (self.rate - self.min_rate).max(0.0);
+        if excess > 0.0 && self.rate > 0.0 {
+            self.marker_credit += excess / self.rate;
+        }
+        if self.marker_credit >= spacing {
+            self.marker_credit -= spacing;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Records marker feedback from core router `from` at `now`. The
+    /// first notification during slow-start halves the rate immediately
+    /// (§4) and is consumed by the halving; later notifications
+    /// accumulate for the epoch update. Returns `true` if this feedback
+    /// ended slow-start.
+    pub fn on_feedback(&mut self, from: NodeId, now: SimTime) -> bool {
+        if !self.active {
+            return false;
+        }
+        if self.phase == Phase::SlowStart {
+            self.phase = Phase::Linear;
+            self.cwnd = (self.cwnd / 2.0).max(1.0);
+            self.rate = (self.rate / 2.0).max(self.min_rate);
+            self.record(now);
+            true
+        } else {
+            *self.feedback.entry(from).or_insert(0) += 1;
+            false
+        }
+    }
+
+    /// Applies one adaptation epoch at `now` (§2 step 3): `+α` on
+    /// silence, throttle on feedback (max per-core count), slow-start
+    /// doubling on its own clock. Records the new rate.
+    pub fn epoch_update(&mut self, cfg: &CoreliteConfig, now: SimTime) {
+        if !self.active {
+            self.feedback.clear();
+            return;
+        }
+        let m = self.feedback.values().copied().max().unwrap_or(0);
+        match cfg.adaptation {
+            AdaptationScheme::RateLimd => {
+                if m > 0 {
+                    self.rate = match cfg.decrease {
+                        DecreasePolicy::Absolute => (self.rate - cfg.beta * m as f64).max(0.0),
+                        DecreasePolicy::Multiplicative => {
+                            self.rate * (1.0 - cfg.beta * m as f64 / self.weight as f64).max(0.0)
+                        }
+                    }
+                    .max(self.min_rate);
+                } else {
+                    match self.phase {
+                        Phase::SlowStart => self.try_double(cfg, now),
+                        Phase::Linear => {
+                            self.rate += if cfg.alpha_per_weight {
+                                cfg.alpha * self.weight as f64
+                            } else {
+                                cfg.alpha
+                            };
+                        }
+                    }
+                }
+            }
+            AdaptationScheme::WindowAimd => {
+                if m > 0 {
+                    self.cwnd = (self.cwnd / 2.0).max(1.0);
+                    self.phase = Phase::Linear;
+                } else {
+                    match self.phase {
+                        Phase::SlowStart => self.try_double_window(cfg, now),
+                        Phase::Linear => self.cwnd += 1.0,
+                    }
+                }
+                self.rate = (self.cwnd / self.rtt).max(self.min_rate);
+            }
+        }
+        self.feedback.clear();
+        self.record(now);
+    }
+
+    fn ss_thresh(&self, cfg: &CoreliteConfig) -> f64 {
+        if cfg.ss_thresh_per_weight {
+            cfg.ss_thresh * self.weight as f64
+        } else {
+            cfg.ss_thresh
+        }
+    }
+
+    fn try_double(&mut self, cfg: &CoreliteConfig, now: SimTime) {
+        if now.saturating_since(self.last_double) >= cfg.slow_start_interval {
+            self.rate *= 2.0;
+            self.last_double = now;
+            if self.rate > self.ss_thresh(cfg) {
+                self.rate /= 2.0;
+                self.phase = Phase::Linear;
+            }
+        }
+    }
+
+    fn try_double_window(&mut self, cfg: &CoreliteConfig, now: SimTime) {
+        if now.saturating_since(self.last_double) >= cfg.slow_start_interval {
+            self.cwnd *= 2.0;
+            self.last_double = now;
+            if self.cwnd / self.rtt > self.ss_thresh(cfg) {
+                self.cwnd /= 2.0;
+                self.phase = Phase::Linear;
+            }
+        }
+    }
+
+    fn record(&mut self, now: SimTime) {
+        let value = if self.active { self.rate } else { 0.0 };
+        self.series.push(now, value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::time::SimDuration;
+
+    fn cfg() -> CoreliteConfig {
+        CoreliteConfig::default()
+    }
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs_f64(s)
+    }
+
+    #[test]
+    fn slow_start_doubles_then_caps() {
+        let c = cfg();
+        let mut rc = RateController::new(1, 0.0);
+        rc.start(&c, t(0.0), 0.24);
+        assert_eq!(rc.rate(), 1.0);
+        let mut now = t(0.0);
+        for _ in 0..12 {
+            now += SimDuration::from_millis(500);
+            rc.epoch_update(&c, now);
+        }
+        // 1→2→4→8→16→32, then 64 > 32 triggers the halving to 32.
+        assert!(rc.rate() >= 16.0 && rc.rate() <= 40.0, "rate {}", rc.rate());
+    }
+
+    #[test]
+    fn feedback_in_slow_start_halves_once() {
+        let c = cfg();
+        let mut rc = RateController::new(1, 0.0);
+        rc.start(&c, t(0.0), 0.24);
+        rc.rate = 20.0;
+        let exited = rc.on_feedback(NodeId::from_index(1), t(1.0));
+        assert!(exited);
+        assert_eq!(rc.rate(), 10.0);
+        // A second notification accumulates for the epoch instead.
+        assert!(!rc.on_feedback(NodeId::from_index(1), t(1.1)));
+        rc.epoch_update(&c, t(1.5));
+        assert_eq!(rc.rate(), 9.0); // −β·1
+    }
+
+    #[test]
+    fn reacts_to_max_per_core_not_sum() {
+        let c = cfg();
+        let mut rc = RateController::new(1, 0.0);
+        rc.start(&c, t(0.0), 0.24);
+        rc.rate = 50.0;
+        rc.phase = Phase::Linear;
+        for _ in 0..3 {
+            rc.on_feedback(NodeId::from_index(1), t(1.0));
+        }
+        rc.on_feedback(NodeId::from_index(2), t(1.0));
+        rc.epoch_update(&c, t(1.5));
+        // max(3, 1) = 3 ⇒ −3, not −4.
+        assert_eq!(rc.rate(), 47.0);
+    }
+
+    #[test]
+    fn contract_floor_is_never_pierced() {
+        let c = cfg();
+        let mut rc = RateController::new(2, 100.0);
+        rc.start(&c, t(0.0), 0.24);
+        assert!(rc.rate() >= 100.0);
+        rc.phase = Phase::Linear;
+        rc.rate = 103.0;
+        for _ in 0..10 {
+            rc.on_feedback(NodeId::from_index(1), t(1.0));
+        }
+        rc.epoch_update(&c, t(1.5));
+        assert_eq!(rc.rate(), 100.0);
+    }
+
+    #[test]
+    fn marker_credit_tracks_excess_fraction() {
+        let c = cfg();
+        let mut rc = RateController::new(1, 0.0); // spacing 1, no contract
+        rc.start(&c, t(0.0), 0.24);
+        rc.rate = 10.0;
+        // Best-effort: every packet is out-of-profile ⇒ every packet marks.
+        assert!(rc.take_marker(&c));
+        assert!(rc.take_marker(&c));
+        // Contracted at half the rate: every second packet marks.
+        let mut rc2 = RateController::new(1, 5.0);
+        rc2.start(&c, t(0.0), 0.24);
+        rc2.rate = 10.0;
+        let marks = (0..100).filter(|_| rc2.take_marker(&c)).count();
+        assert!((48..=52).contains(&marks), "marks {marks}");
+        assert!((rc2.normalized_excess() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stop_records_zero_and_blocks_feedback() {
+        let c = cfg();
+        let mut rc = RateController::new(1, 0.0);
+        rc.start(&c, t(0.0), 0.24);
+        rc.stop(t(5.0));
+        assert!(!rc.is_active());
+        assert_eq!(rc.series().last_value(), Some(0.0));
+        assert!(!rc.on_feedback(NodeId::from_index(1), t(6.0)));
+    }
+}

@@ -1,0 +1,238 @@
+//! Pluggable incipient congestion detection.
+//!
+//! The paper notes that *"the congestion estimation module can be
+//! replaced with no impact on the rest of the Corelite mechanisms"*
+//! (§3.1). This module makes that claim concrete: a
+//! [`CongestionDetector`] turns per-epoch queue observations into a
+//! marker feedback count `F_n`, and the core router is generic over it.
+//!
+//! Three detectors are provided:
+//!
+//! * [`PaperDetector`] — the §3.1 formula (M/M/1 excess + cubic
+//!   self-correction), the default.
+//! * [`RedDetector`] — an RED-inspired module (Floyd & Jacobson, cited as
+//!   \[9\]): exponentially weighted queue average with min/max thresholds
+//!   and a linear marking ramp.
+//! * [`DecbitDetector`] — a DECbit-inspired module (Jain & Ramakrishnan,
+//!   cited as \[7\]): congestion whenever the average queue reaches one
+//!   packet, feedback proportional to the queue.
+
+use crate::config::{CoreliteConfig, MuUnit};
+use crate::congestion::marker_feedback_count;
+
+/// Turns one congestion epoch's queue observations into the number of
+/// feedback markers `F_n` the core router should send for a link.
+///
+/// Implementations keep per-link state (they are constructed once per
+/// outgoing link) and must be deterministic.
+pub trait CongestionDetector: std::fmt::Debug {
+    /// Called once at the end of every congestion epoch.
+    ///
+    /// * `q_avg` — time-weighted average queue length over the epoch,
+    ///   packets;
+    /// * `mu_pps` — the link's service rate in packets per second;
+    /// * `epoch_secs` — the congestion epoch length in seconds.
+    ///
+    /// Returns `F_n ≥ 0` (fractional counts are rounded
+    /// expectation-preservingly by the router).
+    fn feedback_count(&mut self, q_avg: f64, mu_pps: f64, epoch_secs: f64) -> f64;
+}
+
+/// Which congestion estimation module core routers run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DetectorKind {
+    /// The paper's §3.1 formula with the thresholds from
+    /// [`CoreliteConfig`].
+    Paper,
+    /// RED-style: EWMA queue average `avg ← (1−w_q)·avg + w_q·q_avg`,
+    /// marking ramp between `min_thresh` and `max_thresh`.
+    Red {
+        /// EWMA gain `w_q` (RED's classic 0.002 is per *packet*; per
+        /// *epoch* something like 0.25 is comparable).
+        wq: f64,
+        /// No feedback below this average queue length (packets).
+        min_thresh: f64,
+        /// Full-strength feedback at or above this average (packets).
+        max_thresh: f64,
+        /// Fraction of the per-epoch service that is fed back at the top
+        /// of the ramp (RED's `max_p` analogue).
+        max_p: f64,
+    },
+    /// DECbit-style: congestion whenever the average queue is at least
+    /// `threshold` (classically 1 packet); feedback grows linearly with
+    /// the average queue.
+    Decbit {
+        /// Average queue length at which congestion is declared.
+        threshold: f64,
+        /// Markers per packet of average queue above the threshold.
+        gain: f64,
+    },
+}
+
+impl DetectorKind {
+    /// Instantiates the detector for one link.
+    pub(crate) fn build(&self, cfg: &CoreliteConfig) -> Box<dyn CongestionDetector> {
+        match *self {
+            DetectorKind::Paper => Box::new(PaperDetector {
+                q_thresh: cfg.q_thresh,
+                correction_k: cfg.correction_k,
+                mu_unit: cfg.mu_unit,
+            }),
+            DetectorKind::Red {
+                wq,
+                min_thresh,
+                max_thresh,
+                max_p,
+            } => {
+                assert!(wq > 0.0 && wq <= 1.0, "RED w_q must be in (0, 1]");
+                assert!(
+                    min_thresh >= 0.0 && max_thresh > min_thresh,
+                    "RED thresholds must satisfy 0 <= min < max"
+                );
+                assert!(max_p > 0.0, "RED max_p must be positive");
+                Box::new(RedDetector {
+                    wq,
+                    min_thresh,
+                    max_thresh,
+                    max_p,
+                    avg: 0.0,
+                })
+            }
+            DetectorKind::Decbit { threshold, gain } => {
+                assert!(threshold >= 0.0, "DECbit threshold must be non-negative");
+                assert!(gain > 0.0, "DECbit gain must be positive");
+                Box::new(DecbitDetector { threshold, gain })
+            }
+        }
+    }
+}
+
+/// The paper's §3.1 congestion estimator.
+#[derive(Debug, Clone)]
+pub struct PaperDetector {
+    q_thresh: f64,
+    correction_k: f64,
+    mu_unit: MuUnit,
+}
+
+impl CongestionDetector for PaperDetector {
+    fn feedback_count(&mut self, q_avg: f64, mu_pps: f64, epoch_secs: f64) -> f64 {
+        let mu = match self.mu_unit {
+            MuUnit::PerEpoch => mu_pps * epoch_secs,
+            MuUnit::PerSecond => mu_pps,
+        };
+        marker_feedback_count(q_avg, self.q_thresh, mu, self.correction_k)
+    }
+}
+
+/// RED-inspired congestion estimator (see [`DetectorKind::Red`]).
+#[derive(Debug, Clone)]
+pub struct RedDetector {
+    wq: f64,
+    min_thresh: f64,
+    max_thresh: f64,
+    max_p: f64,
+    avg: f64,
+}
+
+impl CongestionDetector for RedDetector {
+    fn feedback_count(&mut self, q_avg: f64, mu_pps: f64, epoch_secs: f64) -> f64 {
+        self.avg = (1.0 - self.wq) * self.avg + self.wq * q_avg;
+        if self.avg <= self.min_thresh {
+            return 0.0;
+        }
+        let ramp = ((self.avg - self.min_thresh) / (self.max_thresh - self.min_thresh)).min(1.0);
+        ramp * self.max_p * mu_pps * epoch_secs
+    }
+}
+
+/// DECbit-inspired congestion estimator (see [`DetectorKind::Decbit`]).
+#[derive(Debug, Clone)]
+pub struct DecbitDetector {
+    threshold: f64,
+    gain: f64,
+}
+
+impl CongestionDetector for DecbitDetector {
+    fn feedback_count(&mut self, q_avg: f64, _mu_pps: f64, _epoch_secs: f64) -> f64 {
+        if q_avg < self.threshold {
+            0.0
+        } else {
+            self.gain * (q_avg - self.threshold + 1.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> CoreliteConfig {
+        CoreliteConfig::default()
+    }
+
+    #[test]
+    fn paper_detector_matches_formula() {
+        let mut d = DetectorKind::Paper.build(&cfg());
+        let direct = marker_feedback_count(12.0, 8.0, 50.0, cfg().correction_k);
+        assert_eq!(d.feedback_count(12.0, 500.0, 0.1), direct);
+        assert_eq!(d.feedback_count(0.0, 500.0, 0.1), 0.0);
+    }
+
+    #[test]
+    fn red_detector_ramps_between_thresholds() {
+        let kind = DetectorKind::Red {
+            wq: 1.0, // no smoothing: avg = q_avg
+            min_thresh: 5.0,
+            max_thresh: 15.0,
+            max_p: 0.1,
+        };
+        let mut d = kind.build(&cfg());
+        assert_eq!(d.feedback_count(4.0, 500.0, 0.1), 0.0);
+        let mid = d.feedback_count(10.0, 500.0, 0.1);
+        let full = d.feedback_count(15.0, 500.0, 0.1);
+        let beyond = d.feedback_count(40.0, 500.0, 0.1);
+        assert!((mid - 0.5 * 0.1 * 50.0).abs() < 1e-9, "mid {mid}");
+        assert!((full - 0.1 * 50.0).abs() < 1e-9, "full {full}");
+        assert_eq!(full, beyond, "ramp saturates at max_p");
+    }
+
+    #[test]
+    fn red_detector_smooths_across_epochs() {
+        let kind = DetectorKind::Red {
+            wq: 0.5,
+            min_thresh: 5.0,
+            max_thresh: 15.0,
+            max_p: 0.1,
+        };
+        let mut d = kind.build(&cfg());
+        // A single spiky epoch is damped by the EWMA.
+        let first = d.feedback_count(20.0, 500.0, 0.1); // avg = 10
+        let second = d.feedback_count(20.0, 500.0, 0.1); // avg = 15
+        assert!(first < second, "EWMA should build up: {first} then {second}");
+    }
+
+    #[test]
+    fn decbit_detector_fires_at_one_packet() {
+        let kind = DetectorKind::Decbit {
+            threshold: 1.0,
+            gain: 2.0,
+        };
+        let mut d = kind.build(&cfg());
+        assert_eq!(d.feedback_count(0.5, 500.0, 0.1), 0.0);
+        assert_eq!(d.feedback_count(1.0, 500.0, 0.1), 2.0);
+        assert_eq!(d.feedback_count(3.0, 500.0, 0.1), 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "thresholds")]
+    fn red_rejects_inverted_thresholds() {
+        DetectorKind::Red {
+            wq: 0.5,
+            min_thresh: 10.0,
+            max_thresh: 5.0,
+            max_p: 0.1,
+        }
+        .build(&cfg());
+    }
+}

@@ -1,0 +1,301 @@
+//! The Corelite edge router: shaping, marker injection, and rate
+//! adaptation (§2, steps 1 and 3).
+//!
+//! For every flow entering the network at this node, the edge
+//!
+//! * **shapes** the flow to its allowed rate `b_g(f)` (the traffic sources
+//!   in the paper's evaluation are always backlogged, so the edge emits
+//!   packets at exactly `b_g`),
+//! * **marks**: piggybacks a marker carrying the normalized
+//!   *out-of-profile* rate `r_n = (b_g − min)/w` once per `N_w = K1·w`
+//!   out-of-profile packets, so the flow's marker rate equals its
+//!   normalized excess rate (for best-effort flows, `min = 0` and this is
+//!   exactly the paper's "marker every `N_w` data packets" with
+//!   `r_n = b_g/w`). Contracted (in-profile) traffic is never marked and
+//!   therefore never throttled,
+//! * **adapts** once per epoch via the shared
+//!   [`crate::controller::RateController`]: `+α` on
+//!   silence, throttle on the **maximum** per-core marker count, §4's
+//!   slow-start at startup.
+//!
+//! Packet losses (CSFQ's feedback signal) are counted but deliberately
+//! ignored: *"edges react only to congestion indications"* (§4.3).
+
+use std::collections::BTreeMap;
+
+use sim_core::time::{SimDuration, SimTime};
+
+use netsim::ids::FlowId;
+use netsim::logic::{ControlMsg, Ctx, LogicReport, RouterLogic, TimerKind};
+use netsim::packet::Marker;
+
+use crate::config::CoreliteConfig;
+use crate::controller::RateController;
+
+const TIMER_EPOCH: u32 = 1;
+const TIMER_EMIT: u32 = 2;
+
+#[derive(Debug)]
+struct FlowState {
+    controller: RateController,
+    /// True while an emission timer is outstanding.
+    emission_pending: bool,
+}
+
+/// Router logic for a Corelite (ingress) edge router.
+///
+/// Install one per edge node via
+/// [`TopologyBuilder::node`](netsim::topology::TopologyBuilder::node); it
+/// manages every flow whose path begins at that node. See the
+/// [crate docs](crate) for a complete example.
+#[derive(Debug)]
+pub struct CoreliteEdge {
+    cfg: CoreliteConfig,
+    flows: BTreeMap<FlowId, FlowState>,
+    markers_injected: u64,
+    feedback_received: u64,
+    losses_ignored: u64,
+    #[allow(dead_code)]
+    seed: u64,
+}
+
+impl CoreliteEdge {
+    /// Creates edge logic with the given component `seed` (from the
+    /// topology builder) and configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`CoreliteConfig::validate`].
+    pub fn new(seed: u64, cfg: CoreliteConfig) -> Self {
+        cfg.validate();
+        CoreliteEdge {
+            cfg,
+            flows: BTreeMap::new(),
+            markers_injected: 0,
+            feedback_received: 0,
+            losses_ignored: 0,
+            seed,
+        }
+    }
+
+    /// The allowed rate `b_g(f)` the edge currently enforces for `flow`,
+    /// or `None` if the flow has never started here.
+    pub fn allowed_rate(&self, flow: FlowId) -> Option<f64> {
+        self.flows.get(&flow).map(|s| s.controller.rate())
+    }
+
+    fn ensure_emission(&mut self, ctx: &mut Ctx<'_>, flow: FlowId) {
+        let s = self.flows.get_mut(&flow).expect("flow state exists");
+        if s.controller.is_active() && s.controller.rate() > 0.0 && !s.emission_pending {
+            s.emission_pending = true;
+            ctx.set_timer(
+                SimDuration::from_secs_f64(1.0 / s.controller.rate()),
+                TimerKind::with_param(TIMER_EMIT, flow.index() as u64),
+            );
+        }
+    }
+
+    fn handle_emit(&mut self, ctx: &mut Ctx<'_>, flow: FlowId) {
+        let node = ctx.node();
+        let Some(s) = self.flows.get_mut(&flow) else {
+            return;
+        };
+        s.emission_pending = false;
+        if !s.controller.is_active() || s.controller.rate() <= 0.0 {
+            return;
+        }
+        let mut packet = ctx.new_packet(flow);
+        if s.controller.take_marker(&self.cfg) {
+            packet = packet.with_marker(Marker {
+                flow,
+                edge: node,
+                normalized_rate: s.controller.normalized_excess(),
+            });
+            self.markers_injected += 1;
+        }
+        ctx.emit(packet);
+        let s = self.flows.get_mut(&flow).expect("flow state exists");
+        s.emission_pending = true;
+        ctx.set_timer(
+            SimDuration::from_secs_f64(1.0 / s.controller.rate()),
+            TimerKind::with_param(TIMER_EMIT, flow.index() as u64),
+        );
+    }
+}
+
+impl RouterLogic for CoreliteEdge {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.set_timer(self.cfg.edge_epoch, TimerKind::tagged(TIMER_EPOCH));
+    }
+
+    fn on_flow_start(&mut self, ctx: &mut Ctx<'_>, flow: FlowId) {
+        let now = ctx.now();
+        let info = ctx.flow(flow);
+        let (weight, min_rate) = (info.weight, info.min_rate);
+        let rtt = 2.0 * ctx.one_way_delay(flow).as_secs_f64();
+        let s = self.flows.entry(flow).or_insert_with(|| FlowState {
+            controller: RateController::new(weight, min_rate),
+            emission_pending: false,
+        });
+        // A restarting flow begins a fresh slow-start, like a new arrival.
+        s.controller.start(&self.cfg, now, rtt);
+        self.ensure_emission(ctx, flow);
+    }
+
+    fn on_flow_stop(&mut self, ctx: &mut Ctx<'_>, flow: FlowId) {
+        if let Some(s) = self.flows.get_mut(&flow) {
+            s.controller.stop(ctx.now());
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, timer: TimerKind) {
+        match timer.tag {
+            TIMER_EPOCH => {
+                let now = ctx.now();
+                let flows: Vec<FlowId> = self.flows.keys().copied().collect();
+                for flow in flows {
+                    let s = self.flows.get_mut(&flow).expect("flow state exists");
+                    s.controller.epoch_update(&self.cfg, now);
+                    self.ensure_emission(ctx, flow);
+                }
+                ctx.set_timer(self.cfg.edge_epoch, TimerKind::tagged(TIMER_EPOCH));
+            }
+            TIMER_EMIT => self.handle_emit(ctx, FlowId::from_index(timer.param as usize)),
+            _ => {}
+        }
+    }
+
+    fn on_control(&mut self, ctx: &mut Ctx<'_>, msg: ControlMsg) {
+        match msg {
+            ControlMsg::MarkerFeedback { marker, from } => {
+                self.feedback_received += 1;
+                if let Some(s) = self.flows.get_mut(&marker.flow) {
+                    s.controller.on_feedback(from, ctx.now());
+                }
+            }
+            ControlMsg::Loss { .. } => {
+                // Corelite performs loss-free rate adaptation; edges react
+                // only to marker feedback (§4.3).
+                self.losses_ignored += 1;
+            }
+        }
+    }
+
+    fn report(&self, _now: SimTime) -> LogicReport {
+        let mut report = LogicReport::default();
+        for (flow, s) in &self.flows {
+            report
+                .flow_rates
+                .insert(*flow, s.controller.series().clone());
+        }
+        report
+            .counters
+            .insert("markers_injected".to_owned(), self.markers_injected as f64);
+        report.counters.insert(
+            "feedback_received".to_owned(),
+            self.feedback_received as f64,
+        );
+        report
+            .counters
+            .insert("losses_ignored".to_owned(), self.losses_ignored as f64);
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::flow::FlowSpec;
+    use netsim::link::LinkSpec;
+    use netsim::logic::ForwardLogic;
+    use netsim::topology::TopologyBuilder;
+    use netsim::SimReport;
+
+    /// One edge, one sink, an uncongested 10 Mbps link, one flow.
+    fn uncongested(weight: u32, horizon: SimTime) -> SimReport {
+        let cfg = CoreliteConfig::default();
+        let mut b = TopologyBuilder::new(5);
+        let edge = b.node("edge", |s| Box::new(CoreliteEdge::new(s, cfg.clone())));
+        let sink = b.node("sink", |_| Box::new(ForwardLogic));
+        b.link(
+            edge,
+            sink,
+            LinkSpec::new(10_000_000, SimDuration::from_millis(10), 100),
+        );
+        b.flow(FlowSpec::new(vec![edge, sink], weight).active(SimTime::ZERO, None));
+        let mut net = b.build();
+        net.run_until(horizon);
+        net.into_report(horizon)
+    }
+
+    #[test]
+    fn uncongested_flow_ramps_without_feedback() {
+        let end = SimTime::from_secs(30);
+        let report = uncongested(1, end);
+        let rate = report
+            .allotted_rate(FlowId::from_index(0))
+            .unwrap()
+            .last_value()
+            .unwrap();
+        // Slow-start 1→2→4→...→32 exits at ~5 s (halve to 16), then
+        // linear +1 per 500 ms epoch = +2/s: after 30 s ≈ 16 + 50 = 66.
+        assert!(rate > 50.0, "rate {rate} should keep climbing unimpeded");
+        assert_eq!(report.total_drops(), 0);
+        assert_eq!(report.counter_total("feedback_received"), 0.0);
+    }
+
+    #[test]
+    fn marker_rate_reflects_normalized_rate() {
+        // Weight 2 ⇒ one marker per 2 data packets (K1 = 1).
+        let end = SimTime::from_secs(20);
+        let report = uncongested(2, end);
+        let markers = report.counter_total("markers_injected");
+        let sent = report.flow(FlowId::from_index(0)).delivered_packets as f64;
+        let ratio = markers / sent;
+        assert!(
+            (ratio - 0.5).abs() < 0.05,
+            "marker/packet ratio {ratio}, want ≈ 1/2"
+        );
+    }
+
+    #[test]
+    fn slow_start_caps_at_ss_thresh() {
+        let end = SimTime::from_secs(6);
+        let report = uncongested(1, end);
+        let series = report.allotted_rate(FlowId::from_index(0)).unwrap();
+        let peak = series.iter().map(|(_, v)| v).fold(0.0f64, f64::max);
+        // Doubling runs 1→2→4→8→16→32; the next doubling to 64 trips the
+        // halving back to 32.
+        assert!(peak <= 64.0, "peak {peak}");
+        let last = series.last_value().unwrap();
+        assert!(last >= 16.0, "rate after slow-start {last}");
+    }
+
+    #[test]
+    fn flow_stop_silences_emission() {
+        let cfg = CoreliteConfig::default();
+        let mut b = TopologyBuilder::new(9);
+        let edge = b.node("edge", |s| Box::new(CoreliteEdge::new(s, cfg.clone())));
+        let sink = b.node("sink", |_| Box::new(ForwardLogic));
+        b.link(
+            edge,
+            sink,
+            LinkSpec::new(10_000_000, SimDuration::from_millis(10), 100),
+        );
+        let f = b.flow(
+            FlowSpec::new(vec![edge, sink], 1).active(SimTime::ZERO, Some(SimTime::from_secs(5))),
+        );
+        let end = SimTime::from_secs(10);
+        let mut net = b.build();
+        net.run_until(end);
+        let report = net.into_report(end);
+        let late = report
+            .flow(f)
+            .mean_goodput_in(SimTime::from_secs(6), end)
+            .unwrap();
+        assert!(late < 1.0, "goodput after stop {late}");
+        // Series records a zero after the stop.
+        let series = report.allotted_rate(f).unwrap();
+        assert_eq!(series.value_at(SimTime::from_secs(6)), Some(0.0));
+    }
+}

@@ -1,0 +1,94 @@
+//! CSFQ's exponentially averaged rate estimator.
+//!
+//! A thin, domain-named wrapper over [`sim_core::stats::ExpAvg`]:
+//! `r_new = (1 − e^{−T/K})·(l/T) + e^{−T/K}·r_old` on each arrival, where
+//! `T` is the inter-arrival gap and `l` the packet's contribution (1 for
+//! packet-rate estimation). The exponential form makes the estimate
+//! insensitive to the packet-size pattern (SIGCOMM '98, §3.3).
+
+use sim_core::stats::ExpAvg;
+use sim_core::time::{SimDuration, SimTime};
+
+/// Estimates a flow's (or aggregate's) rate in packets per second.
+///
+/// # Example
+///
+/// ```
+/// use csfq::estimator::RateEstimator;
+/// use sim_core::time::{SimDuration, SimTime};
+///
+/// let mut est = RateEstimator::new(SimDuration::from_millis(100));
+/// let mut now = SimTime::ZERO;
+/// for _ in 0..100 {
+///     now += SimDuration::from_millis(20); // 50 packets/s
+///     est.on_packet(now);
+/// }
+/// assert!((est.rate() - 50.0).abs() < 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RateEstimator {
+    inner: ExpAvg,
+}
+
+impl RateEstimator {
+    /// Creates an estimator with averaging time constant `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn new(k: SimDuration) -> Self {
+        RateEstimator {
+            inner: ExpAvg::new(k),
+        }
+    }
+
+    /// Records one packet arriving at `now` and returns the updated
+    /// packets-per-second estimate.
+    pub fn on_packet(&mut self, now: SimTime) -> f64 {
+        self.inner.observe(now, 1.0)
+    }
+
+    /// The current estimate without decay.
+    pub fn rate(&self) -> f64 {
+        self.inner.rate()
+    }
+
+    /// The estimate decayed to `now` assuming no arrivals since the last
+    /// packet.
+    pub fn rate_at(&self, now: SimTime) -> f64 {
+        self.inner.decayed(now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_rate_changes() {
+        let mut est = RateEstimator::new(SimDuration::from_millis(100));
+        let mut now = SimTime::ZERO;
+        for _ in 0..200 {
+            now += SimDuration::from_millis(10); // 100 pkt/s
+            est.on_packet(now);
+        }
+        assert!((est.rate() - 100.0).abs() < 2.0);
+        for _ in 0..200 {
+            now += SimDuration::from_millis(40); // drop to 25 pkt/s
+            est.on_packet(now);
+        }
+        assert!((est.rate() - 25.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn decays_during_silence() {
+        let mut est = RateEstimator::new(SimDuration::from_millis(100));
+        let mut now = SimTime::ZERO;
+        for _ in 0..100 {
+            now += SimDuration::from_millis(10);
+            est.on_packet(now);
+        }
+        let idle = est.rate_at(now + SimDuration::from_secs(1));
+        assert!(idle < est.rate() * 0.001);
+    }
+}

@@ -1,0 +1,330 @@
+//! Fairness and convergence metrics over simulated rate series.
+
+use sim_core::stats::TimeSeries;
+use sim_core::time::{SimDuration, SimTime};
+
+/// Jain's fairness index over normalized rates `x_i = rate_i / weight_i`:
+/// `(Σx)² / (n·Σx²)`. Equals 1 for a perfectly weighted-fair allocation
+/// and approaches `1/n` as one flow dominates.
+///
+/// Returns 1.0 for an empty input (vacuously fair).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or any weight is
+/// non-positive.
+///
+/// # Example
+///
+/// ```
+/// use fairness::metrics::jain_index;
+///
+/// // Rates 10 and 20 with weights 1 and 2 are perfectly weighted-fair.
+/// let j = jain_index(&[10.0, 20.0], &[1.0, 2.0]);
+/// assert!((j - 1.0).abs() < 1e-12);
+/// ```
+pub fn jain_index(rates: &[f64], weights: &[f64]) -> f64 {
+    assert_eq!(
+        rates.len(),
+        weights.len(),
+        "rates and weights must have equal length"
+    );
+    if rates.is_empty() {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sum_sq = 0.0;
+    for (&r, &w) in rates.iter().zip(weights) {
+        assert!(w > 0.0, "weights must be positive, got {w}");
+        let x = r / w;
+        sum += x;
+        sum_sq += x * x;
+    }
+    if sum_sq == 0.0 {
+        return 1.0; // all-zero allocation: degenerate but uniform
+    }
+    (sum * sum) / (rates.len() as f64 * sum_sq)
+}
+
+/// The ratio of the largest to the smallest normalized rate
+/// (`max_i r_i/w_i / min_i r_i/w_i`); 1.0 is perfectly weighted-fair.
+///
+/// Returns `f64::INFINITY` when some flow received nothing while another
+/// did, and 1.0 for an empty input.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or any weight is
+/// non-positive.
+pub fn normalized_spread(rates: &[f64], weights: &[f64]) -> f64 {
+    assert_eq!(
+        rates.len(),
+        weights.len(),
+        "rates and weights must have equal length"
+    );
+    let mut min = f64::INFINITY;
+    let mut max: f64 = 0.0;
+    for (&r, &w) in rates.iter().zip(weights) {
+        assert!(w > 0.0, "weights must be positive, got {w}");
+        let x = r / w;
+        min = min.min(x);
+        max = max.max(x);
+    }
+    if rates.is_empty() || max == 0.0 {
+        1.0
+    } else if min == 0.0 {
+        f64::INFINITY
+    } else {
+        max / min
+    }
+}
+
+/// Parameters for [`convergence_time`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConvergenceSpec {
+    /// The target value the series should settle around.
+    pub target: f64,
+    /// Relative tolerance band, e.g. 0.2 accepts `[0.8, 1.2]·target`.
+    pub tolerance: f64,
+    /// How long the series must remain inside the band to count as
+    /// converged.
+    pub sustain: SimDuration,
+}
+
+/// Returns the first time from which the sample-and-hold series remains
+/// inside `target·(1 ± tolerance)` for at least `sustain`, or `None` if it
+/// never does (including when the final in-band stretch is shorter than
+/// `sustain` at the end of the series).
+///
+/// This is the convergence measure used to quantify §4.2's claim that
+/// Corelite converges faster than CSFQ.
+///
+/// # Panics
+///
+/// Panics if `tolerance` is negative or `target` is not finite.
+pub fn convergence_time(series: &TimeSeries, spec: &ConvergenceSpec) -> Option<SimTime> {
+    assert!(spec.tolerance >= 0.0, "tolerance must be non-negative");
+    assert!(spec.target.is_finite(), "target must be finite");
+    let lo = spec.target * (1.0 - spec.tolerance);
+    let hi = spec.target * (1.0 + spec.tolerance);
+    let mut entered: Option<SimTime> = None;
+    let mut last_time: Option<SimTime> = None;
+    for (t, v) in series.iter() {
+        last_time = Some(t);
+        let inside = v >= lo && v <= hi;
+        match (inside, entered) {
+            (true, None) => entered = Some(t),
+            (true, Some(since)) => {
+                if t.saturating_since(since) >= spec.sustain {
+                    // keep scanning only if a later excursion invalidates —
+                    // handled by resetting below; once sustained, report.
+                    return Some(since);
+                }
+            }
+            (false, _) => entered = None,
+        }
+    }
+    // In-band at the end but not yet for `sustain`.
+    match (entered, last_time) {
+        (Some(since), Some(end)) if end.saturating_since(since) >= spec.sustain => Some(since),
+        _ => None,
+    }
+}
+
+/// Mean of the final values of each series over the window `[from, to)`,
+/// grouped by weight class. Returns `(weight, mean_rate)` pairs sorted by
+/// weight — the per-class summary printed in EXPERIMENTS.md.
+pub fn class_means(
+    series: &[(&TimeSeries, u32)],
+    from: SimTime,
+    to: SimTime,
+) -> Vec<(u32, f64)> {
+    use std::collections::BTreeMap;
+    let mut acc: BTreeMap<u32, (f64, usize)> = BTreeMap::new();
+    for (s, w) in series {
+        if let Some(mean) = s.mean_in(from, to) {
+            let e = acc.entry(*w).or_insert((0.0, 0));
+            e.0 += mean;
+            e.1 += 1;
+        }
+    }
+    acc.into_iter()
+        .map(|(w, (sum, n))| (w, sum / n as f64))
+        .collect()
+}
+
+/// Computes the weighted Jain index over time: for consecutive windows of
+/// width `window`, the index of the flows' mean rates within that window
+/// (flows with no samples in a window are skipped for it).
+///
+/// This is the "convergence to fairness" curve: it starts low while flows
+/// ramp disparately and approaches 1.0 as the allocation settles.
+///
+/// # Panics
+///
+/// Panics if `window` is zero or any weight is non-positive.
+pub fn jain_series(
+    series: &[(&TimeSeries, u32)],
+    horizon: SimTime,
+    window: SimDuration,
+) -> TimeSeries {
+    assert!(!window.is_zero(), "window must be positive");
+    let mut out = TimeSeries::new();
+    let mut start = SimTime::ZERO;
+    while start + window <= horizon {
+        let end = start + window;
+        let (rates, weights): (Vec<f64>, Vec<f64>) = series
+            .iter()
+            .filter_map(|(s, w)| s.mean_in(start, end).map(|m| (m, *w as f64)))
+            .unzip();
+        if !rates.is_empty() {
+            out.push(end, jain_index(&rates, &weights));
+        }
+        start = end;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs_f64(s)
+    }
+
+    #[test]
+    fn jain_perfect_fairness() {
+        assert!((jain_index(&[25.0, 50.0, 75.0], &[1.0, 2.0, 3.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jain_total_unfairness_tends_to_one_over_n() {
+        let j = jain_index(&[100.0, 0.0, 0.0, 0.0], &[1.0, 1.0, 1.0, 1.0]);
+        assert!((j - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jain_empty_and_zero() {
+        assert_eq!(jain_index(&[], &[]), 1.0);
+        assert_eq!(jain_index(&[0.0, 0.0], &[1.0, 1.0]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn jain_length_mismatch_panics() {
+        jain_index(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn spread_detects_imbalance() {
+        assert!((normalized_spread(&[10.0, 20.0], &[1.0, 2.0]) - 1.0).abs() < 1e-12);
+        assert!((normalized_spread(&[10.0, 40.0], &[1.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(normalized_spread(&[0.0, 10.0], &[1.0, 1.0]), f64::INFINITY);
+        assert_eq!(normalized_spread(&[], &[]), 1.0);
+    }
+
+    fn step_series(points: &[(f64, f64)]) -> TimeSeries {
+        points
+            .iter()
+            .map(|&(ts, v)| (t(ts), v))
+            .collect()
+    }
+
+    #[test]
+    fn convergence_found_after_transient() {
+        let s = step_series(&[
+            (0.0, 10.0),
+            (1.0, 60.0),
+            (2.0, 95.0),
+            (3.0, 102.0),
+            (4.0, 99.0),
+            (10.0, 101.0),
+        ]);
+        let spec = ConvergenceSpec {
+            target: 100.0,
+            tolerance: 0.1,
+            sustain: SimDuration::from_secs(5),
+        };
+        assert_eq!(convergence_time(&s, &spec), Some(t(2.0)));
+    }
+
+    #[test]
+    fn convergence_resets_on_excursion() {
+        let s = step_series(&[
+            (0.0, 100.0),
+            (1.0, 100.0),
+            (2.0, 10.0), // excursion
+            (3.0, 100.0),
+            (9.0, 100.0),
+        ]);
+        let spec = ConvergenceSpec {
+            target: 100.0,
+            tolerance: 0.1,
+            sustain: SimDuration::from_secs(5),
+        };
+        assert_eq!(convergence_time(&s, &spec), Some(t(3.0)));
+    }
+
+    #[test]
+    fn convergence_none_when_band_never_sustained() {
+        let s = step_series(&[(0.0, 100.0), (1.0, 10.0), (2.0, 100.0), (3.0, 10.0)]);
+        let spec = ConvergenceSpec {
+            target: 100.0,
+            tolerance: 0.1,
+            sustain: SimDuration::from_secs(5),
+        };
+        assert_eq!(convergence_time(&s, &spec), None);
+    }
+
+    #[test]
+    fn convergence_accepts_sustained_tail() {
+        let s = step_series(&[(0.0, 10.0), (1.0, 100.0), (7.0, 100.0)]);
+        let spec = ConvergenceSpec {
+            target: 100.0,
+            tolerance: 0.1,
+            sustain: SimDuration::from_secs(5),
+        };
+        assert_eq!(convergence_time(&s, &spec), Some(t(1.0)));
+    }
+
+    #[test]
+    fn jain_series_rises_as_rates_converge() {
+        // Two weight-1 flows: one constant at 50, one ramping 0 → 50.
+        let a = step_series(&[(0.0, 50.0), (10.0, 50.0)]);
+        let ramp: TimeSeries = (0..=10)
+            .map(|i| (t(i as f64), 5.0 * i as f64))
+            .collect();
+        let series = jain_series(
+            &[(&a, 1), (&ramp, 1)],
+            t(10.0),
+            SimDuration::from_secs(2),
+        );
+        let values: Vec<f64> = series.iter().map(|(_, v)| v).collect();
+        assert!(values.first().unwrap() < values.last().unwrap());
+        assert!(*values.last().unwrap() > 0.99, "{values:?}");
+    }
+
+    #[test]
+    fn jain_series_skips_empty_windows() {
+        let a = step_series(&[(5.0, 10.0)]);
+        let series = jain_series(&[(&a, 1)], t(8.0), SimDuration::from_secs(2));
+        // Only window [4,6) contains the sample; the empty windows
+        // produce no points.
+        assert_eq!(series.len(), 1);
+        assert_eq!(series.last_value(), Some(1.0));
+    }
+
+    #[test]
+    fn class_means_group_by_weight() {
+        let a = step_series(&[(0.0, 24.0), (1.0, 26.0)]);
+        let b = step_series(&[(0.0, 50.0), (1.0, 50.0)]);
+        let c = step_series(&[(0.0, 49.0), (1.0, 51.0)]);
+        let out = class_means(&[(&a, 1), (&b, 2), (&c, 2)], t(0.0), t(2.0));
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].0, 1);
+        assert!((out[0].1 - 25.0).abs() < 1e-12);
+        assert_eq!(out[1].0, 2);
+        assert!((out[1].1 - 50.0).abs() < 1e-12);
+    }
+}

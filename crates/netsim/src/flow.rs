@@ -1,0 +1,218 @@
+//! Edge-to-edge flows: paths, rate weights, and activation schedules.
+
+use sim_core::time::SimTime;
+
+use crate::ids::{FlowId, LinkId, NodeId};
+
+/// Declarative description of a flow, passed to
+/// [`TopologyBuilder::flow`](crate::topology::TopologyBuilder::flow).
+///
+/// A flow is an *edge-to-edge* aggregate (paper §2): it enters the network
+/// cloud at the first node of `path` (its ingress edge router) and leaves
+/// at the last node (its egress edge router).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowSpec {
+    /// Hop-by-hop node path; must contain at least two nodes, and every
+    /// consecutive pair must be connected by a link.
+    pub path: Vec<NodeId>,
+    /// The flow's rate weight `w(f)` (its rate class).
+    pub weight: u32,
+    /// Payload size of the flow's packets in bytes.
+    pub packet_size: u32,
+    /// Minimum rate contract in packets per second (0 = best effort).
+    /// Rate-adaptive edge logic must never throttle the flow below this
+    /// floor; admission control (keeping floors feasible) is the
+    /// operator's job.
+    pub min_rate: f64,
+    /// Periods during which the flow is active: `(start, stop)`; `None`
+    /// means "until the end of the simulation".
+    pub activations: Vec<(SimTime, Option<SimTime>)>,
+}
+
+impl FlowSpec {
+    /// Creates a flow over `path` with rate weight `weight`, 1 KB packets
+    /// (the paper's fixed packet size) and no activations yet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `path` has fewer than two nodes or `weight` is zero.
+    pub fn new(path: Vec<NodeId>, weight: u32) -> Self {
+        assert!(path.len() >= 2, "a flow path needs at least two nodes");
+        assert!(weight > 0, "rate weight must be positive");
+        FlowSpec {
+            path,
+            weight,
+            packet_size: 1000,
+            min_rate: 0.0,
+            activations: Vec::new(),
+        }
+    }
+
+    /// Sets a minimum rate contract in packets per second (builder-style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_rate` is negative or not finite.
+    pub fn min_rate(mut self, min_rate: f64) -> Self {
+        assert!(
+            min_rate.is_finite() && min_rate >= 0.0,
+            "minimum rate must be finite and non-negative, got {min_rate}"
+        );
+        self.min_rate = min_rate;
+        self
+    }
+
+    /// Adds an activation period (builder-style). `stop = None` keeps the
+    /// flow active until the simulation ends.
+    pub fn active(mut self, start: SimTime, stop: Option<SimTime>) -> Self {
+        if let Some(stop) = stop {
+            assert!(stop > start, "flow stop must come after start");
+        }
+        self.activations.push((start, stop));
+        self
+    }
+
+    /// Sets the packet size in bytes (builder-style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn packet_size(mut self, size: u32) -> Self {
+        assert!(size > 0, "packet size must be positive");
+        self.packet_size = size;
+        self
+    }
+}
+
+/// Resolved, immutable description of a flow inside a built network.
+#[derive(Debug, Clone)]
+pub struct FlowInfo {
+    /// The flow's identifier.
+    pub id: FlowId,
+    /// The flow's rate weight `w(f)`.
+    pub weight: u32,
+    /// Payload size in bytes.
+    pub packet_size: u32,
+    /// Minimum rate contract in packets per second (0 = best effort).
+    pub min_rate: f64,
+    /// Hop-by-hop node path.
+    pub path: Vec<NodeId>,
+    /// `hops[i]` is the link from `path[i]` to `path[i+1]`.
+    pub hops: Vec<LinkId>,
+    /// Activation periods.
+    pub activations: Vec<(SimTime, Option<SimTime>)>,
+}
+
+impl FlowInfo {
+    /// The ingress edge router (first node of the path).
+    pub fn ingress(&self) -> NodeId {
+        self.path[0]
+    }
+
+    /// The egress edge router (last node of the path).
+    pub fn egress(&self) -> NodeId {
+        *self.path.last().expect("flow path is non-empty")
+    }
+
+    /// Returns the outgoing link for this flow at `node`, or `None` if
+    /// `node` is the egress (or not on the path).
+    pub fn next_hop(&self, node: NodeId) -> Option<LinkId> {
+        self.path
+            .iter()
+            .position(|&n| n == node)
+            .and_then(|i| self.hops.get(i).copied())
+    }
+
+    /// Returns `true` if the flow is scheduled to be active at `t`.
+    pub fn is_active_at(&self, t: SimTime) -> bool {
+        self.activations
+            .iter()
+            .any(|&(start, stop)| t >= start && stop.map_or(true, |s| t < s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn spec_builder_accumulates_activations() {
+        let s = FlowSpec::new(vec![n(0), n(1)], 2)
+            .active(SimTime::ZERO, Some(SimTime::from_secs(5)))
+            .active(SimTime::from_secs(10), None)
+            .packet_size(500);
+        assert_eq!(s.activations.len(), 2);
+        assert_eq!(s.packet_size, 500);
+    }
+
+    #[test]
+    #[should_panic(expected = "two nodes")]
+    fn single_node_path_rejected() {
+        FlowSpec::new(vec![n(0)], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight")]
+    fn zero_weight_rejected() {
+        FlowSpec::new(vec![n(0), n(1)], 0);
+    }
+
+    #[test]
+    fn min_rate_builder() {
+        let s = FlowSpec::new(vec![n(0), n(1)], 1).min_rate(25.0);
+        assert_eq!(s.min_rate, 25.0);
+        assert_eq!(FlowSpec::new(vec![n(0), n(1)], 1).min_rate, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_min_rate_rejected() {
+        FlowSpec::new(vec![n(0), n(1)], 1).min_rate(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "after start")]
+    fn inverted_activation_rejected() {
+        FlowSpec::new(vec![n(0), n(1)], 1).active(SimTime::from_secs(2), Some(SimTime::from_secs(1)));
+    }
+
+    fn info() -> FlowInfo {
+        FlowInfo {
+            id: FlowId(0),
+            weight: 1,
+            packet_size: 1000,
+            min_rate: 0.0,
+            path: vec![n(0), n(1), n(2)],
+            hops: vec![LinkId(10), LinkId(11)],
+            activations: vec![
+                (SimTime::ZERO, Some(SimTime::from_secs(5))),
+                (SimTime::from_secs(10), None),
+            ],
+        }
+    }
+
+    #[test]
+    fn next_hop_follows_path() {
+        let f = info();
+        assert_eq!(f.next_hop(n(0)), Some(LinkId(10)));
+        assert_eq!(f.next_hop(n(1)), Some(LinkId(11)));
+        assert_eq!(f.next_hop(n(2)), None);
+        assert_eq!(f.next_hop(n(9)), None);
+        assert_eq!(f.ingress(), n(0));
+        assert_eq!(f.egress(), n(2));
+    }
+
+    #[test]
+    fn activation_windows() {
+        let f = info();
+        assert!(f.is_active_at(SimTime::ZERO));
+        assert!(f.is_active_at(SimTime::from_secs(4)));
+        assert!(!f.is_active_at(SimTime::from_secs(5)));
+        assert!(!f.is_active_at(SimTime::from_secs(7)));
+        assert!(f.is_active_at(SimTime::from_secs(100)));
+    }
+}

@@ -1,0 +1,103 @@
+//! Typed identifiers for simulation entities.
+//!
+//! Newtypes ([C-NEWTYPE]) prevent a `FlowId` from being used where a
+//! `NodeId` is expected; all are cheap `Copy` indices into the network's
+//! internal tables.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub(crate) usize);
+
+        impl $name {
+            /// Returns the raw index of this identifier.
+            pub const fn index(self) -> usize {
+                self.0
+            }
+
+            /// Creates an identifier from a raw index.
+            ///
+            /// Intended for table-driven scenario construction; an index
+            /// that does not name an existing entity will cause a panic
+            /// when first used against a network.
+            pub const fn from_index(index: usize) -> Self {
+                $name(index)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies a node (host, edge router, or core router).
+    NodeId,
+    "n"
+);
+id_type!(
+    /// Identifies a directed link between two nodes.
+    LinkId,
+    "l"
+);
+id_type!(
+    /// Identifies an edge-to-edge flow.
+    FlowId,
+    "f"
+);
+
+/// Identifies a single packet; unique over a simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PacketId(pub(crate) u64);
+
+impl PacketId {
+    /// Returns the raw sequence number of this packet.
+    pub const fn sequence(self) -> u64 {
+        self.0
+    }
+
+    /// Creates a packet id from a raw sequence number. Intended for tests
+    /// and tooling that drive [`Link`](crate::link::Link) directly; inside
+    /// a simulation, ids are allocated by
+    /// [`Ctx::new_packet`](crate::logic::Ctx::new_packet).
+    pub const fn from_sequence(sequence: u64) -> Self {
+        PacketId(sequence)
+    }
+}
+
+impl fmt::Display for PacketId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_display_distinctly() {
+        assert_eq!(NodeId(3).to_string(), "n3");
+        assert_eq!(LinkId(3).to_string(), "l3");
+        assert_eq!(FlowId(3).to_string(), "f3");
+        assert_eq!(PacketId(9).to_string(), "p9");
+    }
+
+    #[test]
+    fn ids_round_trip_index() {
+        assert_eq!(FlowId::from_index(5).index(), 5);
+        assert_eq!(NodeId::from_index(2).index(), 2);
+    }
+
+    #[test]
+    fn ids_order_by_index() {
+        assert!(FlowId(1) < FlowId(2));
+        assert!(PacketId(1) < PacketId(10));
+    }
+}

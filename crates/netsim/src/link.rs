@@ -1,0 +1,321 @@
+//! Directed links with a serialization rate, propagation delay, and a
+//! bounded tail-drop FIFO queue.
+//!
+//! The queue occupancy (waiting packets plus the packet in service) is
+//! integrated continuously with a [`TimeWeightedMean`], which is how a
+//! Corelite core router obtains `q_avg` for incipient congestion detection.
+
+use std::collections::VecDeque;
+
+use sim_core::stats::TimeWeightedMean;
+use sim_core::time::{SimDuration, SimTime};
+
+use crate::ids::NodeId;
+use crate::packet::Packet;
+
+/// Static parameters of a link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkSpec {
+    /// Serialization rate in bits per second (the paper's links are 4 Mbps).
+    pub bandwidth_bps: u64,
+    /// Propagation delay.
+    pub delay: SimDuration,
+    /// Queue capacity in packets, counting the packet in service (the paper
+    /// uses 40).
+    pub queue_capacity: usize,
+}
+
+impl LinkSpec {
+    /// Creates a spec from bandwidth (bits/s), propagation delay, and queue
+    /// capacity in packets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bandwidth_bps` is zero or `queue_capacity` is zero.
+    pub fn new(bandwidth_bps: u64, delay: SimDuration, queue_capacity: usize) -> Self {
+        assert!(bandwidth_bps > 0, "link bandwidth must be positive");
+        assert!(queue_capacity > 0, "link queue capacity must be positive");
+        LinkSpec {
+            bandwidth_bps,
+            delay,
+            queue_capacity,
+        }
+    }
+
+    /// Serialization time for a packet of `size` bytes.
+    pub fn tx_time(&self, size: u32) -> SimDuration {
+        // nanos = bytes * 8 * 1e9 / bps, computed in u128 to avoid overflow.
+        let nanos = (size as u128 * 8 * 1_000_000_000) / self.bandwidth_bps as u128;
+        SimDuration::from_nanos(nanos as u64)
+    }
+
+    /// Service rate in packets per second for packets of `size` bytes
+    /// (the paper's `μ`, with 1 KB packets on 4 Mbps links: 500 pkt/s).
+    pub fn service_rate_pps(&self, size: u32) -> f64 {
+        self.bandwidth_bps as f64 / (size as f64 * 8.0)
+    }
+}
+
+/// Outcome of offering a packet to a link queue.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EnqueueOutcome {
+    /// The packet was queued; if `starts_transmission` the caller must
+    /// schedule a [`tx complete`](Link::complete_transmission) event after
+    /// the returned serialization time.
+    Accepted {
+        /// `Some(tx_time)` when the link was idle and transmission of this
+        /// packet begins immediately.
+        starts_transmission: Option<SimDuration>,
+    },
+    /// The queue was full; the packet was tail-dropped and is returned to
+    /// the caller for accounting.
+    Dropped(Packet),
+}
+
+/// Runtime state of a directed link.
+#[derive(Debug)]
+pub struct Link {
+    spec: LinkSpec,
+    src: NodeId,
+    dst: NodeId,
+    /// Waiting packets; the head is the packet currently in service when
+    /// `busy` is true.
+    queue: VecDeque<Packet>,
+    busy: bool,
+    occupancy: TimeWeightedMean,
+    forwarded_packets: u64,
+    forwarded_bytes: u64,
+    dropped_packets: u64,
+    peak_occupancy: usize,
+}
+
+impl Link {
+    /// Creates an idle link from `src` to `dst`.
+    pub fn new(src: NodeId, dst: NodeId, spec: LinkSpec) -> Self {
+        Link {
+            spec,
+            src,
+            dst,
+            queue: VecDeque::new(),
+            busy: false,
+            occupancy: TimeWeightedMean::new(SimTime::ZERO, 0.0),
+            forwarded_packets: 0,
+            forwarded_bytes: 0,
+            dropped_packets: 0,
+            peak_occupancy: 0,
+        }
+    }
+
+    /// The node this link transmits from.
+    pub fn src(&self) -> NodeId {
+        self.src
+    }
+
+    /// The node this link delivers to.
+    pub fn dst(&self) -> NodeId {
+        self.dst
+    }
+
+    /// The link's static parameters.
+    pub fn spec(&self) -> &LinkSpec {
+        &self.spec
+    }
+
+    /// Instantaneous queue occupancy in packets (waiting + in service).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Offers `packet` to the queue at time `now`.
+    ///
+    /// Tail-drops when the occupancy has reached capacity. On acceptance,
+    /// if the link was idle, the packet enters service immediately and the
+    /// serialization time is returned so the caller can schedule the
+    /// completion event.
+    pub fn enqueue(&mut self, now: SimTime, packet: Packet) -> EnqueueOutcome {
+        if self.queue.len() >= self.spec.queue_capacity {
+            self.dropped_packets += 1;
+            return EnqueueOutcome::Dropped(packet);
+        }
+        let tx = if self.busy {
+            None
+        } else {
+            self.busy = true;
+            Some(self.spec.tx_time(packet.size))
+        };
+        self.queue.push_back(packet);
+        self.peak_occupancy = self.peak_occupancy.max(self.queue.len());
+        self.occupancy.set(now, self.queue.len() as f64);
+        EnqueueOutcome::Accepted {
+            starts_transmission: tx,
+        }
+    }
+
+    /// Completes the in-service packet's serialization at time `now`.
+    ///
+    /// Returns the departed packet and, if another packet is waiting, the
+    /// serialization time of the next packet (which enters service
+    /// immediately).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the link was not transmitting (a scheduling bug).
+    pub fn complete_transmission(&mut self, now: SimTime) -> (Packet, Option<SimDuration>) {
+        assert!(self.busy, "complete_transmission on an idle link");
+        let packet = self
+            .queue
+            .pop_front()
+            .expect("busy link must have a packet in service");
+        self.forwarded_packets += 1;
+        self.forwarded_bytes += packet.size as u64;
+        self.occupancy.set(now, self.queue.len() as f64);
+        let next = match self.queue.front() {
+            Some(next) => Some(self.spec.tx_time(next.size)),
+            None => {
+                self.busy = false;
+                None
+            }
+        };
+        (packet, next)
+    }
+
+    /// Closes the queue-average window at `now` and returns the
+    /// time-weighted mean occupancy since the previous call (the paper's
+    /// `q_avg` over one congestion epoch).
+    pub fn take_queue_average(&mut self, now: SimTime) -> f64 {
+        self.occupancy.restart(now)
+    }
+
+    /// Reads the time-weighted mean occupancy of the current window
+    /// without restarting it.
+    pub fn queue_average(&self, now: SimTime) -> f64 {
+        self.occupancy.mean(now)
+    }
+
+    /// Total packets fully serialized by this link.
+    pub fn forwarded_packets(&self) -> u64 {
+        self.forwarded_packets
+    }
+
+    /// Total bytes fully serialized by this link.
+    pub fn forwarded_bytes(&self) -> u64 {
+        self.forwarded_bytes
+    }
+
+    /// Total packets tail-dropped at this link.
+    pub fn dropped_packets(&self) -> u64 {
+        self.dropped_packets
+    }
+
+    /// Highest queue occupancy observed.
+    pub fn peak_occupancy(&self) -> usize {
+        self.peak_occupancy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{FlowId, PacketId};
+
+    fn pkt(id: u64) -> Packet {
+        Packet::data(PacketId(id), FlowId(0), 1000, SimTime::ZERO)
+    }
+
+    fn mbps4() -> LinkSpec {
+        LinkSpec::new(4_000_000, SimDuration::from_millis(40), 40)
+    }
+
+    #[test]
+    fn tx_time_matches_paper_numbers() {
+        // 1 KB packets over 4 Mbps: 8000 bits / 4e6 bps = 2 ms, 500 pkt/s.
+        let spec = mbps4();
+        assert_eq!(spec.tx_time(1000), SimDuration::from_millis(2));
+        assert!((spec.service_rate_pps(1000) - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_link_starts_transmission_immediately() {
+        let mut l = Link::new(NodeId(0), NodeId(1), mbps4());
+        match l.enqueue(SimTime::ZERO, pkt(0)) {
+            EnqueueOutcome::Accepted {
+                starts_transmission: Some(tx),
+            } => assert_eq!(tx, SimDuration::from_millis(2)),
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        // Second packet queues behind the first.
+        match l.enqueue(SimTime::ZERO, pkt(1)) {
+            EnqueueOutcome::Accepted {
+                starts_transmission: None,
+            } => {}
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        assert_eq!(l.queue_len(), 2);
+    }
+
+    #[test]
+    fn completion_promotes_next_packet() {
+        let mut l = Link::new(NodeId(0), NodeId(1), mbps4());
+        l.enqueue(SimTime::ZERO, pkt(0));
+        l.enqueue(SimTime::ZERO, pkt(1));
+        let (done, next) = l.complete_transmission(SimTime::from_millis(2));
+        assert_eq!(done.id, PacketId(0));
+        assert_eq!(next, Some(SimDuration::from_millis(2)));
+        let (done, next) = l.complete_transmission(SimTime::from_millis(4));
+        assert_eq!(done.id, PacketId(1));
+        assert_eq!(next, None);
+        assert_eq!(l.queue_len(), 0);
+        assert_eq!(l.forwarded_packets(), 2);
+        assert_eq!(l.forwarded_bytes(), 2000);
+    }
+
+    #[test]
+    fn tail_drop_at_capacity() {
+        let spec = LinkSpec::new(4_000_000, SimDuration::ZERO, 2);
+        let mut l = Link::new(NodeId(0), NodeId(1), spec);
+        l.enqueue(SimTime::ZERO, pkt(0));
+        l.enqueue(SimTime::ZERO, pkt(1));
+        match l.enqueue(SimTime::ZERO, pkt(2)) {
+            EnqueueOutcome::Dropped(p) => assert_eq!(p.id, PacketId(2)),
+            other => panic!("expected drop, got {other:?}"),
+        }
+        assert_eq!(l.dropped_packets(), 1);
+        assert_eq!(l.queue_len(), 2);
+    }
+
+    #[test]
+    fn queue_average_integrates_occupancy() {
+        let mut l = Link::new(NodeId(0), NodeId(1), mbps4());
+        // Occupancy 1 during [0, 2ms) then 0 during [2ms, 4ms).
+        l.enqueue(SimTime::ZERO, pkt(0));
+        l.complete_transmission(SimTime::from_millis(2));
+        let avg = l.take_queue_average(SimTime::from_millis(4));
+        assert!((avg - 0.5).abs() < 1e-9, "avg {avg}");
+        // New window starts empty.
+        let avg2 = l.take_queue_average(SimTime::from_millis(8));
+        assert_eq!(avg2, 0.0);
+    }
+
+    #[test]
+    fn peak_occupancy_tracks_high_water_mark() {
+        let mut l = Link::new(NodeId(0), NodeId(1), mbps4());
+        for i in 0..5 {
+            l.enqueue(SimTime::ZERO, pkt(i));
+        }
+        l.complete_transmission(SimTime::from_millis(2));
+        assert_eq!(l.peak_occupancy(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "idle link")]
+    fn completing_idle_link_panics() {
+        let mut l = Link::new(NodeId(0), NodeId(1), mbps4());
+        l.complete_transmission(SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth")]
+    fn zero_bandwidth_rejected() {
+        LinkSpec::new(0, SimDuration::ZERO, 1);
+    }
+}

@@ -1,0 +1,503 @@
+//! Pluggable per-node forwarding behaviour.
+//!
+//! A node's behaviour — shaping, marking, congestion detection, feedback —
+//! is expressed by implementing [`RouterLogic`]. The network invokes the
+//! logic on packet arrivals, timer expiries, control-message deliveries and
+//! flow activation changes; the logic responds by queueing [`Action`]s on
+//! the provided [`Ctx`], which the network applies afterwards. This
+//! command-buffer design keeps logic implementations free of aliasing
+//! gymnastics and keeps every state change observable by the monitors.
+
+use std::collections::BTreeMap;
+
+use sim_core::rng::DetRng;
+use sim_core::stats::TimeSeries;
+use sim_core::time::{SimDuration, SimTime};
+
+use crate::flow::FlowInfo;
+use crate::ids::{FlowId, LinkId, NodeId, PacketId};
+use crate::link::{Link, LinkSpec};
+use crate::packet::{Marker, Packet};
+
+/// An opaque timer tag interpreted by the logic that scheduled it.
+///
+/// `tag` identifies the timer's purpose (e.g. "adaptation epoch"); `param`
+/// carries an argument such as a flow index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerKind {
+    /// Logic-defined discriminant.
+    pub tag: u32,
+    /// Logic-defined argument (e.g. a flow index).
+    pub param: u64,
+}
+
+impl TimerKind {
+    /// Creates a timer kind with no argument.
+    pub const fn tagged(tag: u32) -> Self {
+        TimerKind { tag, param: 0 }
+    }
+
+    /// Creates a timer kind carrying an argument.
+    pub const fn with_param(tag: u32, param: u64) -> Self {
+        TimerKind { tag, param }
+    }
+}
+
+/// Out-of-band control messages.
+///
+/// Control messages model signalling that travels the reverse path — they
+/// experience propagation delay but never queueing (the reverse direction
+/// is uncontended in all of the paper's scenarios; see DESIGN.md §2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ControlMsg {
+    /// A Corelite marker sent back by a core router upon incipient
+    /// congestion, addressed to the edge router that generated it.
+    MarkerFeedback {
+        /// The returned marker.
+        marker: Marker,
+        /// The core router that selected the marker (edges react to the
+        /// *maximum* per-core count, so the origin matters).
+        from: NodeId,
+    },
+    /// Notification that a packet of `flow` was dropped at node `at`
+    /// (CSFQ's congestion indication; Corelite edges ignore these).
+    Loss {
+        /// The flow whose packet was lost.
+        flow: FlowId,
+        /// The node at which the drop occurred.
+        at: NodeId,
+    },
+}
+
+/// Why a packet was dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DropReason {
+    /// Tail drop: the FIFO queue was full.
+    Tail,
+    /// Dropped by router logic (CSFQ's probabilistic dropper).
+    Policy,
+}
+
+/// A deferred state change requested by router logic.
+#[derive(Debug)]
+pub enum Action {
+    /// Enqueue `packet` on `link` (which must originate at this node).
+    Forward {
+        /// Outgoing link.
+        link: LinkId,
+        /// Packet to enqueue.
+        packet: Packet,
+    },
+    /// Drop `packet` deliberately.
+    Drop {
+        /// The dropped packet.
+        packet: Packet,
+        /// Classification for accounting.
+        reason: DropReason,
+    },
+    /// Deliver `msg` to node `to` after `delay`.
+    Control {
+        /// Destination node.
+        to: NodeId,
+        /// Delivery delay (usually a reverse-path propagation delay).
+        delay: SimDuration,
+        /// The message.
+        msg: ControlMsg,
+    },
+    /// Invoke `on_timer(timer)` on this node after `delay`.
+    Timer {
+        /// Expiry delay.
+        delay: SimDuration,
+        /// Tag passed back to the logic.
+        timer: TimerKind,
+    },
+}
+
+/// Per-flow and per-node measurements exported by router logic at the end
+/// of a run (e.g. Corelite's allotted-rate series `b_g(f)`).
+#[derive(Debug, Clone, Default)]
+pub struct LogicReport {
+    /// Per-flow time series of the logic's principal rate variable
+    /// (allotted rate for Corelite/CSFQ edges), in packets per second.
+    pub flow_rates: BTreeMap<FlowId, TimeSeries>,
+    /// Named scalar counters (markers injected, feedback sent, ...).
+    pub counters: BTreeMap<String, f64>,
+}
+
+/// The environment handed to router logic callbacks.
+///
+/// Provides read access to the network and buffers the logic's actions;
+/// see the crate docs for the execution model.
+pub struct Ctx<'a> {
+    now: SimTime,
+    node: NodeId,
+    links: &'a mut [Link],
+    flows: &'a [FlowInfo],
+    reverse_delays: &'a [Vec<SimDuration>],
+    next_packet: &'a mut u64,
+    actions: Vec<Action>,
+}
+
+impl<'a> Ctx<'a> {
+    pub(crate) fn new(
+        now: SimTime,
+        node: NodeId,
+        links: &'a mut [Link],
+        flows: &'a [FlowInfo],
+        reverse_delays: &'a [Vec<SimDuration>],
+        next_packet: &'a mut u64,
+    ) -> Self {
+        Ctx {
+            now,
+            node,
+            links,
+            flows,
+            reverse_delays,
+            next_packet,
+            actions: Vec::new(),
+        }
+    }
+
+    pub(crate) fn into_actions(self) -> Vec<Action> {
+        self.actions
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The node whose logic is being invoked.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// All flows in the network.
+    pub fn flows(&self) -> &[FlowInfo] {
+        self.flows
+    }
+
+    /// Looks up a flow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flow` does not exist.
+    pub fn flow(&self, flow: FlowId) -> &FlowInfo {
+        &self.flows[flow.index()]
+    }
+
+    /// The outgoing link `flow` takes from this node, or `None` if this
+    /// node is the flow's egress.
+    pub fn next_hop(&self, flow: FlowId) -> Option<LinkId> {
+        self.flow(flow).next_hop(self.node)
+    }
+
+    /// Outgoing links of this node, in creation order.
+    pub fn outgoing_links(&self) -> Vec<LinkId> {
+        self.links
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.src() == self.node)
+            .map(|(i, _)| LinkId(i))
+            .collect()
+    }
+
+    /// Static parameters of `link`.
+    pub fn link_spec(&self, link: LinkId) -> &LinkSpec {
+        self.links[link.index()].spec()
+    }
+
+    /// Instantaneous queue occupancy of `link` in packets.
+    pub fn link_queue_len(&self, link: LinkId) -> usize {
+        self.links[link.index()].queue_len()
+    }
+
+    /// Closes and returns the time-weighted average queue occupancy of
+    /// `link` since the previous call — the paper's `q_avg` over one
+    /// congestion epoch.
+    pub fn take_link_queue_average(&mut self, link: LinkId) -> f64 {
+        self.links[link.index()].take_queue_average(self.now)
+    }
+
+    /// Propagation delay along the reverse path from this node back to
+    /// `flow`'s ingress edge router.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this node is not on `flow`'s path.
+    pub fn reverse_delay_to_ingress(&self, flow: FlowId) -> SimDuration {
+        let info = self.flow(flow);
+        let pos = info
+            .path
+            .iter()
+            .position(|&n| n == self.node)
+            .unwrap_or_else(|| panic!("node {} is not on the path of {}", self.node, flow));
+        self.reverse_delays[flow.index()][pos]
+    }
+
+    /// Total propagation delay along `flow`'s path from ingress to
+    /// egress (no queueing) — the base for a round-trip-time estimate.
+    pub fn one_way_delay(&self, flow: FlowId) -> SimDuration {
+        *self.reverse_delays[flow.index()]
+            .last()
+            .expect("path has at least two nodes")
+    }
+
+    /// Allocates a fresh data packet for `flow`, stamped with the current
+    /// time and the flow's configured packet size.
+    pub fn new_packet(&mut self, flow: FlowId) -> Packet {
+        let id = PacketId(*self.next_packet);
+        *self.next_packet += 1;
+        let info = self.flow(flow);
+        Packet::data(id, flow, info.packet_size, self.now)
+    }
+
+    /// Queues `packet` for transmission on `link`.
+    pub fn forward(&mut self, link: LinkId, packet: Packet) {
+        self.actions.push(Action::Forward { link, packet });
+    }
+
+    /// Emits `packet` toward `flow`'s next hop from this node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this node is the flow's egress.
+    pub fn emit(&mut self, packet: Packet) {
+        let link = self
+            .next_hop(packet.flow)
+            .unwrap_or_else(|| panic!("{} has no next hop at {}", packet.flow, self.node));
+        self.forward(link, packet);
+    }
+
+    /// Drops `packet` deliberately (counted as a policy drop).
+    pub fn drop_packet(&mut self, packet: Packet) {
+        self.actions.push(Action::Drop {
+            packet,
+            reason: DropReason::Policy,
+        });
+    }
+
+    /// Sends `msg` to `to`, delivered after `delay`.
+    pub fn send_control(&mut self, to: NodeId, delay: SimDuration, msg: ControlMsg) {
+        self.actions.push(Action::Control { to, delay, msg });
+    }
+
+    /// Sends `marker` back to the edge router that generated it, delayed by
+    /// the reverse-path propagation delay from this node (paper §2 step 2).
+    pub fn send_marker_feedback(&mut self, marker: Marker) {
+        let delay = self.reverse_delay_to_ingress(marker.flow);
+        let from = self.node;
+        self.send_control(marker.edge, delay, ControlMsg::MarkerFeedback { marker, from });
+    }
+
+    /// Schedules `timer` to fire on this node after `delay`.
+    pub fn set_timer(&mut self, delay: SimDuration, timer: TimerKind) {
+        self.actions.push(Action::Timer { delay, timer });
+    }
+}
+
+/// Behaviour of a node.
+///
+/// Implementations are single-threaded and owned by the network; all
+/// callbacks receive a [`Ctx`] through which every side effect flows.
+/// Default implementations ignore the event.
+pub trait RouterLogic {
+    /// Invoked once at simulation start; schedule initial timers here.
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        let _ = ctx;
+    }
+
+    /// A packet has arrived at this node and needs a forwarding decision.
+    ///
+    /// The default forwards along the flow's path. (Packets arriving at a
+    /// flow's egress node are delivered by the network and never reach the
+    /// logic.)
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, packet: Packet) {
+        ctx.emit(packet);
+    }
+
+    /// A timer scheduled by this logic has expired.
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, timer: TimerKind) {
+        let _ = (ctx, timer);
+    }
+
+    /// A control message addressed to this node has arrived.
+    fn on_control(&mut self, ctx: &mut Ctx<'_>, msg: ControlMsg) {
+        let _ = (ctx, msg);
+    }
+
+    /// A flow whose ingress is this node has become active.
+    fn on_flow_start(&mut self, ctx: &mut Ctx<'_>, flow: FlowId) {
+        let _ = (ctx, flow);
+    }
+
+    /// A flow whose ingress is this node has stopped.
+    fn on_flow_stop(&mut self, ctx: &mut Ctx<'_>, flow: FlowId) {
+        let _ = (ctx, flow);
+    }
+
+    /// Exports end-of-run measurements (called once when the report is
+    /// assembled).
+    fn report(&self, now: SimTime) -> LogicReport {
+        let _ = now;
+        LogicReport::default()
+    }
+}
+
+/// Minimal transit logic: forwards every packet along its flow's path.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ForwardLogic;
+
+impl RouterLogic for ForwardLogic {}
+
+/// A Poisson traffic source for testing and sensitivity ablations: emits
+/// packets with exponentially distributed gaps at a fixed mean rate for
+/// every active flow whose ingress is this node.
+#[derive(Debug)]
+pub struct PoissonSource {
+    rng: DetRng,
+    rate_pps: f64,
+    emitted: u64,
+}
+
+const POISSON_EMIT: u32 = 1;
+
+impl PoissonSource {
+    /// Creates a source with mean rate `rate_pps` packets per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_pps` is not strictly positive.
+    pub fn new(seed: u64, rate_pps: f64) -> Self {
+        assert!(rate_pps > 0.0, "source rate must be positive");
+        PoissonSource {
+            rng: DetRng::new(seed),
+            rate_pps,
+            emitted: 0,
+        }
+    }
+
+    fn schedule_next(&mut self, ctx: &mut Ctx<'_>, flow: FlowId) {
+        let gap = self.rng.exp(self.rate_pps);
+        ctx.set_timer(
+            SimDuration::from_secs_f64(gap),
+            TimerKind::with_param(POISSON_EMIT, flow.index() as u64),
+        );
+    }
+}
+
+impl RouterLogic for PoissonSource {
+    fn on_flow_start(&mut self, ctx: &mut Ctx<'_>, flow: FlowId) {
+        self.schedule_next(ctx, flow);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, timer: TimerKind) {
+        if timer.tag != POISSON_EMIT {
+            return;
+        }
+        let flow = FlowId(timer.param as usize);
+        if !ctx.flow(flow).is_active_at(ctx.now()) {
+            return; // flow stopped; emission chain ends here
+        }
+        let packet = ctx.new_packet(flow);
+        ctx.emit(packet);
+        self.emitted += 1;
+        self.schedule_next(ctx, flow);
+    }
+
+    fn report(&self, _now: SimTime) -> LogicReport {
+        let mut counters = BTreeMap::new();
+        counters.insert("emitted_packets".to_owned(), self.emitted as f64);
+        LogicReport {
+            flow_rates: BTreeMap::new(),
+            counters,
+        }
+    }
+}
+
+/// A constant-rate source: emits packets with fixed gaps at `rate_pps` for
+/// every active flow whose ingress is this node. Useful as an unmanaged
+/// (non-adaptive) load generator.
+#[derive(Debug)]
+pub struct CbrSource {
+    rate_pps: f64,
+    emitted: u64,
+}
+
+const CBR_EMIT: u32 = 2;
+
+impl CbrSource {
+    /// Creates a source with fixed rate `rate_pps` packets per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_pps` is not strictly positive.
+    pub fn new(rate_pps: f64) -> Self {
+        assert!(rate_pps > 0.0, "source rate must be positive");
+        CbrSource {
+            rate_pps,
+            emitted: 0,
+        }
+    }
+}
+
+impl RouterLogic for CbrSource {
+    fn on_flow_start(&mut self, ctx: &mut Ctx<'_>, flow: FlowId) {
+        ctx.set_timer(
+            SimDuration::ZERO,
+            TimerKind::with_param(CBR_EMIT, flow.index() as u64),
+        );
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, timer: TimerKind) {
+        if timer.tag != CBR_EMIT {
+            return;
+        }
+        let flow = FlowId(timer.param as usize);
+        if !ctx.flow(flow).is_active_at(ctx.now()) {
+            return;
+        }
+        let packet = ctx.new_packet(flow);
+        ctx.emit(packet);
+        self.emitted += 1;
+        ctx.set_timer(
+            SimDuration::from_secs_f64(1.0 / self.rate_pps),
+            TimerKind::with_param(CBR_EMIT, flow.index() as u64),
+        );
+    }
+
+    fn report(&self, _now: SimTime) -> LogicReport {
+        let mut counters = BTreeMap::new();
+        counters.insert("emitted_packets".to_owned(), self.emitted as f64);
+        LogicReport {
+            flow_rates: BTreeMap::new(),
+            counters,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_kind_constructors() {
+        assert_eq!(TimerKind::tagged(3), TimerKind { tag: 3, param: 0 });
+        assert_eq!(
+            TimerKind::with_param(3, 9),
+            TimerKind { tag: 3, param: 9 }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn poisson_rejects_zero_rate() {
+        PoissonSource::new(0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn cbr_rejects_zero_rate() {
+        CbrSource::new(0.0);
+    }
+}

@@ -1,0 +1,263 @@
+//! Built-in measurement: per-flow service and drops, per-link statistics.
+//!
+//! The monitors regenerate exactly the quantities the paper plots:
+//! instantaneous ("alloted") rates come from the router logic's
+//! [`crate::logic::LogicReport`]; delivered goodput and cumulative
+//! service (Figure 4) come from the per-flow monitors behind
+//! [`FlowReport`].
+
+use std::collections::BTreeMap;
+
+use sim_core::stats::{LogHistogram, TimeSeries, WindowedRate};
+use sim_core::time::{SimDuration, SimTime};
+
+use crate::ids::{FlowId, LinkId, NodeId};
+use crate::logic::{DropReason, LogicReport};
+
+/// Per-flow measurement state, updated by the network on deliveries and
+/// drops.
+#[derive(Debug)]
+pub(crate) struct FlowMonitor {
+    goodput: WindowedRate,
+    cumulative: TimeSeries,
+    delivered_packets: u64,
+    delivered_bytes: u64,
+    tail_drops: u64,
+    policy_drops: u64,
+    delay: LogHistogram,
+    last_cumulative_window: SimTime,
+    window: SimDuration,
+}
+
+impl FlowMonitor {
+    pub(crate) fn new(start: SimTime, window: SimDuration) -> Self {
+        FlowMonitor {
+            goodput: WindowedRate::new(start, window),
+            cumulative: TimeSeries::new(),
+            delivered_packets: 0,
+            delivered_bytes: 0,
+            tail_drops: 0,
+            policy_drops: 0,
+            delay: LogHistogram::new(),
+            last_cumulative_window: start,
+            window,
+        }
+    }
+
+    pub(crate) fn record_delivery(&mut self, now: SimTime, bytes: u32, delay: SimDuration) {
+        self.roll_cumulative(now);
+        self.goodput.record(now, 1.0);
+        self.delivered_packets += 1;
+        self.delivered_bytes += bytes as u64;
+        self.delay.record(delay.as_secs_f64());
+    }
+
+    pub(crate) fn record_drop(&mut self, reason: DropReason) {
+        match reason {
+            DropReason::Tail => self.tail_drops += 1,
+            DropReason::Policy => self.policy_drops += 1,
+        }
+    }
+
+    /// Emits cumulative-service points for every measurement window that
+    /// has fully elapsed before `now`.
+    fn roll_cumulative(&mut self, now: SimTime) {
+        while now >= self.last_cumulative_window + self.window {
+            let end = self.last_cumulative_window + self.window;
+            self.cumulative.push(end, self.delivered_packets as f64);
+            self.last_cumulative_window = end;
+        }
+    }
+
+    pub(crate) fn finish(
+        mut self,
+        end: SimTime,
+    ) -> (TimeSeries, TimeSeries, LogHistogram, FlowTotals) {
+        self.roll_cumulative(end);
+        self.cumulative.push(end, self.delivered_packets as f64);
+        let goodput = self.goodput.finish(end);
+        let totals = FlowTotals {
+            delivered_packets: self.delivered_packets,
+            delivered_bytes: self.delivered_bytes,
+            tail_drops: self.tail_drops,
+            policy_drops: self.policy_drops,
+            mean_delay_secs: self.delay.mean().unwrap_or(0.0),
+        };
+        (goodput, self.cumulative, self.delay, totals)
+    }
+}
+
+/// Scalar per-flow totals.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FlowTotals {
+    /// Packets delivered to the flow's egress.
+    pub delivered_packets: u64,
+    /// Bytes delivered to the flow's egress.
+    pub delivered_bytes: u64,
+    /// Packets lost to full queues.
+    pub tail_drops: u64,
+    /// Packets dropped by router logic (CSFQ's probabilistic dropper).
+    pub policy_drops: u64,
+    /// Mean end-to-end delay of delivered packets, in seconds.
+    pub mean_delay_secs: f64,
+}
+
+impl FlowTotals {
+    /// All drops regardless of cause.
+    pub fn total_drops(&self) -> u64 {
+        self.tail_drops + self.policy_drops
+    }
+}
+
+/// End-of-run measurements for one flow.
+#[derive(Debug, Clone)]
+pub struct FlowReport {
+    /// The flow.
+    pub id: FlowId,
+    /// Its rate weight `w(f)`.
+    pub weight: u32,
+    /// Delivered goodput per measurement window, packets per second.
+    pub goodput: TimeSeries,
+    /// Cumulative delivered packets, sampled per measurement window
+    /// (Figure 4's "number of packets successfully sent").
+    pub cumulative: TimeSeries,
+    /// Packets delivered to the egress.
+    pub delivered_packets: u64,
+    /// Bytes delivered to the egress.
+    pub delivered_bytes: u64,
+    /// Packets lost to full queues.
+    pub tail_drops: u64,
+    /// Packets dropped by router logic.
+    pub policy_drops: u64,
+    /// Mean end-to-end delay of delivered packets, seconds.
+    pub mean_delay_secs: f64,
+    /// Distribution of end-to-end delays of delivered packets, seconds.
+    pub delay: LogHistogram,
+}
+
+impl FlowReport {
+    /// All drops regardless of cause.
+    pub fn total_drops(&self) -> u64 {
+        self.tail_drops + self.policy_drops
+    }
+
+    /// The `q`-quantile of the end-to-end delay in seconds, or `None` if
+    /// no packet was delivered.
+    pub fn delay_quantile(&self, q: f64) -> Option<f64> {
+        self.delay.quantile(q)
+    }
+
+    /// Mean goodput over `[from, to)`, packets per second.
+    pub fn mean_goodput_in(&self, from: SimTime, to: SimTime) -> Option<f64> {
+        self.goodput.mean_in(from, to)
+    }
+}
+
+/// End-of-run measurements for one link.
+#[derive(Debug, Clone)]
+pub struct LinkReport {
+    /// The link.
+    pub id: LinkId,
+    /// Transmitting node.
+    pub src: NodeId,
+    /// Receiving node.
+    pub dst: NodeId,
+    /// Packets fully serialized.
+    pub forwarded_packets: u64,
+    /// Bytes fully serialized.
+    pub forwarded_bytes: u64,
+    /// Packets tail-dropped at this link's queue.
+    pub dropped_packets: u64,
+    /// Highest queue occupancy observed, packets.
+    pub peak_occupancy: usize,
+    /// Mean utilization of the link over the run, in `[0, 1]`.
+    pub utilization: f64,
+}
+
+/// The complete result of a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Simulated end time.
+    pub end: SimTime,
+    /// Per-flow measurements, indexed by flow id.
+    pub flows: Vec<FlowReport>,
+    /// Per-link measurements, indexed by link id.
+    pub links: Vec<LinkReport>,
+    /// Logic-exported measurements per node (allotted-rate series live
+    /// here, under the node hosting the flow's ingress edge logic).
+    pub logic: BTreeMap<NodeId, LogicReport>,
+    /// Total events processed.
+    pub events_processed: u64,
+}
+
+impl SimReport {
+    /// Looks up a flow's report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flow` does not exist.
+    pub fn flow(&self, flow: FlowId) -> &FlowReport {
+        &self.flows[flow.index()]
+    }
+
+    /// Returns the allotted-rate series recorded by whichever node's logic
+    /// reported one for `flow` (the flow's ingress edge router), if any.
+    pub fn allotted_rate(&self, flow: FlowId) -> Option<&TimeSeries> {
+        self.logic.values().find_map(|r| r.flow_rates.get(&flow))
+    }
+
+    /// Sums a named logic counter across all nodes.
+    pub fn counter_total(&self, name: &str) -> f64 {
+        self.logic
+            .values()
+            .filter_map(|r| r.counters.get(name))
+            .sum()
+    }
+
+    /// Total packets dropped anywhere in the network.
+    pub fn total_drops(&self) -> u64 {
+        self.flows.iter().map(FlowReport::total_drops).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs_f64(s)
+    }
+
+    #[test]
+    fn monitor_accumulates_deliveries_and_drops() {
+        let mut m = FlowMonitor::new(t(0.0), SimDuration::from_secs(1));
+        m.record_delivery(t(0.2), 1000, SimDuration::from_millis(120));
+        m.record_delivery(t(0.7), 1000, SimDuration::from_millis(80));
+        m.record_drop(DropReason::Tail);
+        m.record_drop(DropReason::Policy);
+        m.record_drop(DropReason::Policy);
+        let (goodput, cumulative, delay, totals) = m.finish(t(2.0));
+        assert_eq!(totals.delivered_packets, 2);
+        assert_eq!(totals.delivered_bytes, 2000);
+        assert_eq!(totals.tail_drops, 1);
+        assert_eq!(totals.policy_drops, 2);
+        assert_eq!(totals.total_drops(), 3);
+        assert!((totals.mean_delay_secs - 0.1).abs() < 1e-9);
+        assert_eq!(delay.count(), 2);
+        assert!(delay.quantile(1.0).unwrap() >= 0.12 - 1e-9);
+        // Window [0,1): 2 pkt/s; window [1,2): 0.
+        let g: Vec<f64> = goodput.iter().map(|(_, v)| v).collect();
+        assert_eq!(g, vec![2.0, 0.0]);
+        // Cumulative sampled at window ends plus the final instant.
+        let c: Vec<(SimTime, f64)> = cumulative.iter().collect();
+        assert_eq!(c.last(), Some(&(t(2.0), 2.0)));
+    }
+
+    #[test]
+    fn monitor_empty_flow_reports_zeroes() {
+        let m = FlowMonitor::new(t(0.0), SimDuration::from_secs(1));
+        let (_, _, _, totals) = m.finish(t(1.0));
+        assert_eq!(totals.delivered_packets, 0);
+        assert_eq!(totals.mean_delay_secs, 0.0);
+    }
+}

@@ -1,0 +1,293 @@
+//! Declarative network construction.
+
+use sim_core::time::SimDuration;
+
+use crate::flow::{FlowInfo, FlowSpec};
+use crate::ids::{FlowId, LinkId, NodeId};
+use crate::link::{Link, LinkSpec};
+use crate::logic::RouterLogic;
+use crate::network::Network;
+use crate::trace::Tracer;
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Builds a [`Network`] from nodes, links and flows.
+///
+/// # Example
+///
+/// ```
+/// use netsim::flow::FlowSpec;
+/// use netsim::link::LinkSpec;
+/// use netsim::logic::ForwardLogic;
+/// use netsim::topology::TopologyBuilder;
+/// use sim_core::time::{SimDuration, SimTime};
+///
+/// let mut b = TopologyBuilder::new(1);
+/// let a = b.node("a", |_| Box::new(ForwardLogic));
+/// let c = b.node("c", |_| Box::new(ForwardLogic));
+/// b.link(a, c, LinkSpec::new(4_000_000, SimDuration::from_millis(40), 40));
+/// b.flow(FlowSpec::new(vec![a, c], 2).active(SimTime::ZERO, None));
+/// let net = b.build();
+/// assert_eq!(net.flows().len(), 1);
+/// ```
+pub struct TopologyBuilder {
+    seed: u64,
+    names: Vec<String>,
+    logics: Vec<Box<dyn RouterLogic>>,
+    links: Vec<Link>,
+    flow_specs: Vec<FlowSpec>,
+    window: SimDuration,
+    notify_losses: bool,
+    tracer: Option<Rc<RefCell<dyn Tracer>>>,
+}
+
+impl TopologyBuilder {
+    /// Creates a builder; `seed` is the experiment seed from which every
+    /// component's random stream is derived.
+    pub fn new(seed: u64) -> Self {
+        TopologyBuilder {
+            seed,
+            names: Vec::new(),
+            logics: Vec::new(),
+            links: Vec::new(),
+            flow_specs: Vec::new(),
+            window: SimDuration::from_secs(1),
+            notify_losses: true,
+            tracer: None,
+        }
+    }
+
+    /// Adds a node. `factory` receives a seed derived deterministically
+    /// from the experiment seed and the node index, and returns the node's
+    /// router logic.
+    pub fn node(
+        &mut self,
+        name: &str,
+        factory: impl FnOnce(u64) -> Box<dyn RouterLogic>,
+    ) -> NodeId {
+        let id = NodeId(self.names.len());
+        // Mix the node index into the experiment seed; DetRng whitens
+        // further, so a simple affine mix suffices here.
+        let component_seed = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(id.index() as u64 + 1);
+        self.names.push(name.to_owned());
+        self.logics.push(factory(component_seed));
+        id
+    }
+
+    /// Adds a directed link from `src` to `dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node does not exist.
+    pub fn link(&mut self, src: NodeId, dst: NodeId, spec: LinkSpec) -> LinkId {
+        assert!(src.index() < self.names.len(), "unknown src node {src}");
+        assert!(dst.index() < self.names.len(), "unknown dst node {dst}");
+        assert_ne!(src, dst, "self-links are not allowed");
+        let id = LinkId(self.links.len());
+        self.links.push(Link::new(src, dst, spec));
+        id
+    }
+
+    /// Adds a pair of directed links between `a` and `b` with identical
+    /// parameters.
+    pub fn duplex_link(&mut self, a: NodeId, b: NodeId, spec: LinkSpec) -> (LinkId, LinkId) {
+        (self.link(a, b, spec), self.link(b, a, spec))
+    }
+
+    /// Adds a flow.
+    pub fn flow(&mut self, spec: FlowSpec) -> FlowId {
+        let id = FlowId(self.flow_specs.len());
+        self.flow_specs.push(spec);
+        id
+    }
+
+    /// Sets the measurement window for goodput/cumulative series
+    /// (default 1 s, matching the paper's plots).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn measurement_window(&mut self, window: SimDuration) -> &mut Self {
+        assert!(!window.is_zero(), "measurement window must be positive");
+        self.window = window;
+        self
+    }
+
+    /// Enables or disables loss notifications to the ingress edge
+    /// (default enabled; CSFQ sources need them, Corelite ignores them).
+    pub fn notify_losses(&mut self, enabled: bool) -> &mut Self {
+        self.notify_losses = enabled;
+        self
+    }
+
+    /// Installs a packet-level event tracer (see [`crate::trace`]). Keep
+    /// a clone of the `Rc` to inspect the tracer after the run.
+    pub fn tracer(&mut self, tracer: Rc<RefCell<dyn Tracer>>) -> &mut Self {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// Resolves paths and produces a runnable [`Network`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a flow path references a missing node or an unconnected
+    /// node pair.
+    pub fn build(self) -> Network {
+        let TopologyBuilder {
+            seed: _,
+            names,
+            logics,
+            links,
+            flow_specs,
+            window,
+            notify_losses,
+            tracer,
+        } = self;
+
+        let flows: Vec<FlowInfo> = flow_specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                let id = FlowId(i);
+                for &n in &spec.path {
+                    assert!(
+                        n.index() < names.len(),
+                        "flow {id} references unknown node {n}"
+                    );
+                }
+                let hops: Vec<LinkId> = spec
+                    .path
+                    .windows(2)
+                    .map(|pair| {
+                        links
+                            .iter()
+                            .position(|l| l.src() == pair[0] && l.dst() == pair[1])
+                            .map(LinkId)
+                            .unwrap_or_else(|| {
+                                panic!(
+                                    "flow {id}: no link from {} ({}) to {} ({})",
+                                    pair[0],
+                                    names[pair[0].index()],
+                                    pair[1],
+                                    names[pair[1].index()]
+                                )
+                            })
+                    })
+                    .collect();
+                FlowInfo {
+                    id,
+                    weight: spec.weight,
+                    packet_size: spec.packet_size,
+                    min_rate: spec.min_rate,
+                    path: spec.path,
+                    hops,
+                    activations: spec.activations,
+                }
+            })
+            .collect();
+
+        // reverse_delays[f][i] = propagation delay from path[i] back to the
+        // ingress (sum of the delays of hops 0..i).
+        let reverse_delays: Vec<Vec<SimDuration>> = flows
+            .iter()
+            .map(|f| {
+                let mut acc = SimDuration::ZERO;
+                let mut v = Vec::with_capacity(f.path.len());
+                v.push(SimDuration::ZERO);
+                for &hop in &f.hops {
+                    acc += links[hop.index()].spec().delay;
+                    v.push(acc);
+                }
+                v
+            })
+            .collect();
+
+        Network::assemble(
+            names,
+            logics,
+            links,
+            flows,
+            reverse_delays,
+            window,
+            notify_losses,
+            tracer,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logic::ForwardLogic;
+    use sim_core::time::SimTime;
+
+    fn spec() -> LinkSpec {
+        LinkSpec::new(4_000_000, SimDuration::from_millis(40), 40)
+    }
+
+    #[test]
+    fn build_resolves_hops_and_reverse_delays() {
+        let mut b = TopologyBuilder::new(0);
+        let a = b.node("a", |_| Box::new(ForwardLogic));
+        let c = b.node("c", |_| Box::new(ForwardLogic));
+        let d = b.node("d", |_| Box::new(ForwardLogic));
+        let l0 = b.link(a, c, spec());
+        let l1 = b.link(c, d, spec());
+        let f = b.flow(FlowSpec::new(vec![a, c, d], 1).active(SimTime::ZERO, None));
+        let net = b.build();
+        assert_eq!(net.flows()[f.index()].hops, vec![l0, l1]);
+        assert_eq!(
+            net.reverse_delay(f, d),
+            SimDuration::from_millis(80)
+        );
+        assert_eq!(net.reverse_delay(f, c), SimDuration::from_millis(40));
+        assert_eq!(net.reverse_delay(f, a), SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "no link from")]
+    fn unconnected_path_panics() {
+        let mut b = TopologyBuilder::new(0);
+        let a = b.node("a", |_| Box::new(ForwardLogic));
+        let c = b.node("c", |_| Box::new(ForwardLogic));
+        b.flow(FlowSpec::new(vec![a, c], 1));
+        b.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "self-links")]
+    fn self_link_panics() {
+        let mut b = TopologyBuilder::new(0);
+        let a = b.node("a", |_| Box::new(ForwardLogic));
+        b.link(a, a, spec());
+    }
+
+    #[test]
+    fn duplex_creates_both_directions() {
+        let mut b = TopologyBuilder::new(0);
+        let a = b.node("a", |_| Box::new(ForwardLogic));
+        let c = b.node("c", |_| Box::new(ForwardLogic));
+        let (ac, ca) = b.duplex_link(a, c, spec());
+        assert_ne!(ac, ca);
+    }
+
+    #[test]
+    fn node_seeds_differ_per_node() {
+        let mut seeds = Vec::new();
+        let mut b = TopologyBuilder::new(7);
+        b.node("a", |s| {
+            seeds.push(s);
+            Box::new(ForwardLogic)
+        });
+        b.node("b", |s| {
+            seeds.push(s);
+            Box::new(ForwardLogic)
+        });
+        assert_ne!(seeds[0], seeds[1]);
+    }
+}

@@ -1,0 +1,226 @@
+//! Behavioural tests for the network substrate's configuration surface:
+//! measurement windows, loss-notification policy, context accessors, and
+//! misuse panics.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use netsim::flow::FlowSpec;
+use netsim::link::LinkSpec;
+use netsim::logic::{CbrSource, ControlMsg, Ctx, ForwardLogic, RouterLogic};
+use netsim::topology::TopologyBuilder;
+use netsim::FlowId;
+use sim_core::time::{SimDuration, SimTime};
+
+fn fast() -> LinkSpec {
+    LinkSpec::new(40_000_000, SimDuration::from_millis(5), 400)
+}
+
+fn slow() -> LinkSpec {
+    LinkSpec::new(4_000_000, SimDuration::from_millis(10), 10)
+}
+
+/// Records every control message it sees.
+#[derive(Debug, Default)]
+struct ControlRecorder {
+    losses: Rc<RefCell<u64>>,
+}
+
+impl RouterLogic for ControlRecorder {
+    fn on_flow_start(&mut self, ctx: &mut Ctx<'_>, flow: FlowId) {
+        // Delegate emission to a fixed-rate chain.
+        let packet = ctx.new_packet(flow);
+        ctx.emit(packet);
+        ctx.set_timer(
+            SimDuration::from_millis(1),
+            netsim::TimerKind::with_param(9, flow.index() as u64),
+        );
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, timer: netsim::TimerKind) {
+        let flow = FlowId::from_index(timer.param as usize);
+        if ctx.flow(flow).is_active_at(ctx.now()) {
+            let packet = ctx.new_packet(flow);
+            ctx.emit(packet);
+            ctx.set_timer(SimDuration::from_millis(1), timer);
+        }
+    }
+
+    fn on_control(&mut self, _ctx: &mut Ctx<'_>, msg: ControlMsg) {
+        if matches!(msg, ControlMsg::Loss { .. }) {
+            *self.losses.borrow_mut() += 1;
+        }
+    }
+}
+
+#[test]
+fn loss_notifications_can_be_disabled() {
+    for notify in [true, false] {
+        let losses = Rc::new(RefCell::new(0u64));
+        let handle = losses.clone();
+        let mut b = TopologyBuilder::new(8);
+        b.notify_losses(notify);
+        let src = b.node("src", move |_| {
+            Box::new(ControlRecorder { losses: handle })
+        });
+        let dst = b.node("dst", |_| Box::new(ForwardLogic));
+        b.link(src, dst, slow()); // 1000 pkt/s offered into 500 pkt/s
+        b.flow(FlowSpec::new(vec![src, dst], 1).active(SimTime::ZERO, None));
+        let end = SimTime::from_secs(3);
+        let mut net = b.build();
+        net.run_until(end);
+        let report = net.into_report(end);
+        assert!(report.total_drops() > 0, "overload must drop");
+        if notify {
+            assert_eq!(*losses.borrow(), report.total_drops());
+        } else {
+            assert_eq!(*losses.borrow(), 0, "notifications were disabled");
+        }
+    }
+}
+
+#[test]
+fn measurement_window_changes_series_granularity() {
+    let build = |window_ms: u64| {
+        let mut b = TopologyBuilder::new(2);
+        b.measurement_window(SimDuration::from_millis(window_ms));
+        let src = b.node("src", |_| Box::new(CbrSource::new(100.0)));
+        let dst = b.node("dst", |_| Box::new(ForwardLogic));
+        b.link(src, dst, fast());
+        b.flow(FlowSpec::new(vec![src, dst], 1).active(SimTime::ZERO, None));
+        let end = SimTime::from_secs(4);
+        let mut net = b.build();
+        net.run_until(end);
+        net.into_report(end)
+    };
+    let coarse = build(1000);
+    let fine = build(250);
+    assert!(
+        fine.flows[0].goodput.len() >= 4 * coarse.flows[0].goodput.len() - 4,
+        "250 ms windows should give ~4x the points: {} vs {}",
+        fine.flows[0].goodput.len(),
+        coarse.flows[0].goodput.len()
+    );
+}
+
+#[test]
+fn node_names_and_reverse_delays_are_exposed() {
+    let mut b = TopologyBuilder::new(1);
+    let a = b.node("alpha", |_| Box::new(ForwardLogic));
+    let c = b.node("beta", |_| Box::new(ForwardLogic));
+    let d = b.node("gamma", |_| Box::new(ForwardLogic));
+    b.link(a, c, fast());
+    b.link(c, d, slow());
+    let f = b.flow(FlowSpec::new(vec![a, c, d], 1).active(SimTime::ZERO, None));
+    let net = b.build();
+    assert_eq!(net.node_name(a), "alpha");
+    assert_eq!(net.node_name(d), "gamma");
+    assert_eq!(net.reverse_delay(f, a), SimDuration::ZERO);
+    assert_eq!(net.reverse_delay(f, c), SimDuration::from_millis(5));
+    assert_eq!(net.reverse_delay(f, d), SimDuration::from_millis(15));
+}
+
+#[test]
+#[should_panic(expected = "not on the path")]
+fn reverse_delay_for_off_path_node_panics() {
+    let mut b = TopologyBuilder::new(1);
+    let a = b.node("a", |_| Box::new(ForwardLogic));
+    let c = b.node("c", |_| Box::new(ForwardLogic));
+    let lone = b.node("lone", |_| Box::new(ForwardLogic));
+    b.link(a, c, fast());
+    let f = b.flow(FlowSpec::new(vec![a, c], 1).active(SimTime::ZERO, None));
+    let net = b.build();
+    let _ = net.reverse_delay(f, lone);
+}
+
+/// Logic that tries to forward on a link it does not own.
+#[derive(Debug)]
+struct RogueForwarder;
+
+impl RouterLogic for RogueForwarder {
+    fn on_flow_start(&mut self, ctx: &mut Ctx<'_>, flow: FlowId) {
+        let packet = ctx.new_packet(flow);
+        // Link 1 belongs to another node.
+        ctx.forward(netsim::LinkId::from_index(1), packet);
+    }
+}
+
+#[test]
+#[should_panic(expected = "does not own")]
+fn forwarding_on_foreign_link_panics() {
+    let mut b = TopologyBuilder::new(1);
+    let a = b.node("a", |_| Box::new(RogueForwarder));
+    let c = b.node("c", |_| Box::new(ForwardLogic));
+    let d = b.node("d", |_| Box::new(ForwardLogic));
+    b.link(a, c, fast()); // link 0, owned by a
+    b.link(c, d, fast()); // link 1, owned by c
+    b.flow(FlowSpec::new(vec![a, c, d], 1).active(SimTime::ZERO, None));
+    let mut net = b.build();
+    net.run_until(SimTime::from_secs(1));
+}
+
+#[test]
+fn multiple_flows_share_one_ingress_node() {
+    let mut b = TopologyBuilder::new(6);
+    let src = b.node("src", |_| Box::new(CbrSource::new(50.0)));
+    let dst1 = b.node("dst1", |_| Box::new(ForwardLogic));
+    let dst2 = b.node("dst2", |_| Box::new(ForwardLogic));
+    b.link(src, dst1, fast());
+    b.link(src, dst2, fast());
+    let f1 = b.flow(FlowSpec::new(vec![src, dst1], 1).active(SimTime::ZERO, None));
+    let f2 = b.flow(FlowSpec::new(vec![src, dst2], 1).active(SimTime::ZERO, None));
+    let end = SimTime::from_secs(4);
+    let mut net = b.build();
+    net.run_until(end);
+    let report = net.into_report(end);
+    for f in [f1, f2] {
+        let d = report.flow(f).delivered_packets;
+        assert!((190..=201).contains(&d), "flow {f} delivered {d}");
+    }
+}
+
+#[test]
+fn one_way_delay_is_visible_to_logic() {
+    #[derive(Debug)]
+    struct DelayProbe {
+        seen: Rc<RefCell<Option<SimDuration>>>,
+    }
+    impl RouterLogic for DelayProbe {
+        fn on_flow_start(&mut self, ctx: &mut Ctx<'_>, flow: FlowId) {
+            *self.seen.borrow_mut() = Some(ctx.one_way_delay(flow));
+        }
+    }
+    let seen = Rc::new(RefCell::new(None));
+    let handle = seen.clone();
+    let mut b = TopologyBuilder::new(1);
+    let a = b.node("a", move |_| Box::new(DelayProbe { seen: handle }));
+    let c = b.node("c", |_| Box::new(ForwardLogic));
+    let d = b.node("d", |_| Box::new(ForwardLogic));
+    b.link(a, c, fast());
+    b.link(c, d, slow());
+    b.flow(FlowSpec::new(vec![a, c, d], 1).active(SimTime::ZERO, None));
+    let mut net = b.build();
+    net.run_until(SimTime::from_secs(1));
+    assert_eq!(*seen.borrow(), Some(SimDuration::from_millis(15)));
+    // Keep the node ids alive for readability.
+    let _ = (a, c, d);
+}
+
+#[test]
+fn zero_size_is_rejected_but_small_packets_flow() {
+    let mut b = TopologyBuilder::new(3);
+    let src = b.node("src", |_| Box::new(CbrSource::new(100.0)));
+    let dst = b.node("dst", |_| Box::new(ForwardLogic));
+    b.link(src, dst, fast());
+    let f = b.flow(
+        FlowSpec::new(vec![src, dst], 1)
+            .packet_size(40) // ACK-sized
+            .active(SimTime::ZERO, None),
+    );
+    let end = SimTime::from_secs(2);
+    let mut net = b.build();
+    net.run_until(end);
+    let report = net.into_report(end);
+    assert!(report.flow(f).delivered_packets >= 195);
+    assert_eq!(report.flow(f).delivered_bytes, report.flow(f).delivered_packets * 40);
+}

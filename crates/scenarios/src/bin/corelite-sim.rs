@@ -1,0 +1,155 @@
+//! `corelite-sim` — run a scenario file on the paper topology under a
+//! chosen discipline and report the outcome.
+//!
+//! ```text
+//! corelite-sim <scenario-file> [--discipline corelite|csfq]
+//!              [--csv out.csv] [--svg out.svg]
+//! ```
+//!
+//! The scenario format is described in [`scenarios::dsl`]; an example:
+//!
+//! ```text
+//! name     demo
+//! horizon  120
+//! flow     route=0-1 weight=1
+//! flow     route=0-1 weight=2
+//! flow     route=0-2 weight=3 start=40 min_rate=50
+//! ```
+//!
+//! The report compares each flow's measured steady-state rate (last 25%
+//! of the run) against the analytic weighted max-min share and prints
+//! drop and delay statistics.
+
+use std::fs;
+use std::process::ExitCode;
+
+use corelite::CoreliteConfig;
+use csfq::CsfqConfig;
+use scenarios::dsl::parse_scenario;
+use scenarios::plot::{render_lines, PlotSpec};
+use scenarios::report::{rate_series_csv, steady_state_summary, summary_markdown, window_jain_index};
+use scenarios::runner::Discipline;
+use sim_core::stats::TimeSeries;
+use sim_core::time::{SimDuration, SimTime};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut file: Option<String> = None;
+    let mut discipline = Discipline::Corelite(CoreliteConfig::default());
+    let mut csv_out: Option<String> = None;
+    let mut svg_out: Option<String> = None;
+
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--discipline" => match it.next().as_deref() {
+                Some("corelite") => discipline = Discipline::Corelite(CoreliteConfig::default()),
+                Some("csfq") => discipline = Discipline::Csfq(CsfqConfig::default()),
+                other => {
+                    eprintln!("--discipline needs corelite|csfq, got {other:?}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--csv" => csv_out = it.next(),
+            "--svg" => svg_out = it.next(),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: corelite-sim <scenario-file> [--discipline corelite|csfq] \
+                     [--csv out.csv] [--svg out.svg]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other if file.is_none() && !other.starts_with('-') => file = Some(other.to_owned()),
+            other => {
+                eprintln!("unexpected argument {other:?} (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(file) = file else {
+        eprintln!("usage: corelite-sim <scenario-file> [options]; try --help");
+        return ExitCode::from(2);
+    };
+
+    let text = match fs::read_to_string(&file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let scenario = match parse_scenario(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    eprintln!(
+        "running `{}` under {} ({} flows, {} simulated)...",
+        scenario.name,
+        discipline.name(),
+        scenario.flows.len(),
+        scenario.horizon
+    );
+    let result = scenario.run(&discipline);
+
+    let horizon = result.scenario.horizon;
+    let from = SimTime::from_secs_f64(horizon.as_secs_f64() * 0.75);
+    println!("# `{}` under {}", scenario.name, result.discipline_name);
+    println!(
+        "\n## steady state (last 25% of the run, t ∈ [{:.0}s, {:.0}s))\n",
+        from.as_secs_f64(),
+        horizon.as_secs_f64()
+    );
+    print!(
+        "{}",
+        summary_markdown(&steady_state_summary(&result, from, horizon))
+    );
+    println!(
+        "\nweighted Jain index: {:.4}",
+        window_jain_index(&result, from, horizon)
+    );
+    println!("total drops: {}", result.total_drops());
+    for (i, f) in result.report.flows.iter().enumerate() {
+        if let (Some(p50), Some(p99)) = (f.delay_quantile(0.5), f.delay_quantile(0.99)) {
+            println!(
+                "flow {:2}: delivered {:7}, delay p50 {:6.1} ms, p99 {:6.1} ms",
+                i + 1,
+                f.delivered_packets,
+                p50 * 1e3,
+                p99 * 1e3
+            );
+        }
+    }
+
+    if let Some(path) = csv_out {
+        let csv = rate_series_csv(&result, SimDuration::from_millis(500));
+        if let Err(e) = fs::write(&path, csv) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("rate series written to {path}");
+    }
+    if let Some(path) = svg_out {
+        let smoothed: Vec<TimeSeries> = (0..result.scenario.flows.len())
+            .map(|i| result.allotted_rate(i).resample_mean(SimDuration::from_secs(1)))
+            .collect();
+        let series: Vec<(String, &TimeSeries)> = smoothed
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (format!("flow{}", i + 1), s))
+            .collect();
+        let spec = PlotSpec {
+            title: format!("{} ({})", scenario.name, result.discipline_name),
+            ..PlotSpec::default()
+        };
+        if let Err(e) = fs::write(&path, render_lines(&spec, &series)) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("plot written to {path}");
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,335 @@
+//! A tiny text format for describing experiments, used by the
+//! `corelite-sim` CLI.
+//!
+//! One directive per line; `#` starts a comment. Example:
+//!
+//! ```text
+//! # three flows on the paper topology
+//! name     my_experiment
+//! seed     7
+//! horizon  120
+//! flow     route=0-1 weight=2
+//! flow     route=0-3 weight=1 start=10 stop=60
+//! flow     route=1-2 weight=3 min_rate=50
+//! ```
+//!
+//! `route=A-B` means the flow enters the core chain at `C{A+1}` and exits
+//! after `C{B+1}` (see [`Route`]); `start`/`stop` are seconds (a missing
+//! `stop` keeps the flow alive to the horizon). For churn, give a flow
+//! several activation periods with `active=START..STOP` attributes
+//! (`active=0..60 active=65..` — an open end keeps it running):
+//!
+//! ```text
+//! flow route=0-1 weight=2 active=0..60 active=65..
+//! ```
+
+use std::fmt;
+
+use sim_core::time::SimTime;
+
+use crate::runner::{Scenario, ScenarioFlow};
+use crate::topology::Route;
+
+/// A parse failure, with the offending 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseScenarioError {
+    /// 1-based line of the failure.
+    pub line: usize,
+    /// Explanation.
+    pub message: String,
+}
+
+impl fmt::Display for ParseScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseScenarioError {}
+
+/// Parses the scenario DSL (see the module docs).
+///
+/// # Errors
+///
+/// Returns a [`ParseScenarioError`] naming the offending line for unknown
+/// directives, malformed values, or missing required fields.
+pub fn parse_scenario(text: &str) -> Result<Scenario, ParseScenarioError> {
+    let mut name: Option<String> = None;
+    let mut seed = 0u64;
+    let mut horizon: Option<f64> = None;
+    let mut flows: Vec<ScenarioFlow> = Vec::new();
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |message: String| ParseScenarioError {
+            line: line_no,
+            message,
+        };
+        let (directive, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
+        let rest = rest.trim();
+        match directive {
+            "name" => name = Some(rest.to_owned()),
+            "seed" => {
+                seed = rest
+                    .parse()
+                    .map_err(|_| err(format!("invalid seed {rest:?}")))?;
+            }
+            "horizon" => {
+                let h: f64 = rest
+                    .parse()
+                    .map_err(|_| err(format!("invalid horizon {rest:?}")))?;
+                if !(h > 0.0) {
+                    return Err(err("horizon must be positive".into()));
+                }
+                horizon = Some(h);
+            }
+            "flow" => flows.push(parse_flow(rest, line_no)?),
+            other => return Err(err(format!("unknown directive {other:?}"))),
+        }
+    }
+
+    let horizon = horizon.ok_or(ParseScenarioError {
+        line: 0,
+        message: "missing `horizon` directive".into(),
+    })?;
+    if flows.is_empty() {
+        return Err(ParseScenarioError {
+            line: 0,
+            message: "no `flow` directives".into(),
+        });
+    }
+    // `Scenario.name` is `&'static str` for table labels; leak the parsed
+    // name (a CLI parses one scenario per process).
+    let name: &'static str = Box::leak(name.unwrap_or_else(|| "cli".into()).into_boxed_str());
+    Ok(Scenario {
+        name,
+        flows,
+        horizon: SimTime::from_secs_f64(horizon),
+        seed,
+    })
+}
+
+fn parse_flow(rest: &str, line: usize) -> Result<ScenarioFlow, ParseScenarioError> {
+    let err = |message: String| ParseScenarioError { line, message };
+    let mut route: Option<Route> = None;
+    let mut weight = 1u32;
+    let mut min_rate = 0.0f64;
+    let mut start = 0.0f64;
+    let mut stop: Option<f64> = None;
+    let mut activations: Vec<(SimTime, Option<SimTime>)> = Vec::new();
+    for kv in rest.split_whitespace() {
+        let (key, value) = kv
+            .split_once('=')
+            .ok_or_else(|| err(format!("expected key=value, got {kv:?}")))?;
+        match key {
+            "route" => {
+                let (a, b) = value
+                    .split_once('-')
+                    .ok_or_else(|| err(format!("route must be A-B, got {value:?}")))?;
+                let a: usize = a
+                    .parse()
+                    .map_err(|_| err(format!("invalid route start {a:?}")))?;
+                let b: usize = b
+                    .parse()
+                    .map_err(|_| err(format!("invalid route end {b:?}")))?;
+                if !(a < b && b < Route::CORE_COUNT) {
+                    return Err(err(format!(
+                        "route {a}-{b} out of range (need A < B < {})",
+                        Route::CORE_COUNT
+                    )));
+                }
+                route = Some(Route::new(a, b));
+            }
+            "weight" => {
+                weight = value
+                    .parse()
+                    .map_err(|_| err(format!("invalid weight {value:?}")))?;
+                if weight == 0 {
+                    return Err(err("weight must be positive".into()));
+                }
+            }
+            "min_rate" => {
+                min_rate = value
+                    .parse()
+                    .map_err(|_| err(format!("invalid min_rate {value:?}")))?;
+                if min_rate < 0.0 {
+                    return Err(err("min_rate must be non-negative".into()));
+                }
+            }
+            "start" => {
+                start = value
+                    .parse()
+                    .map_err(|_| err(format!("invalid start {value:?}")))?;
+            }
+            "stop" => {
+                stop = Some(
+                    value
+                        .parse()
+                        .map_err(|_| err(format!("invalid stop {value:?}")))?,
+                );
+            }
+            "active" => {
+                let (a, b) = value
+                    .split_once("..")
+                    .ok_or_else(|| err(format!("active must be START..STOP, got {value:?}")))?;
+                let a: f64 = a
+                    .parse()
+                    .map_err(|_| err(format!("invalid activation start {a:?}")))?;
+                let b: Option<f64> = if b.is_empty() {
+                    None
+                } else {
+                    Some(
+                        b.parse()
+                            .map_err(|_| err(format!("invalid activation stop {b:?}")))?,
+                    )
+                };
+                if let Some(b) = b {
+                    if b <= a {
+                        return Err(err(format!("activation {a}..{b} ends before it starts")));
+                    }
+                }
+                activations.push((
+                    SimTime::from_secs_f64(a),
+                    b.map(SimTime::from_secs_f64),
+                ));
+            }
+            other => return Err(err(format!("unknown flow attribute {other:?}"))),
+        }
+    }
+    let route = route.ok_or_else(|| err("flow needs route=A-B".into()))?;
+    if let Some(stop) = stop {
+        if stop <= start {
+            return Err(err(format!("stop {stop} must be after start {start}")));
+        }
+    }
+    if activations.is_empty() {
+        activations.push((
+            SimTime::from_secs_f64(start),
+            stop.map(SimTime::from_secs_f64),
+        ));
+    } else if start != 0.0 || stop.is_some() {
+        return Err(err(
+            "use either start/stop or active=.. ranges, not both".into(),
+        ));
+    }
+    Ok(ScenarioFlow {
+        route,
+        weight,
+        min_rate,
+        activations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = "\
+# demo
+name demo
+seed 9
+horizon 30
+flow route=0-1 weight=2
+flow route=0-3 weight=1 start=5 stop=20 min_rate=10
+";
+
+    #[test]
+    fn parses_a_full_scenario() {
+        let s = parse_scenario(GOOD).unwrap();
+        assert_eq!(s.name, "demo");
+        assert_eq!(s.seed, 9);
+        assert_eq!(s.horizon, SimTime::from_secs(30));
+        assert_eq!(s.flows.len(), 2);
+        assert_eq!(s.flows[0].route, Route::new(0, 1));
+        assert_eq!(s.flows[0].weight, 2);
+        assert_eq!(s.flows[1].min_rate, 10.0);
+        assert_eq!(
+            s.flows[1].activations,
+            vec![(SimTime::from_secs(5), Some(SimTime::from_secs(20)))]
+        );
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let s = parse_scenario("horizon 10 # trailing\n\n# full line\nflow route=0-1\n").unwrap();
+        assert_eq!(s.flows.len(), 1);
+        assert_eq!(s.flows[0].weight, 1);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_scenario("horizon 10\nbogus directive\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("bogus"));
+        assert!(e.to_string().starts_with("line 2"));
+    }
+
+    #[test]
+    fn missing_horizon_rejected() {
+        let e = parse_scenario("flow route=0-1\n").unwrap_err();
+        assert!(e.message.contains("horizon"));
+    }
+
+    #[test]
+    fn missing_flows_rejected() {
+        let e = parse_scenario("horizon 5\n").unwrap_err();
+        assert!(e.message.contains("flow"));
+    }
+
+    #[test]
+    fn bad_route_rejected() {
+        for bad in ["route=3-1", "route=0-9", "route=x-1", "route=01"] {
+            let e = parse_scenario(&format!("horizon 5\nflow {bad}\n")).unwrap_err();
+            assert_eq!(e.line, 2, "{bad}");
+        }
+    }
+
+    #[test]
+    fn inverted_activation_rejected() {
+        let e = parse_scenario("horizon 5\nflow route=0-1 start=4 stop=2\n").unwrap_err();
+        assert!(e.message.contains("after start"));
+    }
+
+    #[test]
+    fn active_ranges_support_churn() {
+        let s = parse_scenario(
+            "horizon 100
+flow route=0-1 active=0..60 active=65..
+",
+        )
+        .unwrap();
+        assert_eq!(
+            s.flows[0].activations,
+            vec![
+                (SimTime::ZERO, Some(SimTime::from_secs(60))),
+                (SimTime::from_secs(65), None),
+            ]
+        );
+    }
+
+    #[test]
+    fn active_and_start_stop_are_exclusive() {
+        let e = parse_scenario("horizon 100
+flow route=0-1 start=5 active=0..60
+").unwrap_err();
+        assert!(e.message.contains("not both"));
+    }
+
+    #[test]
+    fn inverted_active_range_rejected() {
+        let e = parse_scenario("horizon 100
+flow route=0-1 active=60..60
+").unwrap_err();
+        assert!(e.message.contains("ends before"));
+    }
+
+    #[test]
+    fn unknown_flow_attribute_rejected() {
+        let e = parse_scenario("horizon 5\nflow route=0-1 color=red\n").unwrap_err();
+        assert!(e.message.contains("color"));
+    }
+}

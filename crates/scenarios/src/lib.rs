@@ -1,0 +1,33 @@
+//! Paper topologies, flow schedules, and the experiment harness.
+//!
+//! This crate reconstructs the evaluation section (§4) of the Corelite
+//! paper:
+//!
+//! * [`topology`] — the Figure-2 network: a chain of four core routers
+//!   with three 4 Mbps / 40 ms congested links, per-flow ingress/egress
+//!   edge routers on 4 Mbps / 40 ms access links.
+//! * [`schedules`] — the flow sets and activation schedules behind every
+//!   evaluation figure (Figures 3–10).
+//! * [`runner`] — builds the network for a chosen discipline (Corelite or
+//!   weighted CSFQ), runs it, and extracts per-flow series.
+//! * [`report`] — expected-vs-measured tables, convergence summaries, and
+//!   CSV export for replotting.
+//! * [`plot`] — a dependency-free SVG line plotter; the `figures` binary
+//!   writes an image per figure next to the CSV.
+//!
+//! The `figures` binary regenerates every figure:
+//!
+//! ```text
+//! cargo run --release -p scenarios --bin figures -- all
+//! ```
+
+pub mod dsl;
+pub mod plot;
+pub mod report;
+pub mod runner;
+pub mod schedules;
+pub mod topology;
+
+pub use runner::{Discipline, ExperimentResult, Scenario, ScenarioFlow};
+pub use schedules::{fig3_4, fig5_6, fig7_8, fig9_10, PaperFigure};
+pub use topology::Route;

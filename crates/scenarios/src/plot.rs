@@ -1,0 +1,277 @@
+//! A small self-contained SVG line plotter for regenerating the paper's
+//! figures as images (no external plotting dependency).
+//!
+//! Produces plots in the visual style of the paper's evaluation section:
+//! time on the x-axis, allotted rate (or cumulative packets) on the
+//! y-axis, one polyline per flow. Output is deterministic, so figure SVGs
+//! can be diffed across runs.
+
+use std::fmt::Write as _;
+
+use sim_core::stats::TimeSeries;
+
+/// A categorical 20-colour palette (repeats beyond 20 series).
+const PALETTE: [&str; 20] = [
+    "#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd", "#8c564b", "#e377c2", "#7f7f7f",
+    "#bcbd22", "#17becf", "#aec7e8", "#ffbb78", "#98df8a", "#ff9896", "#c5b0d5", "#c49c94",
+    "#f7b6d2", "#c7c7c7", "#dbdb8d", "#9edae5",
+];
+
+/// Plot geometry and labels.
+#[derive(Debug, Clone)]
+pub struct PlotSpec {
+    /// Plot title (e.g. `"Figure 5: Corelite instantaneous rate"`).
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Canvas width in pixels.
+    pub width: u32,
+    /// Canvas height in pixels.
+    pub height: u32,
+}
+
+impl Default for PlotSpec {
+    fn default() -> Self {
+        PlotSpec {
+            title: String::new(),
+            x_label: "time in seconds".to_owned(),
+            y_label: "alloted_rate".to_owned(),
+            width: 900,
+            height: 540,
+        }
+    }
+}
+
+/// Renders one named series per flow into an SVG document.
+///
+/// Sample-and-hold series are drawn as step-free polylines (matching the
+/// paper's gnuplot style). Returns the SVG text.
+///
+/// # Panics
+///
+/// Panics if `series` is empty or every series is empty.
+///
+/// # Example
+///
+/// ```
+/// use scenarios::plot::{render_lines, PlotSpec};
+/// use sim_core::stats::TimeSeries;
+/// use sim_core::time::SimTime;
+///
+/// let s: TimeSeries = [(SimTime::ZERO, 0.0), (SimTime::from_secs(10), 50.0)]
+///     .into_iter()
+///     .collect();
+/// let svg = render_lines(&PlotSpec::default(), &[("flow1".into(), &s)]);
+/// assert!(svg.starts_with("<svg"));
+/// assert!(svg.contains("polyline"));
+/// ```
+pub fn render_lines(spec: &PlotSpec, series: &[(String, &TimeSeries)]) -> String {
+    assert!(!series.is_empty(), "nothing to plot");
+    let (mut x_max, mut y_max) = (0.0f64, 0.0f64);
+    let mut any = false;
+    for (_, s) in series {
+        for (t, v) in s.iter() {
+            any = true;
+            x_max = x_max.max(t.as_secs_f64());
+            y_max = y_max.max(v);
+        }
+    }
+    assert!(any, "all series are empty");
+    let x_max = nice_ceil(x_max.max(1e-9));
+    let y_max = nice_ceil(y_max.max(1e-9) * 1.05);
+
+    // Layout: margins around the plot area, legend to the right.
+    let (w, h) = (spec.width as f64, spec.height as f64);
+    let legend_w = 110.0;
+    let (left, right, top, bottom) = (70.0, 20.0 + legend_w, 40.0, 55.0);
+    let plot_w = w - left - right;
+    let plot_h = h - top - bottom;
+    let sx = move |t: f64| left + t / x_max * plot_w;
+    let sy = move |v: f64| top + (1.0 - v / y_max) * plot_h;
+
+    let mut out = String::with_capacity(16 * 1024);
+    let _ = write!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}" font-family="sans-serif" font-size="12">"#
+    );
+    let _ = write!(
+        out,
+        r#"<rect width="{w}" height="{h}" fill="white"/><text x="{}" y="22" text-anchor="middle" font-size="15">{}</text>"#,
+        w / 2.0,
+        escape(&spec.title)
+    );
+
+    // Axes, grid and ticks.
+    let _ = write!(
+        out,
+        r#"<rect x="{left}" y="{top}" width="{plot_w}" height="{plot_h}" fill="none" stroke="black"/>"#
+    );
+    for i in 0..=5 {
+        let xt = x_max * i as f64 / 5.0;
+        let yt = y_max * i as f64 / 5.0;
+        let px = sx(xt);
+        let py = sy(yt);
+        let _ = write!(
+            out,
+            r##"<line x1="{px:.1}" y1="{top}" x2="{px:.1}" y2="{:.1}" stroke="#ddd"/><text x="{px:.1}" y="{:.1}" text-anchor="middle">{}</text>"##,
+            top + plot_h,
+            top + plot_h + 16.0,
+            fmt_tick(xt)
+        );
+        let _ = write!(
+            out,
+            r##"<line x1="{left}" y1="{py:.1}" x2="{:.1}" y2="{py:.1}" stroke="#ddd"/><text x="{:.1}" y="{:.1}" text-anchor="end">{}</text>"##,
+            left + plot_w,
+            left - 6.0,
+            py + 4.0,
+            fmt_tick(yt)
+        );
+    }
+    let _ = write!(
+        out,
+        r#"<text x="{}" y="{}" text-anchor="middle">{}</text>"#,
+        left + plot_w / 2.0,
+        h - 12.0,
+        escape(&spec.x_label)
+    );
+    let _ = write!(
+        out,
+        r#"<text x="16" y="{}" text-anchor="middle" transform="rotate(-90 16 {})">{}</text>"#,
+        top + plot_h / 2.0,
+        top + plot_h / 2.0,
+        escape(&spec.y_label)
+    );
+
+    // Series polylines + legend.
+    for (i, (name, s)) in series.iter().enumerate() {
+        if s.is_empty() {
+            continue;
+        }
+        let color = PALETTE[i % PALETTE.len()];
+        let mut points = String::new();
+        for (t, v) in s.iter() {
+            let _ = write!(points, "{:.1},{:.1} ", sx(t.as_secs_f64()), sy(v.min(y_max)));
+        }
+        let _ = write!(
+            out,
+            r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="1.2"/>"#,
+            points.trim_end()
+        );
+        let ly = top + 8.0 + 14.0 * i as f64;
+        let lx = w - legend_w;
+        let _ = write!(
+            out,
+            r#"<line x1="{lx}" y1="{ly}" x2="{}" y2="{ly}" stroke="{color}" stroke-width="2"/><text x="{}" y="{}">{}</text>"#,
+            lx + 18.0,
+            lx + 24.0,
+            ly + 4.0,
+            escape(name)
+        );
+    }
+    out.push_str("</svg>");
+    out
+}
+
+/// Rounds up to a "nice" axis bound (1/2/5 × 10^k).
+fn nice_ceil(v: f64) -> f64 {
+    let mag = 10f64.powf(v.log10().floor());
+    for m in [1.0, 2.0, 2.5, 5.0, 10.0] {
+        if m * mag >= v {
+            return m * mag;
+        }
+    }
+    10.0 * mag
+}
+
+fn fmt_tick(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_owned()
+    } else if v.fract() == 0.0 && v < 1e6 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.1}")
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::time::SimTime;
+
+    fn series(points: &[(f64, f64)]) -> TimeSeries {
+        points
+            .iter()
+            .map(|&(t, v)| (SimTime::from_secs_f64(t), v))
+            .collect()
+    }
+
+    #[test]
+    fn renders_polylines_and_legend() {
+        let a = series(&[(0.0, 0.0), (10.0, 40.0), (20.0, 35.0)]);
+        let b = series(&[(0.0, 0.0), (20.0, 80.0)]);
+        let svg = render_lines(
+            &PlotSpec {
+                title: "test figure".into(),
+                ..PlotSpec::default()
+            },
+            &[("flow1".into(), &a), ("flow2".into(), &b)],
+        );
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains("test figure"));
+        assert!(svg.contains("flow1") && svg.contains("flow2"));
+        // Distinct colors for distinct series.
+        assert!(svg.contains(PALETTE[0]) && svg.contains(PALETTE[1]));
+    }
+
+    #[test]
+    fn output_is_deterministic() {
+        let a = series(&[(0.0, 1.0), (5.0, 2.0)]);
+        let spec = PlotSpec::default();
+        let one = render_lines(&spec, &[("f".into(), &a)]);
+        let two = render_lines(&spec, &[("f".into(), &a)]);
+        assert_eq!(one, two);
+    }
+
+    #[test]
+    fn escapes_markup_in_labels() {
+        let a = series(&[(0.0, 1.0)]);
+        let svg = render_lines(
+            &PlotSpec {
+                title: "a<b&c".into(),
+                ..PlotSpec::default()
+            },
+            &[("x".into(), &a)],
+        );
+        assert!(svg.contains("a&lt;b&amp;c"));
+        assert!(!svg.contains("a<b"));
+    }
+
+    #[test]
+    fn nice_ceil_picks_round_bounds() {
+        assert_eq!(nice_ceil(87.0), 100.0);
+        assert_eq!(nice_ceil(500.0), 500.0);
+        assert_eq!(nice_ceil(101.0), 200.0);
+        assert_eq!(nice_ceil(0.03), 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "nothing to plot")]
+    fn empty_input_panics() {
+        render_lines(&PlotSpec::default(), &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "all series are empty")]
+    fn all_empty_series_panics() {
+        let s = TimeSeries::new();
+        render_lines(&PlotSpec::default(), &[("x".into(), &s)]);
+    }
+}

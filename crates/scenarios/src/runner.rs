@@ -1,0 +1,291 @@
+//! Builds and runs an experiment on the paper topology under a chosen
+//! discipline.
+
+use corelite::{CoreliteConfig, CoreliteCore, CoreliteEdge};
+use csfq::{CsfqConfig, CsfqCore, CsfqEdge};
+use fairness::maxmin::MaxMinProblem;
+use netsim::flow::FlowSpec;
+use netsim::logic::ForwardLogic;
+use netsim::topology::TopologyBuilder;
+use netsim::{FlowId, SimReport};
+use sim_core::stats::TimeSeries;
+use sim_core::time::SimTime;
+
+use crate::topology::{paper_link, Route, LINK_CAPACITY_PPS};
+
+/// The rate-management discipline under test.
+#[derive(Debug, Clone)]
+pub enum Discipline {
+    /// Corelite edges and cores (the paper's contribution).
+    Corelite(CoreliteConfig),
+    /// Weighted CSFQ edges and cores (the baseline).
+    Csfq(CsfqConfig),
+}
+
+impl Discipline {
+    /// Short lowercase name for file names and table headers.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Discipline::Corelite(_) => "corelite",
+            Discipline::Csfq(_) => "csfq",
+        }
+    }
+}
+
+/// One flow of a scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioFlow {
+    /// Where the flow enters and exits the core chain.
+    pub route: Route,
+    /// The flow's rate weight.
+    pub weight: u32,
+    /// Minimum rate contract in packets per second (0 = best effort;
+    /// honoured by Corelite edges, ignored by the CSFQ baseline, which
+    /// has no contract mechanism).
+    pub min_rate: f64,
+    /// Activation periods `(start, stop)`; `None` = until the end.
+    pub activations: Vec<(SimTime, Option<SimTime>)>,
+}
+
+impl ScenarioFlow {
+    /// A best-effort flow over `route` with the given weight, active from
+    /// `start` for the rest of the run.
+    pub fn best_effort(route: Route, weight: u32, start: SimTime) -> Self {
+        ScenarioFlow {
+            route,
+            weight,
+            min_rate: 0.0,
+            activations: vec![(start, None)],
+        }
+    }
+}
+
+/// A complete experiment description.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Name used in output files and tables.
+    pub name: &'static str,
+    /// The flows, in paper order (flow 1 first).
+    pub flows: Vec<ScenarioFlow>,
+    /// Simulated duration.
+    pub horizon: SimTime,
+    /// Experiment seed.
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// Runs the scenario under `discipline` and collects the results,
+    /// using the paper's 4 Mbps / 40 ms / 40-packet links.
+    pub fn run(&self, discipline: &Discipline) -> ExperimentResult {
+        self.run_with_link(discipline, paper_link())
+    }
+
+    /// Runs the scenario with every link using `link` instead of the
+    /// paper's parameters — the knob behind the latency/capacity
+    /// sensitivity ablations (§4.4 mentions "channels with large
+    /// latencies").
+    pub fn run_with_link(
+        &self,
+        discipline: &Discipline,
+        link: netsim::link::LinkSpec,
+    ) -> ExperimentResult {
+        let mut b = TopologyBuilder::new(self.seed);
+        // Core chain C1..C4 with the three congested links.
+        let cores: Vec<_> = (0..Route::CORE_COUNT)
+            .map(|i| {
+                let name = format!("C{}", i + 1);
+                match discipline {
+                    Discipline::Corelite(cfg) => {
+                        let cfg = cfg.clone();
+                        b.node(&name, move |s| Box::new(CoreliteCore::new(s, cfg)))
+                    }
+                    Discipline::Csfq(cfg) => {
+                        let cfg = cfg.clone();
+                        b.node(&name, move |s| Box::new(CsfqCore::new(s, cfg)))
+                    }
+                }
+            })
+            .collect();
+        for w in cores.windows(2) {
+            b.link(w[0], w[1], link);
+        }
+        // Per-flow ingress and egress edges on 40 ms access links.
+        for (i, f) in self.flows.iter().enumerate() {
+            let ingress_name = format!("E{}", i + 1);
+            let ingress = match discipline {
+                Discipline::Corelite(cfg) => {
+                    let cfg = cfg.clone();
+                    b.node(&ingress_name, move |s| Box::new(CoreliteEdge::new(s, cfg)))
+                }
+                Discipline::Csfq(cfg) => {
+                    let cfg = cfg.clone();
+                    b.node(&ingress_name, move |s| Box::new(CsfqEdge::new(s, cfg)))
+                }
+            };
+            let egress = b.node(&format!("X{}", i + 1), |_| Box::new(ForwardLogic));
+            b.link(ingress, cores[f.route.first_core], link);
+            b.link(cores[f.route.last_core], egress, link);
+            let mut path = vec![ingress];
+            path.extend(&cores[f.route.first_core..=f.route.last_core]);
+            path.push(egress);
+            let mut spec = FlowSpec::new(path, f.weight).min_rate(f.min_rate);
+            for &(start, stop) in &f.activations {
+                spec = spec.active(start, stop);
+            }
+            b.flow(spec);
+        }
+        let mut net = b.build();
+        net.run_until(self.horizon);
+        ExperimentResult {
+            scenario: self.clone(),
+            discipline_name: discipline.name(),
+            report: net.into_report(self.horizon),
+        }
+    }
+
+    /// Returns the indices (0-based) of flows active at time `t`.
+    pub fn active_at(&self, t: SimTime) -> Vec<usize> {
+        self.flows
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| {
+                f.activations
+                    .iter()
+                    .any(|&(start, stop)| t >= start && stop.map_or(true, |s| t < s))
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Computes the analytic weighted max-min fair allocation over the
+    /// flows active at time `t`. Returns one entry per flow (0-based
+    /// index); inactive flows get 0.
+    pub fn expected_rates_at(&self, t: SimTime) -> Vec<f64> {
+        let active = self.active_at(t);
+        let mut problem = MaxMinProblem::new();
+        let links: Vec<_> = (0..Route::CORE_COUNT - 1)
+            .map(|_| problem.link(LINK_CAPACITY_PPS))
+            .collect();
+        let mut refs = Vec::new();
+        for &i in &active {
+            let f = &self.flows[i];
+            let crossed = links[f.route.first_core..f.route.last_core].to_vec();
+            refs.push((i, problem.flow_with_floor(f.weight as f64, f.min_rate, crossed)));
+        }
+        let alloc = problem.solve();
+        let mut out = vec![0.0; self.flows.len()];
+        for (i, r) in refs {
+            out[i] = alloc.rate(r);
+        }
+        out
+    }
+}
+
+/// The outcome of running a [`Scenario`].
+#[derive(Debug)]
+pub struct ExperimentResult {
+    /// The scenario that was run.
+    pub scenario: Scenario,
+    /// `"corelite"` or `"csfq"`.
+    pub discipline_name: &'static str,
+    /// The full simulation report.
+    pub report: SimReport,
+}
+
+impl ExperimentResult {
+    /// The allotted-rate series of flow `i` (0-based), as recorded by its
+    /// ingress edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flow does not exist or recorded no series.
+    pub fn allotted_rate(&self, i: usize) -> &TimeSeries {
+        self.report
+            .allotted_rate(FlowId::from_index(i))
+            .unwrap_or_else(|| panic!("flow {i} has no allotted-rate series"))
+    }
+
+    /// Mean allotted rate of flow `i` over `[from, to)`, or 0 if no
+    /// samples fall in the window.
+    pub fn mean_rate_in(&self, i: usize, from: SimTime, to: SimTime) -> f64 {
+        self.allotted_rate(i).mean_in(from, to).unwrap_or(0.0)
+    }
+
+    /// Total packets dropped anywhere during the run.
+    pub fn total_drops(&self) -> u64 {
+        self.report.total_drops()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::time::SimDuration;
+
+    fn two_flow_scenario() -> Scenario {
+        Scenario {
+            name: "test",
+            flows: vec![
+                ScenarioFlow {
+                    route: Route::new(0, 1),
+                    weight: 1,
+                    min_rate: 0.0,
+                    activations: vec![(SimTime::ZERO, None)],
+                },
+                ScenarioFlow {
+                    route: Route::new(0, 1),
+                    weight: 2,
+                    min_rate: 0.0,
+                    activations: vec![(
+                        SimTime::from_secs(10),
+                        Some(SimTime::from_secs(20)),
+                    )],
+                },
+            ],
+            horizon: SimTime::from_secs(30),
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn active_sets_follow_schedule() {
+        let s = two_flow_scenario();
+        assert_eq!(s.active_at(SimTime::from_secs(5)), vec![0]);
+        assert_eq!(s.active_at(SimTime::from_secs(15)), vec![0, 1]);
+        assert_eq!(s.active_at(SimTime::from_secs(25)), vec![0]);
+    }
+
+    #[test]
+    fn expected_rates_track_active_set() {
+        let s = two_flow_scenario();
+        let solo = s.expected_rates_at(SimTime::from_secs(5));
+        assert!((solo[0] - 500.0).abs() < 1e-6);
+        assert_eq!(solo[1], 0.0);
+        let both = s.expected_rates_at(SimTime::from_secs(15));
+        assert!((both[0] - 500.0 / 3.0).abs() < 1e-6);
+        assert!((both[1] - 1000.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn corelite_run_produces_series_for_all_flows() {
+        let mut s = two_flow_scenario();
+        s.horizon = SimTime::from_secs(5);
+        let result = s.run(&Discipline::Corelite(
+            CoreliteConfig::default().with_epoch(SimDuration::from_millis(100)),
+        ));
+        assert_eq!(result.discipline_name, "corelite");
+        assert!(!result.allotted_rate(0).is_empty());
+        // Flow 1 has not started yet within the 5 s horizon; its series
+        // may be empty, but the report must still know the flow.
+        assert_eq!(result.report.flows.len(), 2);
+    }
+
+    #[test]
+    fn csfq_run_produces_series_for_started_flows() {
+        let mut s = two_flow_scenario();
+        s.horizon = SimTime::from_secs(5);
+        let result = s.run(&Discipline::Csfq(CsfqConfig::default()));
+        assert_eq!(result.discipline_name, "csfq");
+        assert!(!result.allotted_rate(0).is_empty());
+    }
+}

@@ -1,0 +1,144 @@
+//! The paper's Figure-2 topology.
+//!
+//! A chain of four core routers `C1–C2–C3–C4` joined by three 4 Mbps /
+//! 40 ms links (the congested links). Every flow enters through its own
+//! ingress edge router and leaves through its own egress edge router, each
+//! attached by a 4 Mbps / 40 ms access link — matching the paper's
+//! per-flow `S_i`/`R_i` routers and its round-trip times (240 ms for
+//! one-hop flows, 320 ms for two, 400 ms for three).
+
+use netsim::link::LinkSpec;
+use sim_core::time::SimDuration;
+
+/// Which stretch of the core chain a flow traverses.
+///
+/// `first_core` and `last_core` index the chain `C1..C4` as `0..4`; the
+/// flow crosses the congested links `first_core..last_core`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Route {
+    /// Index of the core router where the flow enters (0 = C1).
+    pub first_core: usize,
+    /// Index of the core router where the flow exits (must be greater
+    /// than `first_core`).
+    pub last_core: usize,
+}
+
+impl Route {
+    /// Number of core routers in the paper's chain.
+    pub const CORE_COUNT: usize = 4;
+
+    /// Creates a route entering at core `first_core` and exiting after
+    /// core `last_core`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `first_core < last_core < 4`.
+    pub fn new(first_core: usize, last_core: usize) -> Self {
+        assert!(
+            first_core < last_core && last_core < Self::CORE_COUNT,
+            "invalid route: cores {first_core}..{last_core}"
+        );
+        Route {
+            first_core,
+            last_core,
+        }
+    }
+
+    /// Number of congested (core-to-core) links the route crosses.
+    pub fn congested_links(&self) -> usize {
+        self.last_core - self.first_core
+    }
+
+    /// The route of paper flow `i` (1-based) in the 20-flow scenarios
+    /// (§4.1/§4.3): flows 1–5 cross C1–C2; 6–8 cross C1–C3; 9–10 cross
+    /// C1–C4; 11–12 cross C2–C3; 13–15 cross C2–C4; 16–20 cross C3–C4.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 ≤ i ≤ 20`.
+    pub fn of_paper_flow(i: usize) -> Route {
+        match i {
+            1..=5 => Route::new(0, 1),
+            6..=8 => Route::new(0, 2),
+            9..=10 => Route::new(0, 3),
+            11..=12 => Route::new(1, 2),
+            13..=15 => Route::new(1, 3),
+            16..=20 => Route::new(2, 3),
+            _ => panic!("paper flows are numbered 1..=20, got {i}"),
+        }
+    }
+
+    /// The rate weight of paper flow `i` (1-based): flows 5 and 15 have
+    /// weight 3; flows 1, 11 and 16 weight 1; all others weight 2 (§4.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 ≤ i ≤ 20`.
+    pub fn paper_weight(i: usize) -> u32 {
+        match i {
+            5 | 15 => 3,
+            1 | 11 | 16 => 1,
+            2..=20 => 2,
+            _ => panic!("paper flows are numbered 1..=20, got {i}"),
+        }
+    }
+}
+
+/// Link parameters shared by every link in the paper topology: 4 Mbps,
+/// 40 ms propagation, 40-packet tail-drop queue.
+pub fn paper_link() -> LinkSpec {
+    LinkSpec::new(4_000_000, SimDuration::from_millis(40), 40)
+}
+
+/// The paper's link capacity in packets per second at 1 KB packets.
+pub const LINK_CAPACITY_PPS: f64 = 500.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_routes_cross_expected_links() {
+        assert_eq!(Route::of_paper_flow(1).congested_links(), 1);
+        assert_eq!(Route::of_paper_flow(7).congested_links(), 2);
+        assert_eq!(Route::of_paper_flow(9).congested_links(), 3);
+        assert_eq!(Route::of_paper_flow(11), Route::new(1, 2));
+        assert_eq!(Route::of_paper_flow(14), Route::new(1, 3));
+        assert_eq!(Route::of_paper_flow(20), Route::new(2, 3));
+    }
+
+    #[test]
+    fn paper_weights_sum_to_20_per_link() {
+        // Every congested link carries total weight 20 (the basis of the
+        // paper's 25 pkt/s-per-unit-weight expectation).
+        for link in 0..3 {
+            let total: u32 = (1..=20)
+                .filter(|&i| {
+                    let r = Route::of_paper_flow(i);
+                    r.first_core <= link && link < r.last_core
+                })
+                .map(Route::paper_weight)
+                .sum();
+            assert_eq!(total, 20, "link C{}-C{}", link + 1, link + 2);
+        }
+    }
+
+    #[test]
+    fn paper_link_matches_numbers() {
+        let spec = paper_link();
+        assert!((spec.service_rate_pps(1000) - LINK_CAPACITY_PPS).abs() < 1e-9);
+        assert_eq!(spec.queue_capacity, 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid route")]
+    fn backwards_route_rejected() {
+        Route::new(2, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "numbered")]
+    fn flow_zero_rejected() {
+        Route::of_paper_flow(0);
+    }
+}

@@ -1,0 +1,684 @@
+//! Measurement primitives shared by the simulators.
+//!
+//! * [`TimeSeries`] — append-only `(time, value)` samples with resampling
+//!   helpers, used to record allotted rates and cumulative service.
+//! * [`TimeWeightedMean`] — exact time-weighted average of a
+//!   piecewise-constant signal; this is how a Corelite core router computes
+//!   the average queue length `q_avg` over a congestion epoch.
+//! * [`ExpAvg`] — the exponential averaging estimator from CSFQ
+//!   (`r ← (1 − e^{−T/K})·(l/T) + e^{−T/K}·r`).
+//! * [`WindowedRate`] — event count per fixed window, for goodput plots.
+
+use crate::time::{SimDuration, SimTime};
+
+/// An append-only series of `(time, value)` samples.
+///
+/// Sample times must be non-decreasing.
+///
+/// # Example
+///
+/// ```
+/// use sim_core::stats::TimeSeries;
+/// use sim_core::time::SimTime;
+///
+/// let mut s = TimeSeries::new();
+/// s.push(SimTime::ZERO, 1.0);
+/// s.push(SimTime::from_secs(1), 2.0);
+/// assert_eq!(s.len(), 2);
+/// assert_eq!(s.last_value(), Some(2.0));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TimeSeries {
+    samples: Vec<(SimTime, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        TimeSeries {
+            samples: Vec::new(),
+        }
+    }
+
+    /// Appends a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is earlier than the previous sample's time.
+    pub fn push(&mut self, time: SimTime, value: f64) {
+        if let Some(&(last, _)) = self.samples.last() {
+            assert!(
+                time >= last,
+                "TimeSeries samples must be time-ordered: {time} after {last}"
+            );
+        }
+        self.samples.push((time, value));
+    }
+
+    /// Returns the number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns `true` if the series holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Returns the most recent value, if any.
+    pub fn last_value(&self) -> Option<f64> {
+        self.samples.last().map(|&(_, v)| v)
+    }
+
+    /// Iterates over `(time, value)` samples in time order.
+    pub fn iter(&self) -> impl Iterator<Item = (SimTime, f64)> + '_ {
+        self.samples.iter().copied()
+    }
+
+    /// Returns the sample-and-hold value at `t`: the value of the latest
+    /// sample at or before `t`, or `None` if `t` precedes the first sample.
+    pub fn value_at(&self, t: SimTime) -> Option<f64> {
+        match self.samples.binary_search_by(|&(st, _)| st.cmp(&t)) {
+            Ok(i) => Some(self.samples[i].1),
+            Err(0) => None,
+            Err(i) => Some(self.samples[i - 1].1),
+        }
+    }
+
+    /// Returns the plain mean of values sampled within `[from, to)`.
+    pub fn mean_in(&self, from: SimTime, to: SimTime) -> Option<f64> {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for &(t, v) in &self.samples {
+            if t >= from && t < to {
+                sum += v;
+                n += 1;
+            }
+        }
+        (n > 0).then(|| sum / n as f64)
+    }
+
+    /// Returns the samples as a slice.
+    pub fn as_slice(&self) -> &[(SimTime, f64)] {
+        &self.samples
+    }
+
+    /// Resamples the series into buckets of width `window`, emitting one
+    /// point per bucket (at the bucket's end) holding the mean of the
+    /// samples inside it. Empty buckets repeat the previous bucket's
+    /// value. Useful for smoothing a sawtooth before convergence
+    /// detection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn resample_mean(&self, window: SimDuration) -> TimeSeries {
+        assert!(!window.is_zero(), "resample window must be positive");
+        let mut out = TimeSeries::new();
+        let Some(&(first, _)) = self.samples.first() else {
+            return out;
+        };
+        let &(last, _) = self.samples.last().expect("non-empty");
+        let mut bucket_start = first;
+        let mut held = self.samples[0].1;
+        let mut i = 0usize;
+        while bucket_start <= last {
+            let bucket_end = bucket_start + window;
+            let mut sum = 0.0;
+            let mut n = 0usize;
+            while i < self.samples.len() && self.samples[i].0 < bucket_end {
+                sum += self.samples[i].1;
+                n += 1;
+                i += 1;
+            }
+            if n > 0 {
+                held = sum / n as f64;
+            }
+            out.push(bucket_end, held);
+            bucket_start = bucket_end;
+        }
+        out
+    }
+}
+
+impl FromIterator<(SimTime, f64)> for TimeSeries {
+    fn from_iter<I: IntoIterator<Item = (SimTime, f64)>>(iter: I) -> Self {
+        let mut s = TimeSeries::new();
+        for (t, v) in iter {
+            s.push(t, v);
+        }
+        s
+    }
+}
+
+/// Exact time-weighted mean of a piecewise-constant signal.
+///
+/// Feed it every change of the signal via [`TimeWeightedMean::set`]; read
+/// the mean over the elapsed window with [`TimeWeightedMean::mean`] and
+/// start a fresh window with [`TimeWeightedMean::restart`].
+///
+/// Corelite core routers use this to compute `q_avg`, the average aggregate
+/// queue length over each congestion epoch.
+///
+/// # Example
+///
+/// ```
+/// use sim_core::stats::TimeWeightedMean;
+/// use sim_core::time::SimTime;
+///
+/// let mut m = TimeWeightedMean::new(SimTime::ZERO, 0.0);
+/// m.set(SimTime::from_secs(1), 10.0); // 0 for 1s
+/// let mean = m.mean(SimTime::from_secs(2)); // then 10 for 1s
+/// assert_eq!(mean, 5.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeWeightedMean {
+    window_start: SimTime,
+    last_change: SimTime,
+    current: f64,
+    integral: f64,
+}
+
+impl TimeWeightedMean {
+    /// Starts integrating at `start` with initial signal value `value`.
+    pub fn new(start: SimTime, value: f64) -> Self {
+        TimeWeightedMean {
+            window_start: start,
+            last_change: start,
+            current: value,
+            integral: 0.0,
+        }
+    }
+
+    /// Records that the signal changed to `value` at time `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` precedes the previous update.
+    pub fn set(&mut self, now: SimTime, value: f64) {
+        assert!(
+            now >= self.last_change,
+            "TimeWeightedMean updates must be time-ordered"
+        );
+        self.integral += self.current * (now - self.last_change).as_secs_f64();
+        self.last_change = now;
+        self.current = value;
+    }
+
+    /// Returns the current signal value.
+    pub fn current(&self) -> f64 {
+        self.current
+    }
+
+    /// Returns the time-weighted mean over `[window_start, now]`.
+    ///
+    /// If the window has zero width, returns the current value.
+    pub fn mean(&self, now: SimTime) -> f64 {
+        let span = now.saturating_since(self.window_start).as_secs_f64();
+        if span <= 0.0 {
+            return self.current;
+        }
+        let tail = self.current * now.saturating_since(self.last_change).as_secs_f64();
+        (self.integral + tail) / span
+    }
+
+    /// Closes the window at `now` and starts a new one, keeping the current
+    /// signal value. Returns the mean of the closed window.
+    pub fn restart(&mut self, now: SimTime) -> f64 {
+        let mean = self.mean(now);
+        self.window_start = now;
+        self.last_change = now;
+        self.integral = 0.0;
+        mean
+    }
+}
+
+/// The exponential averaging estimator used by CSFQ.
+///
+/// On each update at inter-arrival gap `T` carrying quantity `l`, the
+/// estimate becomes `r ← (1 − e^{−T/K})·(l/T) + e^{−T/K}·r` where `K` is the
+/// averaging time constant. The exponential form makes the estimate
+/// insensitive to packet-size variation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExpAvg {
+    k: f64,
+    last: Option<SimTime>,
+    rate: f64,
+}
+
+impl ExpAvg {
+    /// Creates an estimator with time constant `k` (seconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is not strictly positive.
+    pub fn new(k: SimDuration) -> Self {
+        assert!(!k.is_zero(), "ExpAvg time constant must be positive");
+        ExpAvg {
+            k: k.as_secs_f64(),
+            last: None,
+            rate: 0.0,
+        }
+    }
+
+    /// Records `amount` units arriving at `now` and returns the updated
+    /// rate estimate (units per second).
+    ///
+    /// The first observation initializes the estimate to `amount / k`.
+    pub fn observe(&mut self, now: SimTime, amount: f64) -> f64 {
+        match self.last {
+            None => {
+                // Bootstrap: treat the first packet as spread over one time
+                // constant, matching the ns CSFQ implementation.
+                self.rate = amount / self.k;
+            }
+            Some(prev) => {
+                let t = now.saturating_since(prev).as_secs_f64();
+                if t <= 0.0 {
+                    // Simultaneous arrival: fold the amount into the estimate
+                    // as an instantaneous burst over a negligible interval.
+                    self.rate += amount / self.k;
+                } else {
+                    let e = (-t / self.k).exp();
+                    self.rate = (1.0 - e) * (amount / t) + e * self.rate;
+                }
+            }
+        }
+        self.last = Some(now);
+        self.rate
+    }
+
+    /// Returns the current rate estimate, decayed to `now` with no new
+    /// arrival (used when reading the estimate between packets).
+    pub fn decayed(&self, now: SimTime) -> f64 {
+        match self.last {
+            None => 0.0,
+            Some(prev) => {
+                let t = now.saturating_since(prev).as_secs_f64();
+                self.rate * (-t / self.k).exp()
+            }
+        }
+    }
+
+    /// Returns the current (undecayed) rate estimate.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+/// Counts events into fixed-size windows and exposes per-window rates.
+///
+/// Used to produce the paper's "number of packets per second" plots from
+/// discrete delivery events.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowedRate {
+    window: SimDuration,
+    window_start: SimTime,
+    in_window: f64,
+    series: TimeSeries,
+    total: f64,
+}
+
+impl WindowedRate {
+    /// Creates a meter with the given window size starting at `start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(start: SimTime, window: SimDuration) -> Self {
+        assert!(!window.is_zero(), "WindowedRate window must be positive");
+        WindowedRate {
+            window,
+            window_start: start,
+            in_window: 0.0,
+            series: TimeSeries::new(),
+            total: 0.0,
+        }
+    }
+
+    /// Records `amount` units at time `now`, closing any windows that have
+    /// elapsed since the last event.
+    pub fn record(&mut self, now: SimTime, amount: f64) {
+        self.roll_to(now);
+        self.in_window += amount;
+        self.total += amount;
+    }
+
+    /// Closes every window that ends at or before `now`, emitting one
+    /// series point per closed window (at the window's *end* time).
+    pub fn roll_to(&mut self, now: SimTime) {
+        while now >= self.window_start + self.window {
+            let end = self.window_start + self.window;
+            let rate = self.in_window / self.window.as_secs_f64();
+            self.series.push(end, rate);
+            self.window_start = end;
+            self.in_window = 0.0;
+        }
+    }
+
+    /// Returns the per-window rate series (units per second, one point per
+    /// closed window).
+    pub fn series(&self) -> &TimeSeries {
+        &self.series
+    }
+
+    /// Returns the total amount recorded since creation.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Consumes the meter, closing the final partial window, and returns
+    /// the series.
+    pub fn finish(mut self, now: SimTime) -> TimeSeries {
+        self.roll_to(now);
+        self.series
+    }
+}
+
+/// A logarithmically bucketed histogram for positive quantities spanning
+/// many orders of magnitude (packet delays: microseconds to seconds).
+///
+/// Values are assigned to buckets whose bounds grow geometrically from
+/// `min_value`; quantiles are answered by linear interpolation inside the
+/// winning bucket. Memory is a fixed ~100 buckets regardless of sample
+/// count, and recording is O(1) — suitable for millions of per-packet
+/// observations.
+///
+/// # Example
+///
+/// ```
+/// use sim_core::stats::LogHistogram;
+///
+/// let mut h = LogHistogram::new();
+/// for i in 1..=1000 {
+///     h.record(i as f64 * 1e-3); // 1 ms .. 1 s, uniform
+/// }
+/// let p50 = h.quantile(0.5).unwrap();
+/// assert!(p50 > 0.4 && p50 < 0.6, "{p50}");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogHistogram {
+    /// bucket i spans [min_value·growth^i, min_value·growth^(i+1))
+    buckets: Vec<u64>,
+    min_value: f64,
+    growth: f64,
+    count: u64,
+    sum: f64,
+    min_seen: f64,
+    max_seen: f64,
+}
+
+impl LogHistogram {
+    /// Number of buckets: covers 1 µs to ~1000 s at 20% growth.
+    const BUCKETS: usize = 120;
+
+    /// Creates a histogram covering roughly `1 µs ..= 1000 s`.
+    pub fn new() -> Self {
+        LogHistogram {
+            buckets: vec![0; Self::BUCKETS],
+            min_value: 1e-6,
+            growth: 1.2,
+            count: 0,
+            sum: 0.0,
+            min_seen: f64::INFINITY,
+            max_seen: 0.0,
+        }
+    }
+
+    /// Records one observation (clamped into the covered range).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is negative or NaN.
+    pub fn record(&mut self, value: f64) {
+        assert!(
+            value >= 0.0 && !value.is_nan(),
+            "histogram values must be non-negative, got {value}"
+        );
+        let idx = if value <= self.min_value {
+            0
+        } else {
+            ((value / self.min_value).ln() / self.growth.ln()) as usize
+        }
+        .min(Self::BUCKETS - 1);
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.min_seen = self.min_seen.min(value);
+        self.max_seen = self.max_seen.max(value);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the recorded observations (exact, not bucketed).
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// The `q`-quantile (`0 ≤ q ≤ 1`) by bucket interpolation, or `None`
+    /// if nothing was recorded. Accuracy is bounded by the 20% bucket
+    /// width; exact `min`/`max` are used at the extremes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.count == 0 {
+            return None;
+        }
+        if q == 0.0 {
+            return Some(self.min_seen);
+        }
+        if q == 1.0 {
+            return Some(self.max_seen);
+        }
+        let target = q * self.count as f64;
+        let mut seen = 0.0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let next = seen + n as f64;
+            if next >= target {
+                let lo = self.min_value * self.growth.powi(i as i32);
+                let hi = lo * self.growth;
+                let frac = (target - seen) / n as f64;
+                let v = lo + frac * (hi - lo);
+                return Some(v.clamp(self.min_seen, self.max_seen));
+            }
+            seen = next;
+        }
+        Some(self.max_seen)
+    }
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs_f64(s)
+    }
+
+    #[test]
+    fn series_value_at_sample_and_hold() {
+        let s: TimeSeries = [(t(1.0), 10.0), (t(2.0), 20.0)].into_iter().collect();
+        assert_eq!(s.value_at(t(0.5)), None);
+        assert_eq!(s.value_at(t(1.0)), Some(10.0));
+        assert_eq!(s.value_at(t(1.5)), Some(10.0));
+        assert_eq!(s.value_at(t(2.5)), Some(20.0));
+    }
+
+    #[test]
+    fn series_mean_in_window() {
+        let s: TimeSeries = [(t(0.0), 1.0), (t(1.0), 3.0), (t(2.0), 5.0)]
+            .into_iter()
+            .collect();
+        assert_eq!(s.mean_in(t(0.0), t(2.0)), Some(2.0));
+        assert_eq!(s.mean_in(t(5.0), t(6.0)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn series_rejects_time_travel() {
+        let mut s = TimeSeries::new();
+        s.push(t(2.0), 0.0);
+        s.push(t(1.0), 0.0);
+    }
+
+    #[test]
+    fn time_weighted_mean_piecewise() {
+        let mut m = TimeWeightedMean::new(t(0.0), 4.0);
+        m.set(t(2.0), 0.0); // 4 for 2s
+        m.set(t(3.0), 8.0); // 0 for 1s
+        // then 8 for 1s → (8 + 0 + 8) / 4 = 4
+        assert!((m.mean(t(4.0)) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_weighted_mean_restart_resets_window() {
+        let mut m = TimeWeightedMean::new(t(0.0), 2.0);
+        let first = m.restart(t(1.0));
+        assert_eq!(first, 2.0);
+        m.set(t(1.5), 6.0);
+        // window [1, 2]: 2 for 0.5s + 6 for 0.5s = 4
+        assert!((m.mean(t(2.0)) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_weighted_mean_zero_width_window() {
+        let m = TimeWeightedMean::new(t(1.0), 7.0);
+        assert_eq!(m.mean(t(1.0)), 7.0);
+    }
+
+    #[test]
+    fn exp_avg_converges_to_constant_rate() {
+        let mut e = ExpAvg::new(SimDuration::from_millis(100));
+        // 1 unit every 10 ms = 100 units/s.
+        let mut now = t(0.0);
+        for _ in 0..500 {
+            now += SimDuration::from_millis(10);
+            e.observe(now, 1.0);
+        }
+        assert!((e.rate() - 100.0).abs() < 1.0, "rate {}", e.rate());
+    }
+
+    #[test]
+    fn exp_avg_insensitive_to_packet_size_split() {
+        // Same long-run rate delivered as double-size packets half as often.
+        let mut a = ExpAvg::new(SimDuration::from_millis(100));
+        let mut b = ExpAvg::new(SimDuration::from_millis(100));
+        let mut now = t(0.0);
+        for i in 0..1000 {
+            now += SimDuration::from_millis(5);
+            a.observe(now, 1.0);
+            if i % 2 == 1 {
+                b.observe(now, 2.0);
+            }
+        }
+        assert!((a.rate() - b.rate()).abs() / a.rate() < 0.05);
+    }
+
+    #[test]
+    fn exp_avg_decays_when_idle() {
+        let mut e = ExpAvg::new(SimDuration::from_millis(100));
+        let mut now = t(0.0);
+        for _ in 0..200 {
+            now += SimDuration::from_millis(10);
+            e.observe(now, 1.0);
+        }
+        let busy = e.decayed(now);
+        let idle = e.decayed(now + SimDuration::from_secs(1));
+        assert!(idle < busy * 0.01);
+    }
+
+    #[test]
+    fn windowed_rate_emits_per_window_points() {
+        let mut w = WindowedRate::new(t(0.0), SimDuration::from_secs(1));
+        for i in 0..10 {
+            w.record(t(0.25 * i as f64), 1.0);
+        }
+        let series = w.finish(t(3.0));
+        let points: Vec<_> = series.iter().collect();
+        assert_eq!(points.len(), 3);
+        assert_eq!(points[0], (t(1.0), 4.0));
+        assert_eq!(points[1], (t(2.0), 4.0));
+    }
+
+    #[test]
+    fn windowed_rate_skips_empty_windows_with_zero() {
+        let mut w = WindowedRate::new(t(0.0), SimDuration::from_secs(1));
+        w.record(t(0.5), 2.0);
+        w.record(t(3.5), 2.0);
+        let series = w.finish(t(4.0));
+        let vals: Vec<f64> = series.iter().map(|(_, v)| v).collect();
+        assert_eq!(vals, vec![2.0, 0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn windowed_rate_total() {
+        let mut w = WindowedRate::new(t(0.0), SimDuration::from_secs(1));
+        w.record(t(0.1), 3.0);
+        w.record(t(5.0), 4.0);
+        assert_eq!(w.total(), 7.0);
+    }
+
+    #[test]
+    fn histogram_empty_has_no_quantiles() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn histogram_quantiles_bracket_uniform_data() {
+        let mut h = LogHistogram::new();
+        for i in 1..=10_000 {
+            h.record(i as f64 * 1e-4); // 0.1 ms .. 1 s
+        }
+        let p10 = h.quantile(0.1).unwrap();
+        let p50 = h.quantile(0.5).unwrap();
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p10 < p50 && p50 < p99, "{p10} {p50} {p99}");
+        assert!((p50 - 0.5).abs() < 0.12, "p50 {p50}");
+        assert!((p99 - 0.99).abs() < 0.2, "p99 {p99}");
+        assert_eq!(h.quantile(0.0), Some(1e-4));
+        assert_eq!(h.quantile(1.0), Some(1.0));
+        assert!((h.mean().unwrap() - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn histogram_single_value() {
+        let mut h = LogHistogram::new();
+        h.record(0.042);
+        assert_eq!(h.quantile(0.5).unwrap(), 0.042);
+        assert_eq!(h.mean(), Some(0.042));
+    }
+
+    #[test]
+    fn histogram_clamps_out_of_range() {
+        let mut h = LogHistogram::new();
+        h.record(0.0); // below min bucket
+        h.record(1e9); // above max bucket
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.quantile(0.0), Some(0.0));
+        assert_eq!(h.quantile(1.0), Some(1e9));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn histogram_rejects_negative() {
+        LogHistogram::new().record(-1.0);
+    }
+}

@@ -1,0 +1,90 @@
+//! Randomized end-to-end property test: for *any* small population of
+//! flows on the paper topology, Corelite's steady-state allocation tracks
+//! the analytic weighted max-min solution and losses stay negligible.
+//!
+//! This is the whole-system analogue of the per-module property tests:
+//! proptest draws the flow population (routes, weights, stagger), the
+//! simulator runs it, and the water-filling solver judges the outcome.
+
+use corelite::CoreliteConfig;
+use proptest::prelude::*;
+use scenarios::runner::{Discipline, Scenario, ScenarioFlow};
+use scenarios::topology::Route;
+use sim_core::time::SimTime;
+
+#[derive(Debug, Clone)]
+struct FlowDraw {
+    first: usize,
+    span: usize,
+    weight: u32,
+    start: u64,
+}
+
+fn flow_draw() -> impl Strategy<Value = FlowDraw> {
+    (0usize..3, 1usize..3, 1u32..4, 0u64..5).prop_map(|(first, span, weight, start)| FlowDraw {
+        first,
+        span,
+        weight,
+        start,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 8,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn corelite_tracks_maxmin_for_random_populations(draws in prop::collection::vec(flow_draw(), 2..7)) {
+        let flows: Vec<ScenarioFlow> = draws
+            .iter()
+            .map(|d| {
+                let last = (d.first + d.span).min(Route::CORE_COUNT - 1);
+                let first = d.first.min(last - 1);
+                ScenarioFlow {
+                    route: Route::new(first, last),
+                    weight: d.weight,
+                    min_rate: 0.0,
+                    activations: vec![(SimTime::from_secs(d.start), None)],
+                }
+            })
+            .collect();
+        let scenario = Scenario {
+            name: "randomized",
+            flows,
+            horizon: SimTime::from_secs(220),
+            seed: 1234,
+        };
+        let result = scenario.run(&Discipline::Corelite(CoreliteConfig::default()));
+
+        let from = SimTime::from_secs(180);
+        let to = scenario.horizon;
+        let expected = scenario.expected_rates_at(SimTime::from_secs(200));
+        let mut aggregate_err = 0.0;
+        for (i, &share) in expected.iter().enumerate() {
+            let measured = result.mean_rate_in(i, from, to);
+            prop_assert!(share > 0.0, "every drawn flow is active");
+            let err = (measured - share).abs() / share;
+            aggregate_err += err;
+            // Individual flows may sit off their share when the analytic
+            // optimum depends on second-order effects; bound each loosely
+            // and the population tightly.
+            prop_assert!(
+                err < 0.45,
+                "flow {i}: measured {measured:.1} vs share {share:.1} ({:.0}%)",
+                err * 100.0
+            );
+        }
+        let mean_err = aggregate_err / expected.len() as f64;
+        prop_assert!(mean_err < 0.25, "population mean error {:.0}%", mean_err * 100.0);
+
+        // Loss-free up to slow-start transients.
+        let delivered: u64 = result.report.flows.iter().map(|f| f.delivered_packets).sum();
+        let drops = result.total_drops();
+        prop_assert!(
+            (drops as f64) < 0.005 * delivered as f64 + 50.0,
+            "drops {drops} of {delivered} delivered"
+        );
+    }
+}
