@@ -225,7 +225,9 @@ mod tests {
         let mut b = TopologyBuilder::new(88);
         let fast_src = b.node("fast", |_| Box::new(GreedySource::new(700.0)));
         let slow_src = b.node("slow", |_| Box::new(GreedySource::new(100.0)));
-        let fred = b.node("fred", |s| Box::new(FredCore::new(s, FredConfig::default())));
+        let fred = b.node("fred", |s| {
+            Box::new(FredCore::new(s, FredConfig::default()))
+        });
         let sink = b.node("sink", |_| Box::new(ForwardLogic));
         let access = LinkSpec::new(40_000_000, SimDuration::from_millis(1), 400);
         b.link(fast_src, fred, access);

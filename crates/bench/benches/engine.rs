@@ -2,124 +2,106 @@
 //! streams, the time-weighted queue average, and the exponential rate
 //! estimator.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use bench::{black_box, Runner};
 use sim_core::event::EventQueue;
 use sim_core::rng::DetRng;
 use sim_core::stats::{ExpAvg, TimeWeightedMean};
 use sim_core::time::{SimDuration, SimTime};
 
-fn bench_event_queue(c: &mut Criterion) {
-    let mut group = c.benchmark_group("event_queue");
-    group.bench_function("push_pop_interleaved_1k", |b| {
-        b.iter(|| {
-            let mut q = EventQueue::with_capacity(1024);
-            // A sliding window of pending events, like a busy link.
-            for i in 0..1_000u64 {
-                q.push(SimTime::from_nanos(i * 997 % 50_000), i);
-                if i % 2 == 1 {
-                    black_box(q.pop());
-                }
+fn bench_event_queue(runner: &Runner) {
+    runner.bench("event_queue/push_pop_interleaved_1k", || {
+        let mut q = EventQueue::with_capacity(1024);
+        // A sliding window of pending events, like a busy link.
+        for i in 0..1_000u64 {
+            q.push(SimTime::from_nanos(i * 997 % 50_000), i);
+            if i % 2 == 1 {
+                black_box(q.pop());
             }
-            while let Some(e) = q.pop() {
-                black_box(e);
-            }
-        });
+        }
+        while let Some(e) = q.pop() {
+            black_box(e);
+        }
     });
-    group.bench_function("push_pop_fifo_ties_1k", |b| {
+    runner.bench("event_queue/push_pop_fifo_ties_1k", || {
         let t = SimTime::from_secs(1);
-        b.iter(|| {
-            let mut q = EventQueue::with_capacity(1024);
-            for i in 0..1_000u64 {
-                q.push(t, i);
-            }
-            while let Some(e) = q.pop() {
-                black_box(e);
-            }
-        });
+        let mut q = EventQueue::with_capacity(1024);
+        for i in 0..1_000u64 {
+            q.push(t, i);
+        }
+        while let Some(e) = q.pop() {
+            black_box(e);
+        }
     });
-    group.finish();
 }
 
-fn bench_rng(c: &mut Criterion) {
-    let mut group = c.benchmark_group("rng");
-    group.bench_function("bernoulli_10k", |b| {
-        let mut rng = DetRng::new(7);
-        b.iter(|| {
-            let mut hits = 0u32;
-            for _ in 0..10_000 {
-                hits += u32::from(rng.bernoulli(black_box(0.3)));
-            }
-            black_box(hits)
-        });
+fn bench_rng(runner: &Runner) {
+    let mut rng = DetRng::new(7);
+    runner.bench("rng/bernoulli_10k", || {
+        let mut hits = 0u32;
+        for _ in 0..10_000 {
+            hits += u32::from(rng.bernoulli(black_box(0.3)));
+        }
+        black_box(hits)
     });
-    group.bench_function("stream_derivation", |b| {
-        b.iter(|| black_box(DetRng::stream(black_box(42), "core-router-3")));
+    runner.bench("rng/stream_derivation", || {
+        black_box(DetRng::stream(black_box(42), "core-router-3"))
     });
-    group.finish();
 }
 
-fn bench_stats(c: &mut Criterion) {
-    let mut group = c.benchmark_group("stats");
-    group.bench_function("time_weighted_mean_10k_updates", |b| {
-        b.iter(|| {
-            let mut m = TimeWeightedMean::new(SimTime::ZERO, 0.0);
-            for i in 1..10_000u64 {
-                m.set(SimTime::from_nanos(i * 1_000), (i % 40) as f64);
-            }
-            black_box(m.mean(SimTime::from_millis(10)))
-        });
+fn bench_stats(runner: &Runner) {
+    runner.bench("stats/time_weighted_mean_10k_updates", || {
+        let mut m = TimeWeightedMean::new(SimTime::ZERO, 0.0);
+        for i in 1..10_000u64 {
+            m.set(SimTime::from_nanos(i * 1_000), (i % 40) as f64);
+        }
+        black_box(m.mean(SimTime::from_millis(10)))
     });
-    group.bench_function("exp_avg_10k_observations", |b| {
-        b.iter(|| {
-            let mut e = ExpAvg::new(SimDuration::from_millis(100));
-            let mut now = SimTime::ZERO;
-            for _ in 0..10_000 {
-                now += SimDuration::from_micros(500);
-                black_box(e.observe(now, 1.0));
-            }
-            black_box(e.rate())
-        });
+    runner.bench("stats/exp_avg_10k_observations", || {
+        let mut e = ExpAvg::new(SimDuration::from_millis(100));
+        let mut now = SimTime::ZERO;
+        for _ in 0..10_000 {
+            now += SimDuration::from_micros(500);
+            black_box(e.observe(now, 1.0));
+        }
+        black_box(e.rate())
     });
-    group.finish();
 }
 
-fn bench_simulator_scaling(c: &mut Criterion) {
+fn bench_simulator_scaling(runner: &Runner) {
     use corelite::CoreliteConfig;
-    use scenarios::runner::{Discipline, Scenario, ScenarioFlow};
+    use scenarios::discipline::Corelite;
+    use scenarios::runner::{Scenario, ScenarioFlow};
     use scenarios::topology::Route;
 
-    let mut group = c.benchmark_group("simulator_scaling");
-    group.sample_size(10);
     for &flows in &[5usize, 20, 50] {
-        let scenario = Scenario {
-            name: "scaling",
-            flows: (0..flows)
+        let scenario = Scenario::paper(
+            "scaling",
+            (0..flows)
                 .map(|i| ScenarioFlow {
-                    route: Route::new(i % 3, i % 3 + 1),
+                    path: Route::new(i % 3, i % 3 + 1).into(),
                     weight: (i % 3 + 1) as u32,
                     min_rate: 0.0,
                     activations: vec![(SimTime::ZERO, None)],
                 })
                 .collect(),
-            horizon: SimTime::from_secs(10),
-            seed: 1,
-        };
-        let discipline = Discipline::Corelite(CoreliteConfig::default());
-        group.bench_function(format!("corelite_{flows}_flows_10s"), |b| {
-            b.iter(|| {
+            SimTime::from_secs(10),
+            1,
+        );
+        let discipline = Corelite::new(CoreliteConfig::default());
+        runner.bench(
+            &format!("simulator_scaling/corelite_{flows}_flows_10s"),
+            || {
                 let result = scenario.run(&discipline);
                 black_box(result.report.events_processed)
-            });
-        });
+            },
+        );
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_event_queue,
-    bench_rng,
-    bench_stats,
-    bench_simulator_scaling
-);
-criterion_main!(benches);
+fn main() {
+    let runner = Runner::from_args();
+    bench_event_queue(&runner);
+    bench_rng(&runner);
+    bench_stats(&runner);
+    bench_simulator_scaling(&runner);
+}

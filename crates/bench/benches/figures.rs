@@ -4,28 +4,21 @@
 //! under the figure's discipline and reports wall-clock time per
 //! simulated run. The full-length data behind each figure is regenerated
 //! by `cargo run --release -p scenarios --bin figures -- all`; the
-//! benches here keep the workloads executable under Criterion's
-//! repetition budget while still covering every figure's code path
-//! (topology, schedule, discipline, selector).
+//! benches here keep the workloads short while still covering every
+//! figure's code path (topology, schedule, discipline, selector).
 
-use bench::{compress, run_checked};
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::{compress, run_checked, Runner};
 use scenarios::PaperFigure;
 
-fn bench_figures(c: &mut Criterion) {
-    let mut group = c.benchmark_group("figures");
-    group.sample_size(10);
+fn main() {
+    let runner = Runner::from_args();
     for figure in PaperFigure::ALL {
         // Figures 3/4 simulate 800 s in the paper; compress every figure
         // to 20 simulated seconds for benchmarking.
         let scenario = compress(figure.scenario(1), 20);
         let discipline = figure.discipline();
-        group.bench_function(figure.name(), |b| {
-            b.iter(|| run_checked(&scenario, &discipline));
+        runner.bench(figure.name(), || {
+            run_checked(&scenario, discipline.as_ref())
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_figures);
-criterion_main!(benches);

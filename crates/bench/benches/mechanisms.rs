@@ -4,14 +4,15 @@
 //! design choice; the ablation *quality* tables come from
 //! `cargo run --release -p scenarios --bin ablations`.
 
-use bench::{compress, run_checked};
-use corelite::{marker_feedback_count, CoreliteConfig, MarkerCache, SelectorKind, StatelessSelector};
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use bench::{black_box, compress, run_checked, Runner};
+use corelite::{
+    marker_feedback_count, CoreliteConfig, MarkerCache, SelectorKind, StatelessSelector,
+};
 use csfq::FairShareEstimator;
 use fairness::maxmin::MaxMinProblem;
 use netsim::packet::Marker;
 use netsim::{FlowId, NodeId};
-use scenarios::runner::Discipline;
+use scenarios::discipline::Corelite;
 use scenarios::{fig3_4, fig5_6};
 use sim_core::rng::DetRng;
 use sim_core::time::{SimDuration, SimTime};
@@ -24,101 +25,81 @@ fn marker(flow: usize, rn: f64) -> Marker {
     }
 }
 
-fn bench_selectors(c: &mut Criterion) {
-    let mut group = c.benchmark_group("selector");
-    group.bench_function("cache_push_1k", |b| {
-        let mut cache = MarkerCache::new(512);
-        b.iter(|| {
-            for i in 0..1_000 {
-                cache.push(marker(i % 20, (i % 50) as f64));
-            }
-        });
-    });
-    group.bench_function("cache_select_16_of_512", |b| {
-        let mut cache = MarkerCache::new(512);
-        for i in 0..512 {
+fn bench_selectors(runner: &Runner) {
+    let mut cache = MarkerCache::new(512);
+    runner.bench("selector/cache_push_1k", || {
+        for i in 0..1_000 {
             cache.push(marker(i % 20, (i % 50) as f64));
         }
-        let mut rng = DetRng::new(3);
-        b.iter(|| black_box(cache.select(16, &mut rng)));
     });
-    group.bench_function("stateless_on_marker_1k", |b| {
-        let mut sel = StatelessSelector::new(0.1);
-        let mut rng = DetRng::new(5);
-        sel.on_epoch(10.0);
-        b.iter(|| {
-            let mut sent = 0u32;
-            for i in 0..1_000 {
-                sent += u32::from(sel.on_marker(&marker(i % 20, (i % 50) as f64), &mut rng));
-            }
-            black_box(sent)
-        });
+    let mut cache = MarkerCache::new(512);
+    for i in 0..512 {
+        cache.push(marker(i % 20, (i % 50) as f64));
+    }
+    let mut rng = DetRng::new(3);
+    runner.bench("selector/cache_select_16_of_512", || {
+        black_box(cache.select(16, &mut rng))
     });
-    group.finish();
+    let mut sel = StatelessSelector::new(0.1);
+    let mut rng = DetRng::new(5);
+    sel.on_epoch(10.0);
+    runner.bench("selector/stateless_on_marker_1k", || {
+        let mut sent = 0u32;
+        for i in 0..1_000 {
+            sent += u32::from(sel.on_marker(&marker(i % 20, (i % 50) as f64), &mut rng));
+        }
+        black_box(sent)
+    });
 }
 
-fn bench_congestion_and_csfq(c: &mut Criterion) {
-    let mut group = c.benchmark_group("per_packet");
-    group.bench_function("marker_feedback_count", |b| {
-        b.iter(|| {
-            black_box(marker_feedback_count(
-                black_box(17.3),
-                black_box(8.0),
-                black_box(50.0),
-                black_box(0.005),
-            ))
-        });
+fn bench_congestion_and_csfq(runner: &Runner) {
+    runner.bench("per_packet/marker_feedback_count", || {
+        black_box(marker_feedback_count(
+            black_box(17.3),
+            black_box(8.0),
+            black_box(50.0),
+            black_box(0.005),
+        ))
     });
-    group.bench_function("csfq_arrival_accept_1k", |b| {
-        b.iter(|| {
-            let mut est = FairShareEstimator::new(500.0, SimDuration::from_millis(100));
-            let mut now = SimTime::ZERO;
-            for i in 0..1_000u64 {
-                now += SimDuration::from_micros(900);
-                let p = est.on_arrival(now, (i % 60) as f64);
-                if p < 0.5 {
-                    black_box(est.on_accept(now, (i % 60) as f64));
-                }
+    runner.bench("per_packet/csfq_arrival_accept_1k", || {
+        let mut est = FairShareEstimator::new(500.0, SimDuration::from_millis(100));
+        let mut now = SimTime::ZERO;
+        for i in 0..1_000u64 {
+            now += SimDuration::from_micros(900);
+            let p = est.on_arrival(now, (i % 60) as f64);
+            if p < 0.5 {
+                black_box(est.on_accept(now, (i % 60) as f64));
             }
-        });
+        }
     });
-    group.finish();
 }
 
-fn bench_maxmin(c: &mut Criterion) {
-    let mut group = c.benchmark_group("maxmin");
-    group.bench_function("paper_20_flows", |b| {
-        b.iter(|| {
-            let mut p = MaxMinProblem::new();
-            let links: Vec<_> = (0..3).map(|_| p.link(500.0)).collect();
-            for i in 0..20usize {
-                let span = i % 3;
-                p.flow((i % 3 + 1) as f64, links[span..span + 1].to_vec());
-            }
-            black_box(p.solve())
-        });
+fn bench_maxmin(runner: &Runner) {
+    runner.bench("maxmin/paper_20_flows", || {
+        let mut p = MaxMinProblem::new();
+        let links: Vec<_> = (0..3).map(|_| p.link(500.0)).collect();
+        for i in 0..20usize {
+            let span = i % 3;
+            p.flow((i % 3 + 1) as f64, links[span..span + 1].to_vec());
+        }
+        black_box(p.solve())
     });
-    group.bench_function("large_200_flows_50_links", |b| {
-        b.iter(|| {
-            let mut p = MaxMinProblem::new();
-            let links: Vec<_> = (0..50).map(|i| p.link(100.0 + i as f64)).collect();
-            for i in 0..200usize {
-                let a = i % 50;
-                let b2 = (i * 7 + 3) % 50;
-                let (lo, hi) = if a <= b2 { (a, b2) } else { (b2, a) };
-                p.flow((i % 5 + 1) as f64, links[lo..=hi].to_vec());
-            }
-            black_box(p.solve())
-        });
+    runner.bench("maxmin/large_200_flows_50_links", || {
+        let mut p = MaxMinProblem::new();
+        let links: Vec<_> = (0..50).map(|i| p.link(100.0 + i as f64)).collect();
+        for i in 0..200usize {
+            let a = i % 50;
+            let b2 = (i * 7 + 3) % 50;
+            let (lo, hi) = if a <= b2 { (a, b2) } else { (b2, a) };
+            p.flow((i % 5 + 1) as f64, links[lo..=hi].to_vec());
+        }
+        black_box(p.solve())
     });
-    group.finish();
 }
 
 /// Ablation cost axis: how the design choices change simulation cost on
 /// the §4.2 workload (quality tables live in the `ablations` binary).
-fn bench_ablation_cost(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_cost");
-    group.sample_size(10);
+fn bench_ablation_cost(runner: &Runner) {
     let cases: Vec<(&str, CoreliteConfig)> = vec![
         ("stateless", CoreliteConfig::default()),
         (
@@ -136,25 +117,23 @@ fn bench_ablation_cost(c: &mut Criterion) {
     ];
     for (name, cfg) in cases {
         let scenario = compress(fig5_6(1), 15);
-        let discipline = Discipline::Corelite(cfg);
-        group.bench_function(name, |b| {
-            b.iter(|| run_checked(&scenario, &discipline));
+        let discipline = Corelite::new(cfg);
+        runner.bench(&format!("ablation_cost/{name}"), || {
+            run_checked(&scenario, &discipline)
         });
     }
     // The 20-flow dynamics workload as a heavier end-to-end cost probe.
     let scenario = compress(fig3_4(1), 15);
-    let discipline = Discipline::Corelite(CoreliteConfig::default());
-    group.bench_function("fig3_topology_15s", |b| {
-        b.iter(|| run_checked(&scenario, &discipline));
+    let discipline = Corelite::new(CoreliteConfig::default());
+    runner.bench("ablation_cost/fig3_topology_15s", || {
+        run_checked(&scenario, &discipline)
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_selectors,
-    bench_congestion_and_csfq,
-    bench_maxmin,
-    bench_ablation_cost
-);
-criterion_main!(benches);
+fn main() {
+    let runner = Runner::from_args();
+    bench_selectors(&runner);
+    bench_congestion_and_csfq(&runner);
+    bench_maxmin(&runner);
+    bench_ablation_cost(&runner);
+}

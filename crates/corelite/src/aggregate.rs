@@ -224,7 +224,9 @@ mod tests {
         let agg = b.node("agg-edge", |s| {
             Box::new(AggregatingEdge::new(s, cfg.clone(), 1))
         });
-        let plain = b.node("plain-edge", |s| Box::new(CoreliteEdge::new(s, cfg.clone())));
+        let plain = b.node("plain-edge", |s| {
+            Box::new(CoreliteEdge::new(s, cfg.clone()))
+        });
         let core = b.node("core", |s| Box::new(CoreliteCore::new(s, cfg.clone())));
         let sink = b.node("sink", |_| Box::new(ForwardLogic));
         let access = LinkSpec::new(40_000_000, SimDuration::from_millis(1), 400);
@@ -297,7 +299,9 @@ mod tests {
             sink,
             LinkSpec::new(10_000_000, SimDuration::from_millis(10), 100),
         );
-        b.flow(FlowSpec::new(vec![agg, sink], 1).active(SimTime::ZERO, Some(SimTime::from_secs(20))));
+        b.flow(
+            FlowSpec::new(vec![agg, sink], 1).active(SimTime::ZERO, Some(SimTime::from_secs(20))),
+        );
         let f2 = b.flow(FlowSpec::new(vec![agg, sink], 1).active(SimTime::ZERO, None));
         let end = SimTime::from_secs(40);
         let mut net = b.build();

@@ -229,7 +229,10 @@ impl CoreliteConfig {
         assert!(!self.edge_epoch.is_zero(), "edge epoch must be positive");
         assert!(!self.core_epoch.is_zero(), "core epoch must be positive");
         assert!(self.q_thresh >= 0.0, "q_thresh must be non-negative");
-        assert!(self.correction_k >= 0.0, "correction k must be non-negative");
+        assert!(
+            self.correction_k >= 0.0,
+            "correction k must be non-negative"
+        );
         assert!(self.initial_rate > 0.0, "initial rate must be positive");
         assert!(
             self.running_avg_gain > 0.0 && self.running_avg_gain <= 1.0,

@@ -92,7 +92,10 @@ mod tests {
         let small = marker_feedback_count(12.0, 8.0, MU, 0.01);
         let large = marker_feedback_count(32.0, 8.0, MU, 0.01);
         let large_no_k = marker_feedback_count(32.0, 8.0, MU, 0.0);
-        assert!(large > 2.0 * large_no_k, "cubic should dominate: {large} vs {large_no_k}");
+        assert!(
+            large > 2.0 * large_no_k,
+            "cubic should dominate: {large} vs {large_no_k}"
+        );
         assert!(small < 3.0, "small excursions stay conservative: {small}");
     }
 

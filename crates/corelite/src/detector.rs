@@ -209,7 +209,10 @@ mod tests {
         // A single spiky epoch is damped by the EWMA.
         let first = d.feedback_count(20.0, 500.0, 0.1); // avg = 10
         let second = d.feedback_count(20.0, 500.0, 0.1); // avg = 15
-        assert!(first < second, "EWMA should build up: {first} then {second}");
+        assert!(
+            first < second,
+            "EWMA should build up: {first} then {second}"
+        );
     }
 
     #[test]

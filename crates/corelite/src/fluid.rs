@@ -15,8 +15,8 @@
 //! designing weight/contract assignments.
 
 use crate::config::CoreliteConfig;
-use crate::congestion::marker_feedback_count;
 use crate::config::MuUnit;
+use crate::congestion::marker_feedback_count;
 
 /// One flow in the fluid model.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -203,7 +203,11 @@ mod tests {
             m.add_flow(1.0, 0.0, 100.0); // 2x overload initially
         }
         m.run(10_000);
-        assert!(m.queue() < 40.0, "fluid queue {} must stay below the buffer", m.queue());
+        assert!(
+            m.queue() < 40.0,
+            "fluid queue {} must stay below the buffer",
+            m.queue()
+        );
         let total: f64 = m.rates().iter().sum();
         assert!((total - 500.0).abs() < 75.0, "aggregate {total}");
     }

@@ -202,7 +202,12 @@ impl RouterLogic for CoreliteGateway {
         report
             .counters
             .insert("gateway_buffer_drops".to_owned(), self.buffer_drops as f64);
-        let peak: usize = self.flows.values().map(|s| s.buffered_peak).max().unwrap_or(0);
+        let peak: usize = self
+            .flows
+            .values()
+            .map(|s| s.buffered_peak)
+            .max()
+            .unwrap_or(0);
         report
             .counters
             .insert("gateway_buffer_peak".to_owned(), peak as f64);
@@ -240,10 +245,18 @@ mod tests {
 
         let fast = LinkSpec::new(40_000_000, SimDuration::from_millis(5), 400);
         b.link(e, a1, fast);
-        b.link(a1, a2, LinkSpec::new(cap_a_bps, SimDuration::from_millis(10), 40));
+        b.link(
+            a1,
+            a2,
+            LinkSpec::new(cap_a_bps, SimDuration::from_millis(10), 40),
+        );
         b.link(a2, g, fast);
         b.link(g, b1, fast);
-        b.link(b1, b2, LinkSpec::new(cap_b_bps, SimDuration::from_millis(10), 40));
+        b.link(
+            b1,
+            b2,
+            LinkSpec::new(cap_b_bps, SimDuration::from_millis(10), 40),
+        );
         b.link(b2, x, fast);
         b.link(eb, b1, fast);
         b.link(b2, xb, fast);

@@ -176,10 +176,9 @@ impl RouterLogic for CoreliteCore {
         report
             .counters
             .insert("feedback_sent".to_owned(), self.feedback_sent as f64);
-        report.counters.insert(
-            "congested_epochs".to_owned(),
-            self.congested_epochs as f64,
-        );
+        report
+            .counters
+            .insert("congested_epochs".to_owned(), self.congested_epochs as f64);
         report
     }
 }

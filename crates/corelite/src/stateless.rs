@@ -262,7 +262,10 @@ mod tests {
             }
         }
         assert_eq!(below_sent, 0, "below-average markers are never sent back");
-        assert!(deficit_seen, "selecting a below-average marker accrues deficit");
+        assert!(
+            deficit_seen,
+            "selecting a below-average marker accrues deficit"
+        );
         // With p_w = 0.5 alone, ~100 of 200 fast markers would be sent;
         // deficit swaps push the count well above that.
         assert!(above_sent > 110, "above_sent {above_sent}");

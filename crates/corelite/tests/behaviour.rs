@@ -45,7 +45,10 @@ fn steady(report: &SimReport, i: usize, horizon: u64) -> f64 {
     report
         .allotted_rate(FlowId::from_index(i))
         .unwrap()
-        .mean_in(SimTime::from_secs(horizon - 40), SimTime::from_secs(horizon))
+        .mean_in(
+            SimTime::from_secs(horizon - 40),
+            SimTime::from_secs(horizon),
+        )
         .unwrap()
 }
 
@@ -125,7 +128,11 @@ fn marker_overhead_matches_k1() {
         horizon,
     );
     let base_ratio = base.counter_total("markers_injected")
-        / base.flows.iter().map(|f| f.delivered_packets as f64).sum::<f64>();
+        / base
+            .flows
+            .iter()
+            .map(|f| f.delivered_packets as f64)
+            .sum::<f64>();
     let sparse_ratio = sparse.counter_total("markers_injected")
         / sparse
             .flows

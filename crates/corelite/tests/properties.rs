@@ -1,11 +1,12 @@
-//! Property-based tests for the Corelite mechanisms: the feedback-count
-//! formula, the marker cache, and the stateless selective selector.
+//! Randomized property tests for the Corelite mechanisms: the
+//! feedback-count formula, the marker cache, and the stateless selective
+//! selector.
 
 use corelite::congestion::marker_feedback_count;
 use corelite::{MarkerCache, StatelessSelector};
 use netsim::packet::Marker;
 use netsim::{FlowId, NodeId};
-use proptest::prelude::*;
+use sim_core::check;
 use sim_core::rng::DetRng;
 
 fn marker(flow: usize, rn: f64) -> Marker {
@@ -16,53 +17,60 @@ fn marker(flow: usize, rn: f64) -> Marker {
     }
 }
 
-proptest! {
-    /// F_n is zero at or below the threshold, non-negative, and monotone
-    /// non-decreasing in q_avg.
-    #[test]
-    fn feedback_count_properties(
-        q_thresh in 0.0f64..40.0,
-        mu in 0.0f64..10_000.0,
-        k in 0.0f64..1.0,
-        q1 in 0.0f64..200.0,
-        q2 in 0.0f64..200.0,
-    ) {
-        prop_assert_eq!(marker_feedback_count(q_thresh, q_thresh, mu, k), 0.0);
+/// F_n is zero at or below the threshold, non-negative, and monotone
+/// non-decreasing in q_avg.
+#[test]
+fn feedback_count_properties() {
+    check::cases(256, 0xC0_01, |g| {
+        let q_thresh = g.f64_in(0.0, 40.0);
+        let mu = g.f64_in(0.0, 10_000.0);
+        let k = g.f64_in(0.0, 1.0);
+        let q1 = g.f64_in(0.0, 200.0);
+        let q2 = g.f64_in(0.0, 200.0);
+        assert_eq!(marker_feedback_count(q_thresh, q_thresh, mu, k), 0.0);
         let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
         let f_lo = marker_feedback_count(lo, q_thresh, mu, k);
         let f_hi = marker_feedback_count(hi, q_thresh, mu, k);
-        prop_assert!(f_lo >= 0.0 && f_hi >= 0.0);
-        prop_assert!(f_hi >= f_lo - 1e-12, "not monotone: F({lo})={f_lo}, F({hi})={f_hi}");
-    }
+        assert!(f_lo >= 0.0 && f_hi >= 0.0);
+        assert!(
+            f_hi >= f_lo - 1e-12,
+            "not monotone: F({lo})={f_lo}, F({hi})={f_hi}"
+        );
+    });
+}
 
-    /// The cache never exceeds its capacity and `select(n)` returns
-    /// min(n, len) markers, all of which are present in the cache.
-    #[test]
-    fn cache_bounds(
-        capacity in 1usize..64,
-        pushes in prop::collection::vec((0usize..10, 0.0f64..100.0), 0..200),
-        n in 0usize..80,
-        seed in 0u64..1000,
-    ) {
+/// The cache never exceeds its capacity and `select(n)` returns
+/// min(n, len) markers, all of which are present in the cache.
+#[test]
+fn cache_bounds() {
+    check::cases(128, 0xC0_02, |g| {
+        let capacity = g.usize_in(1, 64);
+        let pushes = g.vec_with(0, 200, |g| (g.usize_in(0, 10), g.f64_in(0.0, 100.0)));
+        let n = g.usize_in(0, 80);
+        let seed = g.u64_in(0, 1000);
         let mut cache = MarkerCache::new(capacity);
         for &(flow, rn) in &pushes {
             cache.push(marker(flow, rn));
-            prop_assert!(cache.len() <= capacity);
+            assert!(cache.len() <= capacity);
         }
         let mut rng = DetRng::new(seed);
         let picks = cache.select(n, &mut rng);
-        prop_assert_eq!(picks.len(), n.min(cache.len()));
+        assert_eq!(picks.len(), n.min(cache.len()));
         for m in &picks {
-            prop_assert!(cache.count_for_flow(m.flow) > 0, "selected marker not in cache");
+            assert!(
+                cache.count_for_flow(m.flow) > 0,
+                "selected marker not in cache"
+            );
         }
-    }
+    });
+}
 
-    /// The cache holds exactly the most recent `capacity` markers.
-    #[test]
-    fn cache_keeps_most_recent(
-        capacity in 1usize..32,
-        total in 1usize..200,
-    ) {
+/// The cache holds exactly the most recent `capacity` markers.
+#[test]
+fn cache_keeps_most_recent() {
+    check::cases(128, 0xC0_03, |g| {
+        let capacity = g.usize_in(1, 32);
+        let total = g.usize_in(1, 200);
         let mut cache = MarkerCache::new(capacity);
         for i in 0..total {
             cache.push(marker(i, 0.0));
@@ -71,41 +79,43 @@ proptest! {
         // The last `kept` flows are present; everything older is gone.
         for i in 0..total {
             let expected = usize::from(i >= total - kept);
-            prop_assert_eq!(
+            assert_eq!(
                 cache.count_for_flow(FlowId::from_index(i)),
                 expected,
-                "flow {} retention wrong", i
+                "flow {i} retention wrong"
             );
         }
-    }
+    });
+}
 
-    /// The stateless selector never sends feedback while the link is
-    /// uncongested (p_w = 0), regardless of the marker stream.
-    #[test]
-    fn stateless_silent_without_congestion(
-        markers in prop::collection::vec((0usize..5, 0.1f64..100.0), 1..300),
-        seed in 0u64..1000,
-    ) {
+/// The stateless selector never sends feedback while the link is
+/// uncongested (p_w = 0), regardless of the marker stream.
+#[test]
+fn stateless_silent_without_congestion() {
+    check::cases(64, 0xC0_04, |g| {
+        let markers = g.vec_with(1, 300, |g| (g.usize_in(0, 5), g.f64_in(0.1, 100.0)));
+        let seed = g.u64_in(0, 1000);
         let mut sel = StatelessSelector::new(0.1);
         let mut rng = DetRng::new(seed);
         for &(flow, rn) in &markers {
-            prop_assert!(!sel.on_marker(&marker(flow, rn), &mut rng));
+            assert!(!sel.on_marker(&marker(flow, rn), &mut rng));
         }
         sel.on_epoch(0.0);
         for &(flow, rn) in &markers {
-            prop_assert!(!sel.on_marker(&marker(flow, rn), &mut rng));
+            assert!(!sel.on_marker(&marker(flow, rn), &mut rng));
         }
-    }
+    });
+}
 
-    /// A marker strictly below the running average is never sent back,
-    /// whatever the congestion level (the §3.2 selective-throttling
-    /// guarantee).
-    #[test]
-    fn stateless_never_throttles_below_average(
-        fn_count in 0.0f64..100.0,
-        rounds in 1usize..200,
-        seed in 0u64..1000,
-    ) {
+/// A marker strictly below the running average is never sent back,
+/// whatever the congestion level (the §3.2 selective-throttling
+/// guarantee).
+#[test]
+fn stateless_never_throttles_below_average() {
+    check::cases(64, 0xC0_05, |g| {
+        let fn_count = g.f64_in(0.0, 100.0);
+        let rounds = g.usize_in(1, 200);
+        let seed = g.u64_in(0, 1000);
         let mut sel = StatelessSelector::new(0.5);
         let mut rng = DetRng::new(seed);
         // Alternate high (100) and low (1) markers so the running average
@@ -115,18 +125,18 @@ proptest! {
         sel.on_epoch(fn_count);
         for _ in 0..rounds {
             let sent_low = sel.on_marker(&marker(1, 1.0), &mut rng);
-            prop_assert!(!sent_low, "below-average marker was sent back");
+            assert!(!sent_low, "below-average marker was sent back");
             let _ = sel.on_marker(&marker(0, 100.0), &mut rng);
         }
-    }
+    });
+}
 
-    /// r_av stays within the range of observed normalized rates.
-    #[test]
-    fn stateless_r_av_bounded(
-        rates in prop::collection::vec(0.1f64..500.0, 1..200),
-        gain_millis in 1u64..1000,
-    ) {
-        let gain = gain_millis as f64 / 1000.0;
+/// r_av stays within the range of observed normalized rates.
+#[test]
+fn stateless_r_av_bounded() {
+    check::cases(64, 0xC0_06, |g| {
+        let rates = g.vec_with(1, 200, |g| g.f64_in(0.1, 500.0));
+        let gain = g.u64_in(1, 1000) as f64 / 1000.0;
         let mut sel = StatelessSelector::new(gain);
         let mut rng = DetRng::new(1);
         let mut lo = f64::INFINITY;
@@ -136,15 +146,21 @@ proptest! {
             lo = lo.min(rn);
             hi = hi.max(rn);
             let r_av = sel.r_av().unwrap();
-            prop_assert!(r_av >= lo - 1e-9 && r_av <= hi + 1e-9, "r_av {r_av} outside [{lo}, {hi}]");
+            assert!(
+                r_av >= lo - 1e-9 && r_av <= hi + 1e-9,
+                "r_av {r_av} outside [{lo}, {hi}]"
+            );
         }
-    }
+    });
+}
 
-    /// Over many epochs with a steady over-share marker stream, the mean
-    /// feedback per epoch approaches F_n (selection preserves the target
-    /// in expectation when every marker is eligible).
-    #[test]
-    fn stateless_expectation_tracks_fn(seed in 0u64..50) {
+/// Over many epochs with a steady over-share marker stream, the mean
+/// feedback per epoch approaches F_n (selection preserves the target
+/// in expectation when every marker is eligible).
+#[test]
+fn stateless_expectation_tracks_fn() {
+    check::cases(50, 0xC0_07, |g| {
+        let seed = g.u64_in(0, 50);
         let mut sel = StatelessSelector::new(0.2);
         let mut rng = DetRng::new(seed);
         for _ in 0..50 {
@@ -161,19 +177,21 @@ proptest! {
             }
         }
         let mean = sent as f64 / epochs as f64;
-        prop_assert!((mean - target).abs() < 0.8, "mean feedback {mean} vs target {target}");
-    }
+        assert!(
+            (mean - target).abs() < 0.8,
+            "mean feedback {mean} vs target {target}"
+        );
+    });
 }
 
-proptest! {
-    /// The fluid recursion converges to floor + weighted share of the
-    /// surplus from *any* initial condition — the executable version of
-    /// the paper's Chiu–Jain convergence argument (§2.2).
-    #[test]
-    fn fluid_model_converges_from_any_start(
-        specs in prop::collection::vec((1.0f64..5.0, 0.0f64..600.0), 2..8),
-    ) {
-        use corelite::{CoreliteConfig, FluidModel};
+/// The fluid recursion converges to floor + weighted share of the
+/// surplus from *any* initial condition — the executable version of
+/// the paper's Chiu–Jain convergence argument (§2.2).
+#[test]
+fn fluid_model_converges_from_any_start() {
+    use corelite::{CoreliteConfig, FluidModel};
+    check::cases(48, 0xC0_08, |g| {
+        let specs = g.vec_with(2, 7, |g| (g.f64_in(1.0, 5.0), g.f64_in(0.0, 600.0)));
         let mut m = FluidModel::new(CoreliteConfig::default(), 500.0);
         for &(w, r0) in &specs {
             m.add_flow(w, 0.0, r0);
@@ -182,11 +200,11 @@ proptest! {
         let rates = m.rates();
         let expect = m.expected_rates();
         for (i, (r, e)) in rates.iter().zip(&expect).enumerate() {
-            prop_assert!(
+            assert!(
                 (r - e).abs() / e < 0.35,
                 "flow {i}: {r:.1} vs expected {e:.1} (all: {rates:?})"
             );
         }
-        prop_assert!(m.queue() < 60.0, "fluid queue diverged: {}", m.queue());
-    }
+        assert!(m.queue() < 60.0, "fluid queue diverged: {}", m.queue());
+    });
 }

@@ -27,10 +27,7 @@ fn run(horizon: u64, activations: Vec<(u64, Option<u64>)>) -> SimReport {
     );
     let mut spec = FlowSpec::new(vec![edge, core, sink], 1);
     for (start, stop) in activations {
-        spec = spec.active(
-            SimTime::from_secs(start),
-            stop.map(SimTime::from_secs),
-        );
+        spec = spec.active(SimTime::from_secs(start), stop.map(SimTime::from_secs));
     }
     b.flow(spec);
     let end = SimTime::from_secs(horizon);

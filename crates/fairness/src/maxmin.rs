@@ -154,13 +154,12 @@ impl MaxMinProblem {
                 residual[l] -= f.floor;
             }
         }
-        for l in 0..m {
+        for (r, &cap) in residual.iter_mut().zip(&self.capacities) {
             assert!(
-                residual[l] >= -1e-9 * self.capacities[l],
-                "infeasible: minimum-rate contracts exceed the capacity {} of a link",
-                self.capacities[l]
+                *r >= -1e-9 * cap,
+                "infeasible: minimum-rate contracts exceed the capacity {cap} of a link"
             );
-            residual[l] = residual[l].max(0.0);
+            *r = r.max(0.0);
         }
 
         // Weighted max-min water-filling of the residual capacity over
@@ -204,8 +203,7 @@ impl MaxMinProblem {
                 if frozen[i] {
                     continue;
                 }
-                if f
-                    .links
+                if f.links
                     .iter()
                     .any(|&l| residual[l] <= 1e-9 * self.capacities[l])
                 {

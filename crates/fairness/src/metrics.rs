@@ -134,11 +134,7 @@ pub fn convergence_time(series: &TimeSeries, spec: &ConvergenceSpec) -> Option<S
 /// Mean of the final values of each series over the window `[from, to)`,
 /// grouped by weight class. Returns `(weight, mean_rate)` pairs sorted by
 /// weight — the per-class summary printed in EXPERIMENTS.md.
-pub fn class_means(
-    series: &[(&TimeSeries, u32)],
-    from: SimTime,
-    to: SimTime,
-) -> Vec<(u32, f64)> {
+pub fn class_means(series: &[(&TimeSeries, u32)], from: SimTime, to: SimTime) -> Vec<(u32, f64)> {
     use std::collections::BTreeMap;
     let mut acc: BTreeMap<u32, (f64, usize)> = BTreeMap::new();
     for (s, w) in series {
@@ -225,10 +221,7 @@ mod tests {
     }
 
     fn step_series(points: &[(f64, f64)]) -> TimeSeries {
-        points
-            .iter()
-            .map(|&(ts, v)| (t(ts), v))
-            .collect()
+        points.iter().map(|&(ts, v)| (t(ts), v)).collect()
     }
 
     #[test]
@@ -292,14 +285,8 @@ mod tests {
     fn jain_series_rises_as_rates_converge() {
         // Two weight-1 flows: one constant at 50, one ramping 0 → 50.
         let a = step_series(&[(0.0, 50.0), (10.0, 50.0)]);
-        let ramp: TimeSeries = (0..=10)
-            .map(|i| (t(i as f64), 5.0 * i as f64))
-            .collect();
-        let series = jain_series(
-            &[(&a, 1), (&ramp, 1)],
-            t(10.0),
-            SimDuration::from_secs(2),
-        );
+        let ramp: TimeSeries = (0..=10).map(|i| (t(i as f64), 5.0 * i as f64)).collect();
+        let series = jain_series(&[(&a, 1), (&ramp, 1)], t(10.0), SimDuration::from_secs(2));
         let values: Vec<f64> = series.iter().map(|(_, v)| v).collect();
         assert!(values.first().unwrap() < values.last().unwrap());
         assert!(*values.last().unwrap() > 0.99, "{values:?}");

@@ -1,13 +1,14 @@
-//! Property-based tests for the weighted max-min water-filling solver.
+//! Randomized property tests for the weighted max-min water-filling
+//! solver, driven by the in-tree `sim_core::check` harness.
 //!
 //! The max-min optimality conditions checked here are the textbook ones
 //! (Bertsekas & Gallager): feasibility on every link, and every flow
 //! having a *bottleneck* link — a saturated link on which the flow's
 //! normalized rate is maximal among the link's flows.
 
-use proptest::prelude::*;
 use fairness::maxmin::MaxMinProblem;
 use fairness::metrics::jain_index;
+use sim_core::check::{self, Gen};
 
 #[derive(Debug, Clone)]
 struct RandomProblem {
@@ -16,24 +17,15 @@ struct RandomProblem {
     flows: Vec<(f64, Vec<usize>)>,
 }
 
-fn random_problem() -> impl Strategy<Value = RandomProblem> {
-    (2usize..6, 1usize..12).prop_flat_map(|(n_links, n_flows)| {
-        let caps = prop::collection::vec(1.0f64..1_000.0, n_links);
-        let flows = prop::collection::vec(
-            (
-                1.0f64..8.0,
-                prop::collection::btree_set(0..n_links, 1..=n_links),
-            ),
-            n_flows,
-        );
-        (caps, flows).prop_map(|(capacities, flows)| RandomProblem {
-            capacities,
-            flows: flows
-                .into_iter()
-                .map(|(w, links)| (w, links.into_iter().collect()))
-                .collect(),
-        })
-    })
+fn random_problem(g: &mut Gen) -> RandomProblem {
+    let n_links = g.usize_in(2, 6);
+    let n_flows = g.usize_in(1, 12);
+    RandomProblem {
+        capacities: (0..n_links).map(|_| g.f64_in(1.0, 1_000.0)).collect(),
+        flows: (0..n_flows)
+            .map(|_| (g.f64_in(1.0, 8.0), g.subset(n_links)))
+            .collect(),
+    }
 }
 
 fn solve(problem: &RandomProblem) -> Vec<f64> {
@@ -48,10 +40,11 @@ fn solve(problem: &RandomProblem) -> Vec<f64> {
     refs.iter().map(|&r| alloc.rate(r)).collect()
 }
 
-proptest! {
-    /// No link carries more than its capacity.
-    #[test]
-    fn allocation_is_feasible(problem in random_problem()) {
+/// No link carries more than its capacity.
+#[test]
+fn allocation_is_feasible() {
+    check::cases(128, 0xFA_01, |g| {
+        let problem = random_problem(g);
         let rates = solve(&problem);
         for (l, &cap) in problem.capacities.iter().enumerate() {
             let load: f64 = problem
@@ -61,22 +54,31 @@ proptest! {
                 .filter(|((_, links), _)| links.contains(&l))
                 .map(|(_, &r)| r)
                 .sum();
-            prop_assert!(load <= cap * (1.0 + 1e-9), "link {l}: load {load} > cap {cap}");
+            assert!(
+                load <= cap * (1.0 + 1e-9),
+                "link {l}: load {load} > cap {cap}"
+            );
         }
-    }
+    });
+}
 
-    /// Every flow gets a strictly positive rate.
-    #[test]
-    fn every_flow_gets_something(problem in random_problem()) {
+/// Every flow gets a strictly positive rate.
+#[test]
+fn every_flow_gets_something() {
+    check::cases(128, 0xFA_02, |g| {
+        let problem = random_problem(g);
         for (i, r) in solve(&problem).iter().enumerate() {
-            prop_assert!(*r > 0.0, "flow {i} starved");
+            assert!(*r > 0.0, "flow {i} starved");
         }
-    }
+    });
+}
 
-    /// Max-min optimality: every flow has a saturated link on which its
-    /// normalized rate is (weakly) maximal.
-    #[test]
-    fn every_flow_has_a_bottleneck(problem in random_problem()) {
+/// Max-min optimality: every flow has a saturated link on which its
+/// normalized rate is (weakly) maximal.
+#[test]
+fn every_flow_has_a_bottleneck() {
+    check::cases(128, 0xFA_03, |g| {
+        let problem = random_problem(g);
         let rates = solve(&problem);
         for (i, (w_i, links_i)) in problem.flows.iter().enumerate() {
             let norm_i = rates[i] / w_i;
@@ -97,13 +99,17 @@ proptest! {
                         .filter(|((_, links), _)| links.contains(&l))
                         .all(|((w_j, _), &r_j)| r_j / w_j <= norm_i * (1.0 + 1e-6))
             });
-            prop_assert!(has_bottleneck, "flow {i} has no bottleneck link");
+            assert!(has_bottleneck, "flow {i} has no bottleneck link");
         }
-    }
+    });
+}
 
-    /// Scaling all capacities scales all rates by the same factor.
-    #[test]
-    fn allocation_scales_with_capacity(problem in random_problem(), factor in 0.1f64..10.0) {
+/// Scaling all capacities scales all rates by the same factor.
+#[test]
+fn allocation_scales_with_capacity() {
+    check::cases(128, 0xFA_04, |g| {
+        let problem = random_problem(g);
+        let factor = g.f64_in(0.1, 10.0);
         let base = solve(&problem);
         let mut scaled = problem.clone();
         for c in &mut scaled.capacities {
@@ -111,41 +117,50 @@ proptest! {
         }
         let scaled_rates = solve(&scaled);
         for (b, s) in base.iter().zip(&scaled_rates) {
-            prop_assert!((s - b * factor).abs() <= 1e-6 * b.max(1.0) * factor.max(1.0),
-                "scaling broke: {b} * {factor} vs {s}");
+            assert!(
+                (s - b * factor).abs() <= 1e-6 * b.max(1.0) * factor.max(1.0),
+                "scaling broke: {b} * {factor} vs {s}"
+            );
         }
-    }
+    });
+}
 
-    /// On a single shared link the allocation is exactly
-    /// weight-proportional (Jain index of normalized rates = 1).
-    #[test]
-    fn single_link_is_weight_proportional(
-        cap in 1.0f64..1_000.0,
-        weights in prop::collection::vec(1.0f64..9.0, 1..10),
-    ) {
+/// On a single shared link the allocation is exactly
+/// weight-proportional (Jain index of normalized rates = 1).
+#[test]
+fn single_link_is_weight_proportional() {
+    check::cases(128, 0xFA_05, |g| {
+        let cap = g.f64_in(1.0, 1_000.0);
+        let weights = g.vec_with(1, 9, |g| g.f64_in(1.0, 9.0));
         let mut p = MaxMinProblem::new();
         let l = p.link(cap);
         let refs: Vec<_> = weights.iter().map(|&w| p.flow(w, [l])).collect();
         let alloc = p.solve();
         let rates: Vec<f64> = refs.iter().map(|&r| alloc.rate(r)).collect();
-        prop_assert!((jain_index(&rates, &weights) - 1.0).abs() < 1e-9);
+        assert!((jain_index(&rates, &weights) - 1.0).abs() < 1e-9);
         let total: f64 = rates.iter().sum();
-        prop_assert!((total - cap).abs() < 1e-6 * cap, "single link not fully used");
-    }
+        assert!(
+            (total - cap).abs() < 1e-6 * cap,
+            "single link not fully used"
+        );
+    });
+}
 
-    /// With minimum-rate contracts: every flow gets at least its floor,
-    /// links stay feasible, and flows whose floor is *not* binding keep
-    /// their weight-proportional relation on a single link.
-    #[test]
-    fn floors_are_honoured_and_feasible(
-        cap in 100.0f64..1_000.0,
-        specs in prop::collection::vec((1.0f64..8.0, 0.0f64..40.0), 1..8),
-    ) {
-        // Floors capped at 40 each and at most 8 flows ⇒ ≤ 320 ≤ cap·…
-        // keep feasible by construction when cap ≥ 320 is not guaranteed,
-        // so scale floors down to fit.
+/// With minimum-rate contracts: every flow gets at least its floor,
+/// links stay feasible, and flows whose floor is *not* binding keep
+/// their weight-proportional relation on a single link.
+#[test]
+fn floors_are_honoured_and_feasible() {
+    check::cases(128, 0xFA_06, |g| {
+        let cap = g.f64_in(100.0, 1_000.0);
+        let specs = g.vec_with(1, 7, |g| (g.f64_in(1.0, 8.0), g.f64_in(0.0, 40.0)));
+        // Scale floors down so they always fit under the capacity.
         let total_floor: f64 = specs.iter().map(|&(_, f)| f).sum();
-        let scale = if total_floor > 0.9 * cap { 0.9 * cap / total_floor } else { 1.0 };
+        let scale = if total_floor > 0.9 * cap {
+            0.9 * cap / total_floor
+        } else {
+            1.0
+        };
         let mut p = MaxMinProblem::new();
         let l = p.link(cap);
         let refs: Vec<_> = specs
@@ -154,14 +169,13 @@ proptest! {
             .collect();
         let alloc = p.solve();
         let mut load = 0.0;
-        for (&r, &(w, f)) in refs.iter().zip(&specs) {
+        for (&r, &(_, f)) in refs.iter().zip(&specs) {
             let rate = alloc.rate(r);
             let floor = f * scale;
-            prop_assert!(rate >= floor - 1e-9, "rate {rate} below floor {floor}");
+            assert!(rate >= floor - 1e-9, "rate {rate} below floor {floor}");
             load += rate;
-            let _ = w;
         }
-        prop_assert!(load <= cap * (1.0 + 1e-9), "overloaded: {load} > {cap}");
+        assert!(load <= cap * (1.0 + 1e-9), "overloaded: {load} > {cap}");
         // floor + share on a single link: every flow's normalized
         // *excess* (rate − floor)/w equals the common water level.
         let levels: Vec<f64> = refs
@@ -170,14 +184,19 @@ proptest! {
             .map(|(r, (w, f))| (alloc.rate(*r) - f * scale) / w)
             .collect();
         for pair in levels.windows(2) {
-            prop_assert!((pair[0] - pair[1]).abs() < 1e-6 * pair[0].max(1.0),
-                "excess must be weight-proportional: {levels:?}");
+            assert!(
+                (pair[0] - pair[1]).abs() < 1e-6 * pair[0].max(1.0),
+                "excess must be weight-proportional: {levels:?}"
+            );
         }
-    }
+    });
+}
 
-    /// Solving with all-zero floors matches the plain solver exactly.
-    #[test]
-    fn zero_floors_match_plain_solver(problem in random_problem()) {
+/// Solving with all-zero floors matches the plain solver exactly.
+#[test]
+fn zero_floors_match_plain_solver() {
+    check::cases(128, 0xFA_07, |g| {
+        let problem = random_problem(g);
         let plain = solve(&problem);
         let mut p = MaxMinProblem::new();
         let links: Vec<_> = problem.capacities.iter().map(|&c| p.link(c)).collect();
@@ -188,21 +207,21 @@ proptest! {
             .collect();
         let alloc = p.solve();
         for (i, &r) in refs.iter().enumerate() {
-            prop_assert!((alloc.rate(r) - plain[i]).abs() < 1e-9 * plain[i].max(1.0));
+            assert!((alloc.rate(r) - plain[i]).abs() < 1e-9 * plain[i].max(1.0));
         }
-    }
+    });
+}
 
-    /// On a single shared link, adding a flow never increases anyone
-    /// else's allocation. (In multi-link networks max-min is famously
-    /// *not* monotone under flow addition — proptest found the
-    /// counterexample — so the property is stated where it provably
-    /// holds.)
-    #[test]
-    fn adding_a_flow_is_monotone_on_one_link(
-        cap in 1.0f64..1_000.0,
-        weights in prop::collection::vec(1.0f64..8.0, 1..10),
-        w_new in 1.0f64..8.0,
-    ) {
+/// On a single shared link, adding a flow never increases anyone
+/// else's allocation. (In multi-link networks max-min is famously
+/// *not* monotone under flow addition, so the property is stated where
+/// it provably holds.)
+#[test]
+fn adding_a_flow_is_monotone_on_one_link() {
+    check::cases(128, 0xFA_08, |g| {
+        let cap = g.f64_in(1.0, 1_000.0);
+        let weights = g.vec_with(1, 9, |g| g.f64_in(1.0, 8.0));
+        let w_new = g.f64_in(1.0, 8.0);
         let solve_one = |ws: &[f64]| {
             let mut p = MaxMinProblem::new();
             let l = p.link(cap);
@@ -215,7 +234,7 @@ proptest! {
         bigger.push(w_new);
         let after = solve_one(&bigger);
         for (i, (b, a)) in base.iter().zip(&after).enumerate() {
-            prop_assert!(*a <= b * (1.0 + 1e-9), "flow {i} grew from {b} to {a}");
+            assert!(*a <= b * (1.0 + 1e-9), "flow {i} grew from {b} to {a}");
         }
-    }
+    });
 }

@@ -127,7 +127,7 @@ impl FlowInfo {
     pub fn is_active_at(&self, t: SimTime) -> bool {
         self.activations
             .iter()
-            .any(|&(start, stop)| t >= start && stop.map_or(true, |s| t < s))
+            .any(|&(start, stop)| t >= start && stop.is_none_or(|s| t < s))
     }
 }
 
@@ -177,7 +177,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "after start")]
     fn inverted_activation_rejected() {
-        FlowSpec::new(vec![n(0), n(1)], 1).active(SimTime::from_secs(2), Some(SimTime::from_secs(1)));
+        FlowSpec::new(vec![n(0), n(1)], 1)
+            .active(SimTime::from_secs(2), Some(SimTime::from_secs(1)));
     }
 
     fn info() -> FlowInfo {

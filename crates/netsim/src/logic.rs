@@ -287,7 +287,11 @@ impl<'a> Ctx<'a> {
     pub fn send_marker_feedback(&mut self, marker: Marker) {
         let delay = self.reverse_delay_to_ingress(marker.flow);
         let from = self.node;
-        self.send_control(marker.edge, delay, ControlMsg::MarkerFeedback { marker, from });
+        self.send_control(
+            marker.edge,
+            delay,
+            ControlMsg::MarkerFeedback { marker, from },
+        );
     }
 
     /// Schedules `timer` to fire on this node after `delay`.
@@ -483,10 +487,7 @@ mod tests {
     #[test]
     fn timer_kind_constructors() {
         assert_eq!(TimerKind::tagged(3), TimerKind { tag: 3, param: 0 });
-        assert_eq!(
-            TimerKind::with_param(3, 9),
-            TimerKind { tag: 3, param: 9 }
-        );
+        assert_eq!(TimerKind::with_param(3, 9), TimerKind { tag: 3, param: 9 });
     }
 
     #[test]

@@ -351,8 +351,7 @@ impl Network {
                 dropped_packets: l.dropped_packets(),
                 peak_occupancy: l.peak_occupancy(),
                 utilization: if horizon > 0.0 {
-                    (l.forwarded_bytes() as f64 * 8.0)
-                        / (l.spec().bandwidth_bps as f64 * horizon)
+                    (l.forwarded_bytes() as f64 * 8.0) / (l.spec().bandwidth_bps as f64 * horizon)
                 } else {
                     0.0
                 },
@@ -468,7 +467,10 @@ mod tests {
         let report = net.into_report(end);
         let cum: Vec<f64> = report.flow(f).cumulative.iter().map(|(_, v)| v).collect();
         assert!(cum.windows(2).all(|w| w[1] >= w[0]));
-        assert_eq!(*cum.last().unwrap(), report.flow(f).delivered_packets as f64);
+        assert_eq!(
+            *cum.last().unwrap(),
+            report.flow(f).delivered_packets as f64
+        );
     }
 
     #[test]
@@ -608,7 +610,7 @@ mod trace_tests {
         let rows = tracer.borrow().rows();
         assert!(rows > 100, "rows {rows}");
         // Times are non-decreasing in the emitted CSV.
-        let tracer = Rc::try_unwrap(tracer).ok().expect("sole owner").into_inner();
+        let tracer = Rc::try_unwrap(tracer).expect("sole owner").into_inner();
         let text = String::from_utf8(tracer.into_inner()).unwrap();
         let mut last = 0.0f64;
         for line in text.lines().skip(1) {

@@ -241,10 +241,7 @@ mod tests {
         let f = b.flow(FlowSpec::new(vec![a, c, d], 1).active(SimTime::ZERO, None));
         let net = b.build();
         assert_eq!(net.flows()[f.index()].hops, vec![l0, l1]);
-        assert_eq!(
-            net.reverse_delay(f, d),
-            SimDuration::from_millis(80)
-        );
+        assert_eq!(net.reverse_delay(f, d), SimDuration::from_millis(80));
         assert_eq!(net.reverse_delay(f, c), SimDuration::from_millis(40));
         assert_eq!(net.reverse_delay(f, a), SimDuration::ZERO);
     }

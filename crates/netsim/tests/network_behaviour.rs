@@ -60,9 +60,7 @@ fn loss_notifications_can_be_disabled() {
         let handle = losses.clone();
         let mut b = TopologyBuilder::new(8);
         b.notify_losses(notify);
-        let src = b.node("src", move |_| {
-            Box::new(ControlRecorder { losses: handle })
-        });
+        let src = b.node("src", move |_| Box::new(ControlRecorder { losses: handle }));
         let dst = b.node("dst", |_| Box::new(ForwardLogic));
         b.link(src, dst, slow()); // 1000 pkt/s offered into 500 pkt/s
         b.flow(FlowSpec::new(vec![src, dst], 1).active(SimTime::ZERO, None));
@@ -222,5 +220,8 @@ fn zero_size_is_rejected_but_small_packets_flow() {
     net.run_until(end);
     let report = net.into_report(end);
     assert!(report.flow(f).delivered_packets >= 195);
-    assert_eq!(report.flow(f).delivered_bytes, report.flow(f).delivered_packets * 40);
+    assert_eq!(
+        report.flow(f).delivered_bytes,
+        report.flow(f).delivered_packets * 40
+    );
 }

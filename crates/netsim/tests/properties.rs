@@ -1,10 +1,10 @@
-//! Property-based tests for the link/queue substrate: FIFO order,
+//! Randomized property tests for the link/queue substrate: FIFO order,
 //! bounded occupancy, conservation of packets, and serialization timing.
 
 use netsim::ids::{FlowId, NodeId, PacketId};
 use netsim::link::{EnqueueOutcome, Link, LinkSpec};
 use netsim::packet::Packet;
-use proptest::prelude::*;
+use sim_core::check;
 use sim_core::time::{SimDuration, SimTime};
 
 fn pkt(id: u64, size: u32) -> Packet {
@@ -20,15 +20,14 @@ fn spec(capacity: usize) -> LinkSpec {
     LinkSpec::new(8_000_000, SimDuration::from_millis(1), capacity)
 }
 
-proptest! {
-    /// Whatever the arrival pattern: occupancy never exceeds capacity,
-    /// packets depart in FIFO order, and accepted = departed + queued +
-    /// dropped at all times.
-    #[test]
-    fn queue_invariants_hold(
-        capacity in 1usize..20,
-        ops in prop::collection::vec((prop::bool::ANY, 100u32..2000), 1..300),
-    ) {
+/// Whatever the arrival pattern: occupancy never exceeds capacity,
+/// packets depart in FIFO order, and accepted = departed + queued +
+/// dropped at all times.
+#[test]
+fn queue_invariants_hold() {
+    check::cases(64, 0x4E_01, |g| {
+        let capacity = g.usize_in(1, 20);
+        let ops = g.vec_with(1, 300, |g| (g.bool(), g.u64_in(100, 2000) as u32));
         let mut link = Link::new(NodeId::from_index(0), NodeId::from_index(1), spec(capacity));
         let mut now = SimTime::ZERO;
         let mut next_id = 0u64;
@@ -41,15 +40,17 @@ proptest! {
             now += SimDuration::from_micros(50);
             if enqueue {
                 match link.enqueue(now, pkt(next_id, size)) {
-                    EnqueueOutcome::Accepted { starts_transmission } => {
+                    EnqueueOutcome::Accepted {
+                        starts_transmission,
+                    } => {
                         accepted += 1;
                         if starts_transmission.is_some() {
-                            prop_assert!(!in_service, "tx started while busy");
+                            assert!(!in_service, "tx started while busy");
                             in_service = true;
                         }
                     }
                     EnqueueOutcome::Dropped(p) => {
-                        prop_assert_eq!(p.id.sequence(), next_id);
+                        assert_eq!(p.id.sequence(), next_id);
                         dropped += 1;
                     }
                 }
@@ -59,38 +60,46 @@ proptest! {
                 departed.push(p.id.sequence());
                 in_service = next_tx.is_some();
             }
-            prop_assert!(link.queue_len() <= capacity, "occupancy over capacity");
-            prop_assert_eq!(
+            assert!(link.queue_len() <= capacity, "occupancy over capacity");
+            assert_eq!(
                 accepted,
                 departed.len() as u64 + link.queue_len() as u64,
                 "packet conservation violated"
             );
-            prop_assert_eq!(link.dropped_packets(), dropped);
+            assert_eq!(link.dropped_packets(), dropped);
         }
         // FIFO: departures are the accepted ids in order.
         let mut sorted = departed.clone();
         sorted.sort();
-        prop_assert_eq!(departed, sorted, "departures out of order");
-    }
+        assert_eq!(departed, sorted, "departures out of order");
+    });
+}
 
-    /// Serialization time is linear in packet size and inversely linear
-    /// in bandwidth.
-    #[test]
-    fn tx_time_scales(size in 1u32..100_000, bw in 1_000u64..1_000_000_000) {
+/// Serialization time is linear in packet size and inversely linear
+/// in bandwidth.
+#[test]
+fn tx_time_scales() {
+    check::cases(256, 0x4E_02, |g| {
+        let size = g.u64_in(1, 100_000) as u32;
+        let bw = g.u64_in(1_000, 1_000_000_000);
         let s = LinkSpec::new(bw, SimDuration::ZERO, 1);
         let t = s.tx_time(size).as_secs_f64();
         let expect = size as f64 * 8.0 / bw as f64;
         // from_nanos truncates below the nanosecond.
-        prop_assert!((t - expect).abs() <= 1e-9 + 1e-12 * expect, "{t} vs {expect}");
+        assert!(
+            (t - expect).abs() <= 1e-9 + 1e-12 * expect,
+            "{t} vs {expect}"
+        );
         let double = s.tx_time(size.saturating_mul(2)).as_secs_f64();
-        prop_assert!(double >= t * 2.0 - 2e-9);
-    }
+        assert!(double >= t * 2.0 - 2e-9);
+    });
+}
 
-    /// The time-weighted queue average is bounded by the peak occupancy.
-    #[test]
-    fn queue_average_bounded_by_peak(
-        arrivals in prop::collection::vec(1u64..5_000, 1..100),
-    ) {
+/// The time-weighted queue average is bounded by the peak occupancy.
+#[test]
+fn queue_average_bounded_by_peak() {
+    check::cases(64, 0x4E_03, |g| {
+        let arrivals = g.vec_with(1, 100, |g| g.u64_in(1, 5_000));
         let mut link = Link::new(NodeId::from_index(0), NodeId::from_index(1), spec(40));
         let mut now = SimTime::ZERO;
         let mut busy = false;
@@ -100,8 +109,9 @@ proptest! {
             if i % 3 == 2 && busy {
                 let (_, next) = link.complete_transmission(now);
                 busy = next.is_some();
-            } else if let EnqueueOutcome::Accepted { starts_transmission } =
-                link.enqueue(now, pkt(i as u64, 1000))
+            } else if let EnqueueOutcome::Accepted {
+                starts_transmission,
+            } = link.enqueue(now, pkt(i as u64, 1000))
             {
                 if starts_transmission.is_some() {
                     busy = true;
@@ -109,7 +119,7 @@ proptest! {
             }
         }
         let avg = link.queue_average(now + SimDuration::from_millis(1));
-        prop_assert!(avg >= 0.0);
-        prop_assert!(avg <= link.peak_occupancy() as f64 + 1e-9);
-    }
+        assert!(avg >= 0.0);
+        assert!(avg <= link.peak_occupancy() as f64 + 1e-9);
+    });
 }

@@ -12,8 +12,9 @@
 
 use corelite::{CoreliteConfig, DecreasePolicy, DetectorKind, MuUnit, SelectorKind};
 use netsim::link::LinkSpec;
+use scenarios::discipline::Corelite;
 use scenarios::report::{mean_convergence, window_jain_index};
-use scenarios::runner::{Discipline, ExperimentResult};
+use scenarios::runner::ExperimentResult;
 use scenarios::{fig5_6, topology};
 use sim_core::time::{SimDuration, SimTime};
 
@@ -69,9 +70,15 @@ fn main() {
     run_axis(
         "Self-correcting cubic term k (§3.1)",
         vec![
-            ("k = 0 (M/M/1 only)", CoreliteConfig::default().with_correction_k(0.0)),
+            (
+                "k = 0 (M/M/1 only)",
+                CoreliteConfig::default().with_correction_k(0.0),
+            ),
             ("k = 0.005 (default)", CoreliteConfig::default()),
-            ("k = 0.05", CoreliteConfig::default().with_correction_k(0.05)),
+            (
+                "k = 0.05",
+                CoreliteConfig::default().with_correction_k(0.05),
+            ),
         ],
     );
 
@@ -186,8 +193,7 @@ fn main() {
     print_header();
     for (label, delay_ms) in [("2 ms", 2u64), ("40 ms (paper)", 40), ("100 ms", 100)] {
         let link = LinkSpec::new(4_000_000, SimDuration::from_millis(delay_ms), 40);
-        let result =
-            fig5_6(SEED).run_with_link(&Discipline::Corelite(CoreliteConfig::default()), link);
+        let result = fig5_6(SEED).run_with_link(&Corelite::default(), link);
         print_row(label, &result);
     }
     println!();
@@ -197,14 +203,17 @@ fn run_axis(title: &str, cases: Vec<(&str, CoreliteConfig)>) {
     println!("## {title}\n");
     print_header();
     for (label, cfg) in cases {
-        let result = fig5_6(SEED).run(&Discipline::Corelite(cfg));
+        let result = fig5_6(SEED).run(&Corelite::new(cfg));
         print_row(label, &result);
     }
     println!();
 }
 
 fn print_header() {
-    println!("| variant | drops | agg rate (of {:.0}) | bottleneck util | Jain | mean settle (s) |", topology::LINK_CAPACITY_PPS);
+    println!(
+        "| variant | drops | agg rate (of {:.0}) | bottleneck util | Jain | mean settle (s) |",
+        topology::LINK_CAPACITY_PPS
+    );
     println!("|---|---|---|---|---|---|");
 }
 

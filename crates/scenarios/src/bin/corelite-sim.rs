@@ -1,15 +1,19 @@
-//! `corelite-sim` — run a scenario file on the paper topology under a
-//! chosen discipline and report the outcome.
+//! `corelite-sim` — run a scenario file under a chosen discipline and
+//! report the outcome.
 //!
 //! ```text
-//! corelite-sim <scenario-file> [--discipline corelite|csfq]
+//! corelite-sim <scenario-file> [--discipline <name>]
 //!              [--csv out.csv] [--svg out.svg]
 //! ```
+//!
+//! `--discipline` accepts any name in the discipline registry
+//! ([`scenarios::discipline::names`]); the default is `corelite`.
 //!
 //! The scenario format is described in [`scenarios::dsl`]; an example:
 //!
 //! ```text
 //! name     demo
+//! topology paper
 //! horizon  120
 //! flow     route=0-1 weight=1
 //! flow     route=0-1 weight=2
@@ -23,39 +27,46 @@
 use std::fs;
 use std::process::ExitCode;
 
-use corelite::CoreliteConfig;
-use csfq::CsfqConfig;
+use scenarios::discipline::{self, Discipline};
 use scenarios::dsl::parse_scenario;
 use scenarios::plot::{render_lines, PlotSpec};
-use scenarios::report::{rate_series_csv, steady_state_summary, summary_markdown, window_jain_index};
-use scenarios::runner::Discipline;
+use scenarios::report::{
+    rate_series_csv, steady_state_summary, summary_markdown, window_jain_index,
+};
 use sim_core::stats::TimeSeries;
 use sim_core::time::{SimDuration, SimTime};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut file: Option<String> = None;
-    let mut discipline = Discipline::Corelite(CoreliteConfig::default());
+    let mut discipline: Box<dyn Discipline> =
+        discipline::by_name("corelite").expect("corelite is registered");
     let mut csv_out: Option<String> = None;
     let mut svg_out: Option<String> = None;
 
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--discipline" => match it.next().as_deref() {
-                Some("corelite") => discipline = Discipline::Corelite(CoreliteConfig::default()),
-                Some("csfq") => discipline = Discipline::Csfq(CsfqConfig::default()),
-                other => {
-                    eprintln!("--discipline needs corelite|csfq, got {other:?}");
-                    return ExitCode::from(2);
+            "--discipline" => {
+                let value = it.next();
+                match value.as_deref().and_then(discipline::by_name) {
+                    Some(d) => discipline = d,
+                    None => {
+                        eprintln!(
+                            "--discipline needs one of {}, got {value:?}",
+                            discipline::names().join("|")
+                        );
+                        return ExitCode::from(2);
+                    }
                 }
-            },
+            }
             "--csv" => csv_out = it.next(),
             "--svg" => svg_out = it.next(),
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: corelite-sim <scenario-file> [--discipline corelite|csfq] \
-                     [--csv out.csv] [--svg out.svg]"
+                    "usage: corelite-sim <scenario-file> [--discipline {}] \
+                     [--csv out.csv] [--svg out.svg]",
+                    discipline::names().join("|")
                 );
                 return ExitCode::SUCCESS;
             }
@@ -87,13 +98,14 @@ fn main() -> ExitCode {
     };
 
     eprintln!(
-        "running `{}` under {} ({} flows, {} simulated)...",
+        "running `{}` on `{}` under {} ({} flows, {} simulated)...",
         scenario.name,
+        scenario.topology.name,
         discipline.name(),
         scenario.flows.len(),
         scenario.horizon
     );
-    let result = scenario.run(&discipline);
+    let result = scenario.run(discipline.as_ref());
 
     let horizon = result.scenario.horizon;
     let from = SimTime::from_secs_f64(horizon.as_secs_f64() * 0.75);
@@ -134,7 +146,11 @@ fn main() -> ExitCode {
     }
     if let Some(path) = svg_out {
         let smoothed: Vec<TimeSeries> = (0..result.scenario.flows.len())
-            .map(|i| result.allotted_rate(i).resample_mean(SimDuration::from_secs(1)))
+            .map(|i| {
+                result
+                    .rate_series(i)
+                    .resample_mean(SimDuration::from_secs(1))
+            })
             .collect();
         let series: Vec<(String, &TimeSeries)> = smoothed
             .iter()

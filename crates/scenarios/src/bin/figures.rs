@@ -20,9 +20,9 @@ use scenarios::report::{
     cumulative_csv, last_convergence, mean_convergence, rate_series_csv, steady_state_summary,
     summary_markdown, window_jain_index,
 };
-use sim_core::stats::TimeSeries;
 use scenarios::runner::ExperimentResult;
 use scenarios::PaperFigure;
+use sim_core::stats::TimeSeries;
 use sim_core::time::{SimDuration, SimTime};
 
 const SEED: u64 = 20000; // ICDCS 2000
@@ -70,7 +70,7 @@ fn run_cached(cache: &mut Vec<(String, ExperimentResult)>, figure: PaperFigure) 
         "running {key} ({}s simulated)...",
         scenario.horizon.as_secs_f64()
     );
-    let result = scenario.run(&discipline);
+    let result = scenario.run(discipline.as_ref());
     cache.push((key, result));
     cache.len() - 1
 }
@@ -197,8 +197,7 @@ fn emit_jain_figure(cache: &mut Vec<(String, ExperimentResult)>) {
         );
         curves.push((result.discipline_name.to_owned(), jain));
     }
-    let series: Vec<(String, &TimeSeries)> =
-        curves.iter().map(|(n, s)| (n.clone(), s)).collect();
+    let series: Vec<(String, &TimeSeries)> = curves.iter().map(|(n, s)| (n.clone(), s)).collect();
     let spec = PlotSpec {
         title: "weighted Jain index over time — §4.2 simultaneous start".to_owned(),
         y_label: "jain_index".to_owned(),
@@ -206,9 +205,11 @@ fn emit_jain_figure(cache: &mut Vec<(String, ExperimentResult)>) {
     };
     let path = format!("{RESULTS_DIR}/jain_fig5_6.svg");
     fs::write(&path, render_lines(&spec, &series)).expect("write jain SVG");
-    println!("
+    println!(
+        "
 ## jain (supplementary)
-fairness-over-time curves written to `{path}`");
+fairness-over-time curves written to `{path}`"
+    );
     for (name, s) in &curves {
         let last = s.last_value().unwrap_or(0.0);
         println!("  {name}: final weighted Jain {last:.4}");

@@ -4,9 +4,14 @@
 //! one random draw.
 //!
 //! ```text
-//! cargo run --release -p scenarios --bin sensitivity
+//! cargo run --release -p scenarios --bin sensitivity [-- --serial]
 //! ```
+//!
+//! The per-seed runs go through the deterministic parallel executor
+//! ([`scenarios::exec::run_parallel`]); `--serial` forces one-at-a-time
+//! execution, which produces byte-identical output.
 
+use scenarios::exec::{run_parallel, run_serial};
 use scenarios::report::{mean_convergence, window_jain_index};
 use scenarios::{fig5_6, fig7_8, PaperFigure};
 use sim_core::time::SimDuration;
@@ -18,8 +23,13 @@ struct Sample {
 }
 
 fn main() {
+    let serial = std::env::args().skip(1).any(|a| a == "--serial");
     let seeds: Vec<u64> = (1..=10).collect();
-    println!("# Seed sensitivity ({} seeds per cell)\n", seeds.len());
+    println!(
+        "# Seed sensitivity ({} seeds per cell, {} executor)\n",
+        seeds.len(),
+        if serial { "serial" } else { "parallel" }
+    );
     println!("| scenario | discipline | Jain (mean ± std) | drops (mean ± std) | mean settle s (mean ± std) |");
     println!("|---|---|---|---|---|");
     for (label, figure) in [
@@ -29,33 +39,25 @@ fn main() {
         ("fig7_8 §4.3", PaperFigure::Fig8),
     ] {
         let discipline = figure.discipline();
-        let samples: Vec<Sample> = seeds
-            .iter()
-            .map(|&seed| {
-                let scenario = match figure {
-                    PaperFigure::Fig5 | PaperFigure::Fig6 => fig5_6(seed),
-                    _ => fig7_8(seed),
-                };
-                let horizon = scenario.horizon;
-                let result = scenario.run(&discipline);
-                let (settle, unsettled) = mean_convergence(
-                    &result,
-                    horizon - SimDuration::from_secs(1),
-                    0.25,
-                    SimDuration::from_secs(10),
-                );
-                Sample {
-                    jain: window_jain_index(
-                        &result,
-                        horizon - SimDuration::from_secs(20),
-                        horizon,
-                    ),
-                    drops: result.total_drops() as f64,
-                    settle: settle.unwrap_or(horizon.as_secs_f64())
-                        + 10.0 * unsettled as f64, // penalize unsettled flows
-                }
-            })
-            .collect();
+        let samples: Vec<Sample> = sweep(serial, seeds.clone(), |seed| {
+            let scenario = match figure {
+                PaperFigure::Fig5 | PaperFigure::Fig6 => fig5_6(seed),
+                _ => fig7_8(seed),
+            };
+            let horizon = scenario.horizon;
+            let result = scenario.run(discipline.as_ref());
+            let (settle, unsettled) = mean_convergence(
+                &result,
+                horizon - SimDuration::from_secs(1),
+                0.25,
+                SimDuration::from_secs(10),
+            );
+            Sample {
+                jain: window_jain_index(&result, horizon - SimDuration::from_secs(20), horizon),
+                drops: result.total_drops() as f64,
+                settle: settle.unwrap_or(horizon.as_secs_f64()) + 10.0 * unsettled as f64, // penalize unsettled flows
+            }
+        });
         let (jm, js) = mean_std(samples.iter().map(|s| s.jain));
         let (dm, ds) = mean_std(samples.iter().map(|s| s.drops));
         let (sm, ss) = mean_std(samples.iter().map(|s| s.settle));
@@ -72,24 +74,34 @@ fn main() {
     );
 
     // Guard: the binary fails loudly if the headline conclusion flips.
-    let corelite_drops = mean_of(PaperFigure::Fig5, &seeds);
-    let csfq_drops = mean_of(PaperFigure::Fig6, &seeds);
+    let corelite_drops = mean_of(PaperFigure::Fig5, &seeds, serial);
+    let csfq_drops = mean_of(PaperFigure::Fig6, &seeds, serial);
     assert!(
         corelite_drops * 10.0 < csfq_drops,
         "drop asymmetry violated: corelite {corelite_drops}, csfq {csfq_drops}"
     );
 }
 
-fn mean_of(figure: PaperFigure, seeds: &[u64]) -> f64 {
+/// Routes a sweep through the parallel executor or its serial twin.
+fn sweep<T, R, F>(serial: bool, jobs: Vec<T>, work: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    if serial {
+        run_serial(jobs, work)
+    } else {
+        run_parallel(jobs, work)
+    }
+}
+
+fn mean_of(figure: PaperFigure, seeds: &[u64], serial: bool) -> f64 {
     let discipline = figure.discipline();
-    let total: f64 = seeds
-        .iter()
-        .map(|&seed| {
-            let scenario = fig5_6(seed);
-            scenario.run(&discipline).total_drops() as f64
-        })
-        .sum();
-    total / seeds.len() as f64
+    let drops = sweep(serial, seeds.to_vec(), |seed| {
+        fig5_6(seed).run(discipline.as_ref()).total_drops() as f64
+    });
+    drops.iter().sum::<f64>() / seeds.len() as f64
 }
 
 fn mean_std(values: impl Iterator<Item = f64>) -> (f64, f64) {

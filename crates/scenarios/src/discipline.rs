@@ -1,0 +1,366 @@
+//! The open discipline registry.
+//!
+//! A [`Discipline`] packages everything the experiment runner needs to
+//! put a rate-management scheme on a topology: a name, per-role
+//! [`RouterLogic`] factories (ingress edge, core, egress), and the
+//! analytic-expectation hooks that tell the reference allocator how the
+//! scheme's sources behave. The runner itself knows nothing about any
+//! particular scheme — new disciplines plug in by implementing the trait
+//! and (optionally) joining [`default_registry`], with no runner changes.
+//!
+//! Six disciplines ship in-tree:
+//!
+//! * [`Corelite`] — the paper's contribution: adaptive edges driven by
+//!   selective marker feedback from stateless cores.
+//! * [`Csfq`] — the weighted core-stateless fair queueing baseline.
+//! * [`Red`] / [`Fred`] / [`Fifo`] / [`Greedy`] — the classic
+//!   droptail/AQM reference points the paper positions itself against
+//!   (§5): open-loop sources over RED, FRED, or plain FIFO cores.
+
+use baselines::{FifoCore, FredConfig, FredCore, GreedySource, RedConfig, RedCore};
+use corelite::{CoreliteConfig, CoreliteCore, CoreliteEdge};
+use csfq::{CsfqConfig, CsfqCore, CsfqEdge};
+use netsim::logic::{ForwardLogic, RouterLogic};
+
+use crate::runner::ScenarioFlow;
+
+/// A rate-management scheme the experiment runner can deploy.
+///
+/// Implementations must be cheap to share across threads: the parallel
+/// executor hands one `&dyn Discipline` to every worker.
+pub trait Discipline: Sync {
+    /// Short lowercase name for file names, table headers, and the
+    /// `--discipline` flag.
+    fn name(&self) -> &'static str;
+
+    /// Router logic for a core router.
+    fn core_logic(&self, seed: u64) -> Box<dyn RouterLogic>;
+
+    /// Router logic for `flow`'s ingress edge router (which is also the
+    /// flow's traffic source).
+    fn edge_logic(&self, seed: u64, flow: &ScenarioFlow) -> Box<dyn RouterLogic>;
+
+    /// Router logic for a flow's egress edge router.
+    fn egress_logic(&self, _seed: u64) -> Box<dyn RouterLogic> {
+        Box::new(ForwardLogic)
+    }
+
+    /// The weight the analytic reference allocation should give `flow`.
+    /// Weight-aware disciplines use the flow's configured weight;
+    /// weight-oblivious ones (RED, FRED, greedy FIFO) compete as equals.
+    fn reference_weight(&self, flow: &ScenarioFlow) -> f64 {
+        flow.weight as f64
+    }
+
+    /// The rate this discipline's source offers for `flow`, in packets
+    /// per second, when the sources are open-loop; `None` for adaptive
+    /// edges that track whatever the network grants. A `Some` value caps
+    /// the flow's analytic reference allocation.
+    fn offered_rate(&self, _flow: &ScenarioFlow) -> Option<f64> {
+        None
+    }
+}
+
+/// Offered load of the open-loop sources used by the weight-oblivious
+/// baselines, in packets per second: ~1.2× a fair share of the paper
+/// link when five flows contend, so the bottleneck is genuinely
+/// congested without burying it.
+pub const GREEDY_SOURCE_PPS: f64 = 120.0;
+
+/// Per-unit-weight rate of the cooperative [`Fifo`] sources: a flow of
+/// weight `w` offers `30 · w` pkt/s, so the §4.2 workload (total weight
+/// 30) oversubscribes the 500 pkt/s paper link by 1.8×.
+pub const FIFO_PPS_PER_WEIGHT: f64 = 30.0;
+
+/// The paper's discipline: Corelite edges and cores.
+#[derive(Debug, Clone, Default)]
+pub struct Corelite {
+    /// Mechanism configuration shared by every edge and core.
+    pub config: CoreliteConfig,
+}
+
+impl Corelite {
+    /// A Corelite discipline with the given configuration.
+    pub fn new(config: CoreliteConfig) -> Self {
+        Corelite { config }
+    }
+}
+
+impl Discipline for Corelite {
+    fn name(&self) -> &'static str {
+        "corelite"
+    }
+
+    fn core_logic(&self, seed: u64) -> Box<dyn RouterLogic> {
+        Box::new(CoreliteCore::new(seed, self.config.clone()))
+    }
+
+    fn edge_logic(&self, seed: u64, _flow: &ScenarioFlow) -> Box<dyn RouterLogic> {
+        Box::new(CoreliteEdge::new(seed, self.config.clone()))
+    }
+}
+
+/// The weighted CSFQ baseline (SIGCOMM '98).
+#[derive(Debug, Clone, Default)]
+pub struct Csfq {
+    /// Estimator configuration shared by every edge and core.
+    pub config: CsfqConfig,
+}
+
+impl Csfq {
+    /// A CSFQ discipline with the given configuration.
+    pub fn new(config: CsfqConfig) -> Self {
+        Csfq { config }
+    }
+}
+
+impl Discipline for Csfq {
+    fn name(&self) -> &'static str {
+        "csfq"
+    }
+
+    fn core_logic(&self, seed: u64) -> Box<dyn RouterLogic> {
+        Box::new(CsfqCore::new(seed, self.config.clone()))
+    }
+
+    fn edge_logic(&self, seed: u64, _flow: &ScenarioFlow) -> Box<dyn RouterLogic> {
+        Box::new(CsfqEdge::new(seed, self.config.clone()))
+    }
+}
+
+/// Greedy open-loop sources over RED cores: random early detection
+/// manages queues but knows nothing of weights, so goodput follows
+/// offered load — the §5 argument for why AQM alone cannot provide
+/// weighted fairness.
+#[derive(Debug, Clone)]
+pub struct Red {
+    /// RED queue-management parameters.
+    pub config: RedConfig,
+    /// Offered rate of every source, pkt/s.
+    pub source_rate: f64,
+}
+
+impl Default for Red {
+    fn default() -> Self {
+        Red {
+            config: RedConfig::default(),
+            source_rate: GREEDY_SOURCE_PPS,
+        }
+    }
+}
+
+impl Discipline for Red {
+    fn name(&self) -> &'static str {
+        "red"
+    }
+
+    fn core_logic(&self, seed: u64) -> Box<dyn RouterLogic> {
+        Box::new(RedCore::new(seed, self.config.clone()))
+    }
+
+    fn edge_logic(&self, _seed: u64, _flow: &ScenarioFlow) -> Box<dyn RouterLogic> {
+        Box::new(GreedySource::new(self.source_rate))
+    }
+
+    fn reference_weight(&self, _flow: &ScenarioFlow) -> f64 {
+        1.0
+    }
+
+    fn offered_rate(&self, _flow: &ScenarioFlow) -> Option<f64> {
+        Some(self.source_rate)
+    }
+}
+
+/// Greedy open-loop sources over flow-aware FRED cores: per-flow
+/// accounting protects low-rate flows but the shares are unweighted.
+#[derive(Debug, Clone)]
+pub struct Fred {
+    /// FRED queue-management parameters.
+    pub config: FredConfig,
+    /// Offered rate of every source, pkt/s.
+    pub source_rate: f64,
+}
+
+impl Default for Fred {
+    fn default() -> Self {
+        Fred {
+            config: FredConfig::default(),
+            source_rate: GREEDY_SOURCE_PPS,
+        }
+    }
+}
+
+impl Discipline for Fred {
+    fn name(&self) -> &'static str {
+        "fred"
+    }
+
+    fn core_logic(&self, seed: u64) -> Box<dyn RouterLogic> {
+        Box::new(FredCore::new(seed, self.config.clone()))
+    }
+
+    fn edge_logic(&self, _seed: u64, _flow: &ScenarioFlow) -> Box<dyn RouterLogic> {
+        Box::new(GreedySource::new(self.source_rate))
+    }
+
+    fn reference_weight(&self, _flow: &ScenarioFlow) -> f64 {
+        1.0
+    }
+
+    fn offered_rate(&self, _flow: &ScenarioFlow) -> Option<f64> {
+        Some(self.source_rate)
+    }
+}
+
+/// Cooperative weight-proportional sources over plain FIFO drop-tail
+/// cores: the no-AQM, no-feedback reference point. Fair only because the
+/// sources police themselves.
+#[derive(Debug, Clone)]
+pub struct Fifo {
+    /// Per-unit-weight source rate, pkt/s.
+    pub pps_per_weight: f64,
+}
+
+impl Default for Fifo {
+    fn default() -> Self {
+        Fifo {
+            pps_per_weight: FIFO_PPS_PER_WEIGHT,
+        }
+    }
+}
+
+impl Discipline for Fifo {
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+
+    fn core_logic(&self, _seed: u64) -> Box<dyn RouterLogic> {
+        Box::<FifoCore>::new(ForwardLogic)
+    }
+
+    fn edge_logic(&self, _seed: u64, flow: &ScenarioFlow) -> Box<dyn RouterLogic> {
+        Box::new(GreedySource::new(self.pps_per_weight * flow.weight as f64))
+    }
+
+    fn offered_rate(&self, flow: &ScenarioFlow) -> Option<f64> {
+        Some(self.pps_per_weight * flow.weight as f64)
+    }
+}
+
+/// Greedy open-loop sources over plain FIFO drop-tail cores: the
+/// worst-case reference — whoever pushes hardest wins.
+#[derive(Debug, Clone)]
+pub struct Greedy {
+    /// Offered rate of every source, pkt/s.
+    pub source_rate: f64,
+}
+
+impl Default for Greedy {
+    fn default() -> Self {
+        Greedy {
+            source_rate: GREEDY_SOURCE_PPS,
+        }
+    }
+}
+
+impl Discipline for Greedy {
+    fn name(&self) -> &'static str {
+        "greedy"
+    }
+
+    fn core_logic(&self, _seed: u64) -> Box<dyn RouterLogic> {
+        Box::<FifoCore>::new(ForwardLogic)
+    }
+
+    fn edge_logic(&self, _seed: u64, _flow: &ScenarioFlow) -> Box<dyn RouterLogic> {
+        Box::new(GreedySource::new(self.source_rate))
+    }
+
+    fn reference_weight(&self, _flow: &ScenarioFlow) -> f64 {
+        1.0
+    }
+
+    fn offered_rate(&self, _flow: &ScenarioFlow) -> Option<f64> {
+        Some(self.source_rate)
+    }
+}
+
+/// Every in-tree discipline under its default configuration, in the
+/// order the §4.4 comparison tables print them.
+pub fn default_registry() -> Vec<Box<dyn Discipline>> {
+    vec![
+        Box::new(Corelite::default()),
+        Box::new(Csfq::default()),
+        Box::new(Red::default()),
+        Box::new(Fred::default()),
+        Box::new(Fifo::default()),
+        Box::new(Greedy::default()),
+    ]
+}
+
+/// The registered discipline names, in registry order.
+pub fn names() -> Vec<&'static str> {
+    default_registry().iter().map(|d| d.name()).collect()
+}
+
+/// Looks up a discipline by its registered name (default configuration).
+pub fn by_name(name: &str) -> Option<Box<dyn Discipline>> {
+    default_registry().into_iter().find(|d| d.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Route;
+    use sim_core::time::SimTime;
+
+    fn flow(weight: u32) -> ScenarioFlow {
+        ScenarioFlow {
+            path: Route::new(0, 1).into(),
+            weight,
+            min_rate: 0.0,
+            activations: vec![(SimTime::ZERO, None)],
+        }
+    }
+
+    #[test]
+    fn registry_has_six_uniquely_named_disciplines() {
+        let names = names();
+        assert_eq!(
+            names,
+            vec!["corelite", "csfq", "red", "fred", "fifo", "greedy"]
+        );
+        let mut dedup = names.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+
+    #[test]
+    fn by_name_round_trips_and_rejects_unknowns() {
+        for name in names() {
+            assert_eq!(by_name(name).expect("registered").name(), name);
+        }
+        assert!(by_name("wfq").is_none());
+    }
+
+    #[test]
+    fn weight_oblivious_disciplines_compete_as_equals() {
+        let f = flow(3);
+        for name in ["red", "fred", "greedy"] {
+            let d = by_name(name).unwrap();
+            assert_eq!(d.reference_weight(&f), 1.0, "{name}");
+            assert_eq!(d.offered_rate(&f), Some(GREEDY_SOURCE_PPS), "{name}");
+        }
+    }
+
+    #[test]
+    fn weight_aware_disciplines_keep_the_flow_weight() {
+        let f = flow(3);
+        for name in ["corelite", "csfq", "fifo"] {
+            let d = by_name(name).unwrap();
+            assert_eq!(d.reference_weight(&f), 3.0, "{name}");
+        }
+        assert_eq!(by_name("fifo").unwrap().offered_rate(&f), Some(90.0));
+        assert_eq!(by_name("corelite").unwrap().offered_rate(&f), None);
+    }
+}

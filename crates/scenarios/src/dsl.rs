@@ -14,21 +14,35 @@
 //! ```
 //!
 //! `route=A-B` means the flow enters the core chain at `C{A+1}` and exits
-//! after `C{B+1}` (see [`Route`]); `start`/`stop` are seconds (a missing
+//! after `C{B+1}` (see [`crate::topology::Route`]); `start`/`stop` are seconds (a missing
 //! `stop` keeps the flow alive to the horizon). For churn, give a flow
 //! several activation periods with `active=START..STOP` attributes
-//! (`active=0..60 active=65..` — an open end keeps it running):
+//! (`active=0..60 active=65.. ` — an open end keeps it running):
 //!
 //! ```text
 //! flow route=0-1 weight=2 active=0..60 active=65..
 //! ```
+//!
+//! A `topology` directive selects the core network (default
+//! `topology paper` — the Figure-2 chain):
+//!
+//! ```text
+//! topology chain 6        # a 6-core chain
+//! topology parking_lot 4  # 4 congested hops
+//! topology fat_tree       # 4 leaves x 2 spines
+//! flow path=0,4,3 weight=2  # explicit core path (fat-tree needs one)
+//! ```
+//!
+//! `route=A-B` shorthand works on any chain topology; non-chain
+//! topologies need explicit `path=` core lists. Every flow's path is
+//! validated against the topology's links after parsing.
 
 use std::fmt;
 
 use sim_core::time::SimTime;
 
 use crate::runner::{Scenario, ScenarioFlow};
-use crate::topology::Route;
+use crate::topology::{CorePath, TopologySpec};
 
 /// A parse failure, with the offending 1-based line number.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -57,7 +71,8 @@ pub fn parse_scenario(text: &str) -> Result<Scenario, ParseScenarioError> {
     let mut name: Option<String> = None;
     let mut seed = 0u64;
     let mut horizon: Option<f64> = None;
-    let mut flows: Vec<ScenarioFlow> = Vec::new();
+    let mut topology: Option<TopologySpec> = None;
+    let mut flows: Vec<(usize, ScenarioFlow)> = Vec::new();
 
     for (idx, raw) in text.lines().enumerate() {
         let line_no = idx + 1;
@@ -82,12 +97,18 @@ pub fn parse_scenario(text: &str) -> Result<Scenario, ParseScenarioError> {
                 let h: f64 = rest
                     .parse()
                     .map_err(|_| err(format!("invalid horizon {rest:?}")))?;
-                if !(h > 0.0) {
+                if h <= 0.0 || h.is_nan() {
                     return Err(err("horizon must be positive".into()));
                 }
                 horizon = Some(h);
             }
-            "flow" => flows.push(parse_flow(rest, line_no)?),
+            "flow" => flows.push((line_no, parse_flow(rest, line_no)?)),
+            "topology" => {
+                if topology.is_some() {
+                    return Err(err("duplicate `topology` directive".into()));
+                }
+                topology = Some(parse_topology(rest, line_no)?);
+            }
             other => return Err(err(format!("unknown directive {other:?}"))),
         }
     }
@@ -102,20 +123,82 @@ pub fn parse_scenario(text: &str) -> Result<Scenario, ParseScenarioError> {
             message: "no `flow` directives".into(),
         });
     }
+    let topology = topology.unwrap_or_else(TopologySpec::paper_chain);
+    // Paths were only range-checked during parsing; check them against
+    // the topology's actual links now that it is known.
+    for (line, f) in &flows {
+        for hop in f.path.0.windows(2) {
+            if hop[0] >= topology.core_count || hop[1] >= topology.core_count {
+                return Err(ParseScenarioError {
+                    line: *line,
+                    message: format!(
+                        "core {} out of range for topology `{}` ({} cores)",
+                        hop[0].max(hop[1]),
+                        topology.name,
+                        topology.core_count
+                    ),
+                });
+            }
+            if topology.link_index(hop[0], hop[1]).is_none() {
+                return Err(ParseScenarioError {
+                    line: *line,
+                    message: format!(
+                        "hop {}->{} is not a link of topology `{}`",
+                        hop[0], hop[1], topology.name
+                    ),
+                });
+            }
+        }
+    }
     // `Scenario.name` is `&'static str` for table labels; leak the parsed
     // name (a CLI parses one scenario per process).
     let name: &'static str = Box::leak(name.unwrap_or_else(|| "cli".into()).into_boxed_str());
-    Ok(Scenario {
+    Ok(Scenario::on(
+        topology,
         name,
-        flows,
-        horizon: SimTime::from_secs_f64(horizon),
+        flows.into_iter().map(|(_, f)| f).collect(),
+        SimTime::from_secs_f64(horizon),
         seed,
-    })
+    ))
+}
+
+fn parse_topology(rest: &str, line: usize) -> Result<TopologySpec, ParseScenarioError> {
+    let err = |message: String| ParseScenarioError { line, message };
+    let mut parts = rest.split_whitespace();
+    let kind = parts.next().unwrap_or("");
+    let arg = parts.next();
+    if parts.next().is_some() {
+        return Err(err(format!("too many arguments to `topology {kind}`")));
+    }
+    let parse_arg = |what: &str| -> Result<usize, ParseScenarioError> {
+        let v = arg.ok_or_else(|| err(format!("`topology {kind}` needs a {what}")))?;
+        let n: usize = v
+            .parse()
+            .map_err(|_| err(format!("invalid {what} {v:?}")))?;
+        if n < if kind == "chain" { 2 } else { 1 } {
+            return Err(err(format!("{what} {n} too small for `topology {kind}`")));
+        }
+        Ok(n)
+    };
+    match kind {
+        "paper" => Ok(TopologySpec::paper_chain()),
+        "chain" => Ok(TopologySpec::chain(parse_arg("core count")?)),
+        "parking_lot" => Ok(TopologySpec::parking_lot(parse_arg("hop count")?)),
+        "fat_tree" => {
+            if arg.is_some() {
+                return Err(err("`topology fat_tree` takes no argument".into()));
+            }
+            Ok(TopologySpec::fat_tree())
+        }
+        other => Err(err(format!(
+            "unknown topology {other:?} (expected paper, chain, parking_lot, or fat_tree)"
+        ))),
+    }
 }
 
 fn parse_flow(rest: &str, line: usize) -> Result<ScenarioFlow, ParseScenarioError> {
     let err = |message: String| ParseScenarioError { line, message };
-    let mut route: Option<Route> = None;
+    let mut path: Option<CorePath> = None;
     let mut weight = 1u32;
     let mut min_rate = 0.0f64;
     let mut start = 0.0f64;
@@ -136,13 +219,23 @@ fn parse_flow(rest: &str, line: usize) -> Result<ScenarioFlow, ParseScenarioErro
                 let b: usize = b
                     .parse()
                     .map_err(|_| err(format!("invalid route end {b:?}")))?;
-                if !(a < b && b < Route::CORE_COUNT) {
-                    return Err(err(format!(
-                        "route {a}-{b} out of range (need A < B < {})",
-                        Route::CORE_COUNT
-                    )));
+                if a >= b {
+                    return Err(err(format!("route {a}-{b} out of range (need A < B)")));
                 }
-                route = Some(Route::new(a, b));
+                path = Some(CorePath::new((a..=b).collect()));
+            }
+            "path" => {
+                let cores: Vec<usize> = value
+                    .split(',')
+                    .map(|c| {
+                        c.parse()
+                            .map_err(|_| err(format!("invalid path core {c:?}")))
+                    })
+                    .collect::<Result<_, _>>()?;
+                if cores.len() < 2 {
+                    return Err(err(format!("path needs at least two cores, got {value:?}")));
+                }
+                path = Some(CorePath::new(cores));
             }
             "weight" => {
                 weight = value
@@ -192,15 +285,12 @@ fn parse_flow(rest: &str, line: usize) -> Result<ScenarioFlow, ParseScenarioErro
                         return Err(err(format!("activation {a}..{b} ends before it starts")));
                     }
                 }
-                activations.push((
-                    SimTime::from_secs_f64(a),
-                    b.map(SimTime::from_secs_f64),
-                ));
+                activations.push((SimTime::from_secs_f64(a), b.map(SimTime::from_secs_f64)));
             }
             other => return Err(err(format!("unknown flow attribute {other:?}"))),
         }
     }
-    let route = route.ok_or_else(|| err("flow needs route=A-B".into()))?;
+    let path = path.ok_or_else(|| err("flow needs route=A-B or path=C0,C1,...".into()))?;
     if let Some(stop) = stop {
         if stop <= start {
             return Err(err(format!("stop {stop} must be after start {start}")));
@@ -213,11 +303,11 @@ fn parse_flow(rest: &str, line: usize) -> Result<ScenarioFlow, ParseScenarioErro
         ));
     } else if start != 0.0 || stop.is_some() {
         return Err(err(
-            "use either start/stop or active=.. ranges, not both".into(),
+            "use either start/stop or active=.. ranges, not both".into()
         ));
     }
     Ok(ScenarioFlow {
-        route,
+        path,
         weight,
         min_rate,
         activations,
@@ -227,6 +317,7 @@ fn parse_flow(rest: &str, line: usize) -> Result<ScenarioFlow, ParseScenarioErro
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::topology::Route;
 
     const GOOD: &str = "\
 # demo
@@ -244,7 +335,8 @@ flow route=0-3 weight=1 start=5 stop=20 min_rate=10
         assert_eq!(s.seed, 9);
         assert_eq!(s.horizon, SimTime::from_secs(30));
         assert_eq!(s.flows.len(), 2);
-        assert_eq!(s.flows[0].route, Route::new(0, 1));
+        assert_eq!(s.topology, crate::topology::TopologySpec::paper_chain());
+        assert_eq!(s.flows[0].path, Route::new(0, 1).into());
         assert_eq!(s.flows[0].weight, 2);
         assert_eq!(s.flows[1].min_rate, 10.0);
         assert_eq!(
@@ -289,6 +381,46 @@ flow route=0-3 weight=1 start=5 stop=20 min_rate=10
     }
 
     #[test]
+    fn topology_directive_selects_the_core_network() {
+        let s = parse_scenario("topology chain 6\nhorizon 10\nflow route=0-5\n").unwrap();
+        assert_eq!(s.topology.core_count, 6);
+        assert_eq!(s.flows[0].path.0, vec![0, 1, 2, 3, 4, 5]);
+        let s = parse_scenario("topology fat_tree\nhorizon 10\nflow path=0,4,3\n").unwrap();
+        assert_eq!(s.topology.name, "fat_tree");
+        assert_eq!(s.flows[0].path.0, vec![0, 4, 3]);
+    }
+
+    #[test]
+    fn paths_are_validated_against_the_topology() {
+        // route=0-5 is fine on a 6-core chain but not on the paper chain.
+        let e = parse_scenario("horizon 10\nflow route=0-5\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("out of range"), "{}", e.message);
+        // A leaf-to-leaf hop skips the spine: not a fat-tree link.
+        let e = parse_scenario("topology fat_tree\nhorizon 10\nflow path=0,3\n").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("not a link"), "{}", e.message);
+    }
+
+    #[test]
+    fn bad_topology_directives_rejected() {
+        for bad in [
+            "topology mesh",
+            "topology chain",
+            "topology chain x",
+            "topology chain 1",
+            "topology fat_tree 3",
+            "topology paper extra stuff",
+        ] {
+            let e = parse_scenario(&format!("{bad}\nhorizon 5\nflow route=0-1\n")).unwrap_err();
+            assert_eq!(e.line, 1, "{bad}");
+        }
+        let e = parse_scenario("topology paper\ntopology paper\nhorizon 5\nflow route=0-1\n")
+            .unwrap_err();
+        assert!(e.message.contains("duplicate"));
+    }
+
+    #[test]
     fn inverted_activation_rejected() {
         let e = parse_scenario("horizon 5\nflow route=0-1 start=4 stop=2\n").unwrap_err();
         assert!(e.message.contains("after start"));
@@ -313,17 +445,23 @@ flow route=0-1 active=0..60 active=65..
 
     #[test]
     fn active_and_start_stop_are_exclusive() {
-        let e = parse_scenario("horizon 100
+        let e = parse_scenario(
+            "horizon 100
 flow route=0-1 start=5 active=0..60
-").unwrap_err();
+",
+        )
+        .unwrap_err();
         assert!(e.message.contains("not both"));
     }
 
     #[test]
     fn inverted_active_range_rejected() {
-        let e = parse_scenario("horizon 100
+        let e = parse_scenario(
+            "horizon 100
 flow route=0-1 active=60..60
-").unwrap_err();
+",
+        )
+        .unwrap_err();
         assert!(e.message.contains("ends before"));
     }
 

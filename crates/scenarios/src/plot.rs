@@ -152,7 +152,12 @@ pub fn render_lines(spec: &PlotSpec, series: &[(String, &TimeSeries)]) -> String
         let color = PALETTE[i % PALETTE.len()];
         let mut points = String::new();
         for (t, v) in s.iter() {
-            let _ = write!(points, "{:.1},{:.1} ", sx(t.as_secs_f64()), sy(v.min(y_max)));
+            let _ = write!(
+                points,
+                "{:.1},{:.1} ",
+                sx(t.as_secs_f64()),
+                sy(v.min(y_max))
+            );
         }
         let _ = write!(
             out,
@@ -196,7 +201,9 @@ fn fmt_tick(v: f64) -> String {
 }
 
 fn escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]

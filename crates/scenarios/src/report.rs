@@ -42,7 +42,7 @@ pub fn steady_state_summary(
     to: SimTime,
 ) -> Vec<FlowSummary> {
     let mid = SimTime::from_secs_f64((from.as_secs_f64() + to.as_secs_f64()) / 2.0);
-    let expected = result.scenario.expected_rates_at(mid);
+    let expected = result.expected_rates_at(mid);
     (0..result.scenario.flows.len())
         .map(|i| FlowSummary {
             flow: i + 1,
@@ -84,14 +84,16 @@ pub fn convergence_summary(
     tolerance: f64,
     sustain: SimDuration,
 ) -> Vec<(usize, Option<SimTime>)> {
-    let expected = result.scenario.expected_rates_at(probe);
+    let expected = result.expected_rates_at(probe);
     let window = SimDuration::from_secs(10);
     (0..result.scenario.flows.len())
         .map(|i| {
             if expected[i] <= 0.0 {
                 return (i + 1, None);
             }
-            let smoothed = result.allotted_rate(i).resample_mean(SimDuration::from_secs(4));
+            let smoothed = result
+                .rate_series(i)
+                .resample_mean(SimDuration::from_secs(4));
             let from = if probe.saturating_since(SimTime::ZERO) > window {
                 probe - window
             } else {
@@ -123,7 +125,7 @@ pub fn mean_convergence(
     tolerance: f64,
     sustain: SimDuration,
 ) -> (Option<f64>, usize) {
-    let expected = result.scenario.expected_rates_at(probe);
+    let expected = result.expected_rates_at(probe);
     let mut sum = 0.0;
     let mut n = 0usize;
     let mut unsettled = 0usize;
@@ -151,7 +153,7 @@ pub fn last_convergence(
     tolerance: f64,
     sustain: SimDuration,
 ) -> Option<SimTime> {
-    let expected = result.scenario.expected_rates_at(probe);
+    let expected = result.expected_rates_at(probe);
     let mut latest = SimTime::ZERO;
     for (i, t) in convergence_summary(result, probe, tolerance, sustain) {
         if expected[i - 1] <= 0.0 {
@@ -164,7 +166,8 @@ pub fn last_convergence(
 
 /// Renders a steady-state summary as a Markdown table.
 pub fn summary_markdown(summaries: &[FlowSummary]) -> String {
-    let mut out = String::from("| flow | weight | expected (pkt/s) | measured (pkt/s) | rel. error |\n");
+    let mut out =
+        String::from("| flow | weight | expected (pkt/s) | measured (pkt/s) | rel. error |\n");
     out.push_str("|---|---|---|---|---|\n");
     for s in summaries {
         let err = s.relative_error();
@@ -180,11 +183,12 @@ pub fn summary_markdown(summaries: &[FlowSummary]) -> String {
     out
 }
 
-/// Exports every flow's allotted-rate series as a wide CSV
+/// Exports every flow's rate series (edge-recorded allotted rate, or
+/// measured goodput for open-loop disciplines) as a wide CSV
 /// (`time,flow1,...,flowN`), sampled-and-held every `step`.
 pub fn rate_series_csv(result: &ExperimentResult, step: SimDuration) -> String {
     series_csv(result, step, |r, i, t| {
-        r.allotted_rate(i).value_at(t).unwrap_or(0.0)
+        r.rate_series(i).value_at(t).unwrap_or(0.0)
     })
 }
 
@@ -231,31 +235,32 @@ fn series_csv(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::runner::{Discipline, Scenario, ScenarioFlow};
+    use crate::discipline::Corelite;
+    use crate::runner::{Scenario, ScenarioFlow};
     use crate::topology::Route;
     use corelite::CoreliteConfig;
 
     fn small_result() -> ExperimentResult {
-        let scenario = Scenario {
-            name: "report_test",
-            flows: vec![
+        let scenario = Scenario::paper(
+            "report_test",
+            vec![
                 ScenarioFlow {
-                    route: Route::new(0, 1),
+                    path: Route::new(0, 1).into(),
                     weight: 1,
                     min_rate: 0.0,
                     activations: vec![(SimTime::ZERO, None)],
                 },
                 ScenarioFlow {
-                    route: Route::new(0, 1),
+                    path: Route::new(0, 1).into(),
                     weight: 2,
                     min_rate: 0.0,
                     activations: vec![(SimTime::ZERO, None)],
                 },
             ],
-            horizon: SimTime::from_secs(260),
-            seed: 3,
-        };
-        scenario.run(&Discipline::Corelite(CoreliteConfig::default()))
+            SimTime::from_secs(260),
+            3,
+        );
+        scenario.run(&Corelite::new(CoreliteConfig::default()))
     }
 
     #[test]

@@ -1,42 +1,22 @@
-//! Builds and runs an experiment on the paper topology under a chosen
-//! discipline.
+//! Builds and runs an experiment on a [`TopologySpec`] under any
+//! registered [`Discipline`].
 
-use corelite::{CoreliteConfig, CoreliteCore, CoreliteEdge};
-use csfq::{CsfqConfig, CsfqCore, CsfqEdge};
 use fairness::maxmin::MaxMinProblem;
 use netsim::flow::FlowSpec;
-use netsim::logic::ForwardLogic;
 use netsim::topology::TopologyBuilder;
 use netsim::{FlowId, SimReport};
 use sim_core::stats::TimeSeries;
 use sim_core::time::SimTime;
 
-use crate::topology::{paper_link, Route, LINK_CAPACITY_PPS};
-
-/// The rate-management discipline under test.
-#[derive(Debug, Clone)]
-pub enum Discipline {
-    /// Corelite edges and cores (the paper's contribution).
-    Corelite(CoreliteConfig),
-    /// Weighted CSFQ edges and cores (the baseline).
-    Csfq(CsfqConfig),
-}
-
-impl Discipline {
-    /// Short lowercase name for file names and table headers.
-    pub fn name(&self) -> &'static str {
-        match self {
-            Discipline::Corelite(_) => "corelite",
-            Discipline::Csfq(_) => "csfq",
-        }
-    }
-}
+use crate::discipline::Discipline;
+use crate::topology::{paper_link, CorePath, TopologySpec, LINK_CAPACITY_PPS};
 
 /// One flow of a scenario.
 #[derive(Debug, Clone)]
 pub struct ScenarioFlow {
-    /// Where the flow enters and exits the core chain.
-    pub route: Route,
+    /// The core routers the flow traverses, in order. Chain scenarios
+    /// build this from a [`crate::topology::Route`] via `.into()`.
+    pub path: CorePath,
     /// The flow's rate weight.
     pub weight: u32,
     /// Minimum rate contract in packets per second (0 = best effort;
@@ -48,11 +28,11 @@ pub struct ScenarioFlow {
 }
 
 impl ScenarioFlow {
-    /// A best-effort flow over `route` with the given weight, active from
+    /// A best-effort flow over `path` with the given weight, active from
     /// `start` for the rest of the run.
-    pub fn best_effort(route: Route, weight: u32, start: SimTime) -> Self {
+    pub fn best_effort(path: impl Into<CorePath>, weight: u32, start: SimTime) -> Self {
         ScenarioFlow {
-            route,
+            path: path.into(),
             weight,
             min_rate: 0.0,
             activations: vec![(start, None)],
@@ -60,11 +40,14 @@ impl ScenarioFlow {
     }
 }
 
-/// A complete experiment description.
+/// A complete experiment description: a core topology, the flows
+/// crossing it, and a horizon.
 #[derive(Debug, Clone)]
 pub struct Scenario {
     /// Name used in output files and tables.
     pub name: &'static str,
+    /// The shape of the core network.
+    pub topology: TopologySpec,
     /// The flows, in paper order (flow 1 first).
     pub flows: Vec<ScenarioFlow>,
     /// Simulated duration.
@@ -74,9 +57,103 @@ pub struct Scenario {
 }
 
 impl Scenario {
+    /// A scenario on the paper's Figure-2 chain.
+    pub fn paper(
+        name: &'static str,
+        flows: Vec<ScenarioFlow>,
+        horizon: SimTime,
+        seed: u64,
+    ) -> Self {
+        Self::on(TopologySpec::paper_chain(), name, flows, horizon, seed)
+    }
+
+    /// A scenario on an arbitrary core topology.
+    pub fn on(
+        topology: TopologySpec,
+        name: &'static str,
+        flows: Vec<ScenarioFlow>,
+        horizon: SimTime,
+        seed: u64,
+    ) -> Self {
+        Scenario {
+            name,
+            topology,
+            flows,
+            horizon,
+            seed,
+        }
+    }
+
+    /// The classic parking-lot workload on a chain of `hops` congested
+    /// links: one long weight-1 flow crossing every link, plus one
+    /// one-hop weight-1 cross flow per link. The analytic share of the
+    /// long flow is capacity / 2 on every link regardless of `hops` —
+    /// the standard stress case for per-link (rather than per-path)
+    /// fairness.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `hops >= 1`.
+    pub fn parking_lot(hops: usize, horizon: SimTime, seed: u64) -> Self {
+        let mut flows = vec![ScenarioFlow::best_effort(
+            CorePath::new((0..=hops).collect()),
+            1,
+            SimTime::ZERO,
+        )];
+        for hop in 0..hops {
+            flows.push(ScenarioFlow::best_effort(
+                CorePath::new(vec![hop, hop + 1]),
+                1,
+                SimTime::ZERO,
+            ));
+        }
+        Self::on(
+            TopologySpec::parking_lot(hops),
+            "parking_lot",
+            flows,
+            horizon,
+            seed,
+        )
+    }
+
+    /// A cross-traffic mix on the leaf–spine fat-tree: eight flows
+    /// between distinct leaf pairs, spines alternating by flow index,
+    /// weights cycling 1, 2, 3 — a genuinely non-chain workload for the
+    /// max-min reference and the §4.4 comparison.
+    pub fn fat_tree_mix(horizon: SimTime, seed: u64) -> Self {
+        let pairs = [
+            (0, 1),
+            (1, 2),
+            (2, 3),
+            (3, 0),
+            (0, 2),
+            (1, 3),
+            (2, 0),
+            (3, 1),
+        ];
+        let flows = pairs
+            .iter()
+            .enumerate()
+            .map(|(i, &(src, dst))| {
+                ScenarioFlow::best_effort(
+                    TopologySpec::fat_tree_path(src, dst, i % TopologySpec::FAT_TREE_SPINES),
+                    (i % 3 + 1) as u32,
+                    SimTime::ZERO,
+                )
+            })
+            .collect();
+        Self::on(
+            TopologySpec::fat_tree(),
+            "fat_tree_mix",
+            flows,
+            horizon,
+            seed,
+        )
+    }
+
     /// Runs the scenario under `discipline` and collects the results,
     /// using the paper's 4 Mbps / 40 ms / 40-packet links.
-    pub fn run(&self, discipline: &Discipline) -> ExperimentResult {
+    pub fn run(&self, discipline: &dyn Discipline) -> ExperimentResult {
         self.run_with_link(discipline, paper_link())
     }
 
@@ -86,47 +163,25 @@ impl Scenario {
     /// latencies").
     pub fn run_with_link(
         &self,
-        discipline: &Discipline,
+        discipline: &dyn Discipline,
         link: netsim::link::LinkSpec,
     ) -> ExperimentResult {
         let mut b = TopologyBuilder::new(self.seed);
-        // Core chain C1..C4 with the three congested links.
-        let cores: Vec<_> = (0..Route::CORE_COUNT)
-            .map(|i| {
-                let name = format!("C{}", i + 1);
-                match discipline {
-                    Discipline::Corelite(cfg) => {
-                        let cfg = cfg.clone();
-                        b.node(&name, move |s| Box::new(CoreliteCore::new(s, cfg)))
-                    }
-                    Discipline::Csfq(cfg) => {
-                        let cfg = cfg.clone();
-                        b.node(&name, move |s| Box::new(CsfqCore::new(s, cfg)))
-                    }
-                }
-            })
+        // The shared core network.
+        let cores: Vec<_> = (0..self.topology.core_count)
+            .map(|i| b.node(&format!("C{}", i + 1), |s| discipline.core_logic(s)))
             .collect();
-        for w in cores.windows(2) {
-            b.link(w[0], w[1], link);
+        for &(src, dst) in &self.topology.links {
+            b.link(cores[src], cores[dst], link);
         }
-        // Per-flow ingress and egress edges on 40 ms access links.
+        // Per-flow ingress and egress edges on access links.
         for (i, f) in self.flows.iter().enumerate() {
-            let ingress_name = format!("E{}", i + 1);
-            let ingress = match discipline {
-                Discipline::Corelite(cfg) => {
-                    let cfg = cfg.clone();
-                    b.node(&ingress_name, move |s| Box::new(CoreliteEdge::new(s, cfg)))
-                }
-                Discipline::Csfq(cfg) => {
-                    let cfg = cfg.clone();
-                    b.node(&ingress_name, move |s| Box::new(CsfqEdge::new(s, cfg)))
-                }
-            };
-            let egress = b.node(&format!("X{}", i + 1), |_| Box::new(ForwardLogic));
-            b.link(ingress, cores[f.route.first_core], link);
-            b.link(cores[f.route.last_core], egress, link);
+            let ingress = b.node(&format!("E{}", i + 1), |s| discipline.edge_logic(s, f));
+            let egress = b.node(&format!("X{}", i + 1), |s| discipline.egress_logic(s));
+            b.link(ingress, cores[f.path.first()], link);
+            b.link(cores[f.path.last()], egress, link);
             let mut path = vec![ingress];
-            path.extend(&cores[f.route.first_core..=f.route.last_core]);
+            path.extend(f.path.0.iter().map(|&c| cores[c]));
             path.push(egress);
             let mut spec = FlowSpec::new(path, f.weight).min_rate(f.min_rate);
             for &(start, stop) in &f.activations {
@@ -134,11 +189,13 @@ impl Scenario {
             }
             b.flow(spec);
         }
+        let reference = ReferenceSpec::of(discipline, &self.flows);
         let mut net = b.build();
         net.run_until(self.horizon);
         ExperimentResult {
             scenario: self.clone(),
             discipline_name: discipline.name(),
+            reference,
             report: net.into_report(self.horizon),
         }
     }
@@ -151,33 +208,85 @@ impl Scenario {
             .filter(|(_, f)| {
                 f.activations
                     .iter()
-                    .any(|&(start, stop)| t >= start && stop.map_or(true, |s| t < s))
+                    .any(|&(start, stop)| t >= start && stop.is_none_or(|s| t < s))
             })
             .map(|(i, _)| i)
             .collect()
     }
 
     /// Computes the analytic weighted max-min fair allocation over the
-    /// flows active at time `t`. Returns one entry per flow (0-based
-    /// index); inactive flows get 0.
+    /// flows active at time `t`, using the flows' configured weights and
+    /// floors (the discipline-independent paper reference). Returns one
+    /// entry per flow (0-based index); inactive flows get 0.
     pub fn expected_rates_at(&self, t: SimTime) -> Vec<f64> {
+        let weights: Vec<f64> = self.flows.iter().map(|f| f.weight as f64).collect();
+        let caps = vec![None; self.flows.len()];
+        self.reference_rates_at(t, &weights, &caps)
+    }
+
+    /// The weighted max-min allocation at `t` under explicit per-flow
+    /// reference weights and optional offered-rate caps (see
+    /// [`Discipline::reference_weight`] and [`Discipline::offered_rate`]).
+    /// Every core link has the paper capacity; caps are applied to each
+    /// flow's water-filling share elementwise, which is exact when the
+    /// capped flows are not bottlenecked by each other (and a documented
+    /// approximation otherwise).
+    pub fn reference_rates_at(
+        &self,
+        t: SimTime,
+        weights: &[f64],
+        caps: &[Option<f64>],
+    ) -> Vec<f64> {
         let active = self.active_at(t);
         let mut problem = MaxMinProblem::new();
-        let links: Vec<_> = (0..Route::CORE_COUNT - 1)
+        let links: Vec<_> = (0..self.topology.link_count())
             .map(|_| problem.link(LINK_CAPACITY_PPS))
             .collect();
         let mut refs = Vec::new();
         for &i in &active {
             let f = &self.flows[i];
-            let crossed = links[f.route.first_core..f.route.last_core].to_vec();
-            refs.push((i, problem.flow_with_floor(f.weight as f64, f.min_rate, crossed)));
+            let crossed: Vec<_> = f
+                .path
+                .link_indices(&self.topology)
+                .into_iter()
+                .map(|l| links[l])
+                .collect();
+            refs.push((i, problem.flow_with_floor(weights[i], f.min_rate, crossed)));
         }
         let alloc = problem.solve();
         let mut out = vec![0.0; self.flows.len()];
         for (i, r) in refs {
-            out[i] = alloc.rate(r);
+            out[i] = match caps[i] {
+                Some(cap) => alloc.rate(r).min(cap),
+                None => alloc.rate(r),
+            };
         }
         out
+    }
+}
+
+/// How the analytic reference allocation should treat each flow under
+/// the discipline that produced a result: the reference weights and the
+/// open-loop offered-rate caps. Plain data, so [`ExperimentResult`]
+/// stays `Debug` and thread-transferable.
+#[derive(Debug, Clone)]
+pub struct ReferenceSpec {
+    /// Per-flow reference weight.
+    pub weights: Vec<f64>,
+    /// Per-flow offered-rate cap (`None` = adaptive source, uncapped).
+    pub caps: Vec<Option<f64>>,
+}
+
+impl ReferenceSpec {
+    /// Captures the discipline's expectation hooks for `flows`.
+    pub fn of(discipline: &dyn Discipline, flows: &[ScenarioFlow]) -> Self {
+        ReferenceSpec {
+            weights: flows
+                .iter()
+                .map(|f| discipline.reference_weight(f))
+                .collect(),
+            caps: flows.iter().map(|f| discipline.offered_rate(f)).collect(),
+        }
     }
 }
 
@@ -186,8 +295,10 @@ impl Scenario {
 pub struct ExperimentResult {
     /// The scenario that was run.
     pub scenario: Scenario,
-    /// `"corelite"` or `"csfq"`.
+    /// The registered name of the discipline that ran.
     pub discipline_name: &'static str,
+    /// The discipline's analytic-expectation hooks, captured at run time.
+    pub reference: ReferenceSpec,
     /// The full simulation report.
     pub report: SimReport,
 }
@@ -198,17 +309,38 @@ impl ExperimentResult {
     ///
     /// # Panics
     ///
-    /// Panics if the flow does not exist or recorded no series.
+    /// Panics if the flow does not exist or recorded no series (open-loop
+    /// sources don't; see [`ExperimentResult::rate_series`]).
     pub fn allotted_rate(&self, i: usize) -> &TimeSeries {
         self.report
             .allotted_rate(FlowId::from_index(i))
             .unwrap_or_else(|| panic!("flow {i} has no allotted-rate series"))
     }
 
-    /// Mean allotted rate of flow `i` over `[from, to)`, or 0 if no
-    /// samples fall in the window.
+    /// The best available rate series for flow `i`: the edge-recorded
+    /// allotted rate when the discipline exports one (Corelite, CSFQ),
+    /// otherwise the measured delivered-goodput series (the open-loop
+    /// baselines, whose sources grant themselves a constant rate).
+    pub fn rate_series(&self, i: usize) -> &TimeSeries {
+        self.report
+            .allotted_rate(FlowId::from_index(i))
+            .unwrap_or(&self.report.flows[i].goodput)
+    }
+
+    /// Mean rate of flow `i` over `[from, to)` per
+    /// [`ExperimentResult::rate_series`], or 0 if no samples fall in the
+    /// window.
     pub fn mean_rate_in(&self, i: usize, from: SimTime, to: SimTime) -> f64 {
-        self.allotted_rate(i).mean_in(from, to).unwrap_or(0.0)
+        self.rate_series(i).mean_in(from, to).unwrap_or(0.0)
+    }
+
+    /// The analytic reference allocation at `t` under the discipline
+    /// that produced this result (reference weights and offered-rate
+    /// caps included). This is what measured rates should be compared
+    /// against in discipline-spanning tables.
+    pub fn expected_rates_at(&self, t: SimTime) -> Vec<f64> {
+        self.scenario
+            .reference_rates_at(t, &self.reference.weights, &self.reference.caps)
     }
 
     /// Total packets dropped anywhere during the run.
@@ -220,31 +352,32 @@ impl ExperimentResult {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::discipline::{self, Corelite, Csfq};
+    use crate::topology::Route;
+    use corelite::CoreliteConfig;
+    use csfq::CsfqConfig;
     use sim_core::time::SimDuration;
 
     fn two_flow_scenario() -> Scenario {
-        Scenario {
-            name: "test",
-            flows: vec![
+        Scenario::paper(
+            "test",
+            vec![
                 ScenarioFlow {
-                    route: Route::new(0, 1),
+                    path: Route::new(0, 1).into(),
                     weight: 1,
                     min_rate: 0.0,
                     activations: vec![(SimTime::ZERO, None)],
                 },
                 ScenarioFlow {
-                    route: Route::new(0, 1),
+                    path: Route::new(0, 1).into(),
                     weight: 2,
                     min_rate: 0.0,
-                    activations: vec![(
-                        SimTime::from_secs(10),
-                        Some(SimTime::from_secs(20)),
-                    )],
+                    activations: vec![(SimTime::from_secs(10), Some(SimTime::from_secs(20)))],
                 },
             ],
-            horizon: SimTime::from_secs(30),
-            seed: 1,
-        }
+            SimTime::from_secs(30),
+            1,
+        )
     }
 
     #[test]
@@ -270,7 +403,7 @@ mod tests {
     fn corelite_run_produces_series_for_all_flows() {
         let mut s = two_flow_scenario();
         s.horizon = SimTime::from_secs(5);
-        let result = s.run(&Discipline::Corelite(
+        let result = s.run(&Corelite::new(
             CoreliteConfig::default().with_epoch(SimDuration::from_millis(100)),
         ));
         assert_eq!(result.discipline_name, "corelite");
@@ -284,8 +417,57 @@ mod tests {
     fn csfq_run_produces_series_for_started_flows() {
         let mut s = two_flow_scenario();
         s.horizon = SimTime::from_secs(5);
-        let result = s.run(&Discipline::Csfq(CsfqConfig::default()));
+        let result = s.run(&Csfq::new(CsfqConfig::default()));
         assert_eq!(result.discipline_name, "csfq");
         assert!(!result.allotted_rate(0).is_empty());
+    }
+
+    #[test]
+    fn open_loop_disciplines_fall_back_to_goodput_series() {
+        let mut s = two_flow_scenario();
+        s.horizon = SimTime::from_secs(20);
+        let result = s.run(discipline::by_name("greedy").unwrap().as_ref());
+        assert_eq!(result.discipline_name, "greedy");
+        // Greedy sources export no allotted-rate series; the rate series
+        // is the measured goodput, and it shows traffic flowed.
+        assert!(result.report.allotted_rate(FlowId::from_index(0)).is_none());
+        let mean = result.mean_rate_in(0, SimTime::from_secs(5), SimTime::from_secs(20));
+        assert!(mean > 50.0, "greedy flow should deliver packets: {mean}");
+    }
+
+    #[test]
+    fn reference_caps_bound_the_expectation() {
+        let mut s = two_flow_scenario();
+        s.flows[1].activations = vec![(SimTime::ZERO, None)];
+        let reference =
+            ReferenceSpec::of(discipline::by_name("greedy").unwrap().as_ref(), &s.flows);
+        // Two greedy equal-weight flows on one link: uncapped share is
+        // 250 each, capped at the 120 pkt/s offered rate.
+        let rates =
+            s.reference_rates_at(SimTime::from_secs(1), &reference.weights, &reference.caps);
+        for r in rates {
+            assert!((r - discipline::GREEDY_SOURCE_PPS).abs() < 1e-6, "{r}");
+        }
+    }
+
+    #[test]
+    fn parking_lot_long_flow_gets_half_capacity() {
+        let s = Scenario::parking_lot(3, SimTime::from_secs(10), 1);
+        assert_eq!(s.flows.len(), 4);
+        let expected = s.expected_rates_at(SimTime::from_secs(1));
+        for (i, r) in expected.iter().enumerate() {
+            assert!(
+                (r - LINK_CAPACITY_PPS / 2.0).abs() < 1e-6,
+                "flow {i}: {r} (parking-lot equal split)"
+            );
+        }
+    }
+
+    #[test]
+    fn fat_tree_mix_runs_on_a_non_chain_topology() {
+        let s = Scenario::fat_tree_mix(SimTime::from_secs(10), 1);
+        assert!(!s.topology.is_chain());
+        let expected = s.expected_rates_at(SimTime::from_secs(1));
+        assert!(expected.iter().all(|&r| r > 0.0), "{expected:?}");
     }
 }

@@ -4,7 +4,8 @@ use corelite::CoreliteConfig;
 use csfq::CsfqConfig;
 use sim_core::time::SimTime;
 
-use crate::runner::{Discipline, Scenario, ScenarioFlow};
+use crate::discipline::{Corelite, Csfq, Discipline};
+use crate::runner::{Scenario, ScenarioFlow};
 use crate::topology::Route;
 
 /// §4.1 (Figures 3 and 4): 20 flows with the paper's weights; flows 1, 9,
@@ -15,7 +16,7 @@ pub fn fig3_4(seed: u64) -> Scenario {
     let late = [1, 9, 10, 11, 16];
     let flows = (1..=20)
         .map(|i| ScenarioFlow {
-            route: Route::of_paper_flow(i),
+            path: Route::of_paper_flow(i).into(),
             weight: Route::paper_weight(i),
             min_rate: 0.0,
             activations: if late.contains(&i) {
@@ -25,12 +26,12 @@ pub fn fig3_4(seed: u64) -> Scenario {
             },
         })
         .collect();
-    Scenario {
-        name: "fig3_4_network_dynamics",
+    Scenario::paper(
+        "fig3_4_network_dynamics",
         flows,
-        horizon: SimTime::from_secs(800),
+        SimTime::from_secs(800),
         seed,
-    }
+    )
 }
 
 /// §4.2 (Figures 5 and 6): flows 1–10 of the paper topology start
@@ -40,18 +41,18 @@ pub fn fig3_4(seed: u64) -> Scenario {
 pub fn fig5_6(seed: u64) -> Scenario {
     let flows = (1..=10)
         .map(|i| ScenarioFlow {
-            route: Route::of_paper_flow(i),
+            path: Route::of_paper_flow(i).into(),
             weight: (i as u32).div_ceil(2),
             min_rate: 0.0,
             activations: vec![(SimTime::ZERO, None)],
         })
         .collect();
-    Scenario {
-        name: "fig5_6_simultaneous_start",
+    Scenario::paper(
+        "fig5_6_simultaneous_start",
         flows,
-        horizon: SimTime::from_secs(80),
+        SimTime::from_secs(80),
         seed,
-    }
+    )
 }
 
 /// The §4.3 weights: flows 1, 11, 16 have weight 1; flows 5, 10, 15
@@ -69,18 +70,18 @@ fn staggered_weight(i: usize) -> u32 {
 pub fn fig7_8(seed: u64) -> Scenario {
     let flows = (1..=20)
         .map(|i| ScenarioFlow {
-            route: Route::of_paper_flow(i),
+            path: Route::of_paper_flow(i).into(),
             weight: staggered_weight(i),
             min_rate: 0.0,
             activations: vec![(SimTime::from_secs((i - 1) as u64), None)],
         })
         .collect();
-    Scenario {
-        name: "fig7_8_staggered_start",
+    Scenario::paper(
+        "fig7_8_staggered_start",
         flows,
-        horizon: SimTime::from_secs(80),
+        SimTime::from_secs(80),
         seed,
-    }
+    )
 }
 
 /// §4.3 (Figures 9 and 10): flows start one second apart, live for 60
@@ -93,7 +94,7 @@ pub fn fig9_10(seed: u64) -> Scenario {
             let stop = start + 60;
             let restart = stop + 5;
             ScenarioFlow {
-                route: Route::of_paper_flow(i),
+                path: Route::of_paper_flow(i).into(),
                 weight: staggered_weight(i),
                 min_rate: 0.0,
                 activations: vec![
@@ -103,12 +104,7 @@ pub fn fig9_10(seed: u64) -> Scenario {
             }
         })
         .collect();
-    Scenario {
-        name: "fig9_10_churn",
-        flows,
-        horizon: SimTime::from_secs(160),
-        seed,
-    }
+    Scenario::paper("fig9_10_churn", flows, SimTime::from_secs(160), seed)
 }
 
 /// One evaluation figure of the paper (Figures 3–10; 1 and 2 are
@@ -177,15 +173,15 @@ impl PaperFigure {
 
     /// The discipline this figure plots, with the paper's default
     /// parameters.
-    pub fn discipline(&self) -> Discipline {
+    pub fn discipline(&self) -> Box<dyn Discipline> {
         match self {
             PaperFigure::Fig3
             | PaperFigure::Fig4
             | PaperFigure::Fig5
             | PaperFigure::Fig7
-            | PaperFigure::Fig9 => Discipline::Corelite(CoreliteConfig::default()),
+            | PaperFigure::Fig9 => Box::new(Corelite::new(CoreliteConfig::default())),
             PaperFigure::Fig6 | PaperFigure::Fig8 | PaperFigure::Fig10 => {
-                Discipline::Csfq(CsfqConfig::default())
+                Box::new(Csfq::new(CsfqConfig::default()))
             }
         }
     }

@@ -1,11 +1,18 @@
-//! The paper's Figure-2 topology.
+//! Core topologies, with the paper's Figure-2 chain as the default.
 //!
-//! A chain of four core routers `C1–C2–C3–C4` joined by three 4 Mbps /
-//! 40 ms links (the congested links). Every flow enters through its own
-//! ingress edge router and leaves through its own egress edge router, each
-//! attached by a 4 Mbps / 40 ms access link — matching the paper's
-//! per-flow `S_i`/`R_i` routers and its round-trip times (240 ms for
-//! one-hop flows, 320 ms for two, 400 ms for three).
+//! The paper evaluates on a chain of four core routers `C1–C2–C3–C4`
+//! joined by three 4 Mbps / 40 ms links (the congested links). Every flow
+//! enters through its own ingress edge router and leaves through its own
+//! egress edge router, each attached by a 4 Mbps / 40 ms access link —
+//! matching the paper's per-flow `S_i`/`R_i` routers and its round-trip
+//! times (240 ms for one-hop flows, 320 ms for two, 400 ms for three).
+//!
+//! [`TopologySpec`] generalizes the core network beyond that chain:
+//! arbitrary directed core-to-core links, with constructors for chains of
+//! any length, the parking-lot configuration, and a small leaf–spine
+//! fat-tree. Flows traverse a [`CorePath`] — an explicit ordered list of
+//! core routers — of which the paper's [`Route`] is the contiguous-chain
+//! special case.
 
 use netsim::link::LinkSpec;
 use sim_core::time::SimDuration;
@@ -84,6 +91,198 @@ impl Route {
     }
 }
 
+/// An explicit, ordered list of core routers a flow traverses.
+///
+/// Consecutive entries must be joined by a link of the scenario's
+/// [`TopologySpec`]; the flow crosses every such core-to-core link. The
+/// paper's contiguous-chain [`Route`] converts into a `CorePath` via
+/// `From`, so chain scenarios keep reading `Route::new(0, 2).into()`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorePath(pub Vec<usize>);
+
+impl CorePath {
+    /// Creates a path through the given core routers, in traversal order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two cores are given (a flow must cross at
+    /// least one core-to-core link to be schedulable).
+    pub fn new(cores: Vec<usize>) -> Self {
+        assert!(
+            cores.len() >= 2,
+            "a core path needs at least two routers, got {cores:?}"
+        );
+        CorePath(cores)
+    }
+
+    /// The core router where the flow enters the core network.
+    pub fn first(&self) -> usize {
+        self.0[0]
+    }
+
+    /// The core router where the flow leaves the core network.
+    pub fn last(&self) -> usize {
+        *self.0.last().expect("paths are non-empty")
+    }
+
+    /// Number of core-to-core links crossed.
+    pub fn congested_links(&self) -> usize {
+        self.0.len() - 1
+    }
+
+    /// The indices (into `topology.links`) of the links this path
+    /// crosses, in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a hop of the path is not a link of `topology`.
+    pub fn link_indices(&self, topology: &TopologySpec) -> Vec<usize> {
+        self.0
+            .windows(2)
+            .map(|hop| {
+                topology.link_index(hop[0], hop[1]).unwrap_or_else(|| {
+                    panic!(
+                        "path hop {}->{} is not a link of topology `{}`",
+                        hop[0], hop[1], topology.name
+                    )
+                })
+            })
+            .collect()
+    }
+}
+
+impl From<Route> for CorePath {
+    fn from(route: Route) -> Self {
+        CorePath::new((route.first_core..=route.last_core).collect())
+    }
+}
+
+/// The shape of the core network: how many core routers there are and
+/// which directed core-to-core links join them.
+///
+/// Edge routers are not part of the spec — the runner attaches one
+/// ingress and one egress edge per flow, exactly as in the paper's
+/// Figure 2 — so the spec only describes the shared, congestible part of
+/// the network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopologySpec {
+    /// Display name, used in scenario banners and error messages.
+    pub name: &'static str,
+    /// Number of core routers, indexed `0..core_count`.
+    pub core_count: usize,
+    /// Directed core-to-core links as `(src, dst)` core indices.
+    pub links: Vec<(usize, usize)>,
+}
+
+impl TopologySpec {
+    /// The paper's Figure-2 chain: four cores, three directed links.
+    pub fn paper_chain() -> Self {
+        TopologySpec {
+            name: "paper_chain",
+            ..Self::chain(Route::CORE_COUNT)
+        }
+    }
+
+    /// A left-to-right chain of `n` cores joined by `n - 1` links.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n >= 2`.
+    pub fn chain(n: usize) -> Self {
+        assert!(n >= 2, "a chain needs at least two cores, got {n}");
+        TopologySpec {
+            name: "chain",
+            core_count: n,
+            links: (0..n - 1).map(|i| (i, i + 1)).collect(),
+        }
+    }
+
+    /// The parking-lot configuration: a chain of `hops` congested links
+    /// (`hops + 1` cores). The characteristic parking-lot *workload* —
+    /// one long flow crossing every link plus a one-hop cross flow per
+    /// link — is built by [`crate::runner::Scenario::parking_lot`].
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `hops >= 1`.
+    pub fn parking_lot(hops: usize) -> Self {
+        assert!(hops >= 1, "a parking lot needs at least one hop");
+        TopologySpec {
+            name: "parking_lot",
+            ..Self::chain(hops + 1)
+        }
+    }
+
+    /// A small two-tier leaf–spine fat-tree: four leaf cores (`0..4`)
+    /// each joined to two spine cores (`4`, `5`) by a link in each
+    /// direction. Paths between leaves are two hops (leaf–spine–leaf) and
+    /// the spine chosen determines which links a flow loads — the
+    /// genuinely non-chain case for the max-min solver.
+    pub fn fat_tree() -> Self {
+        let mut links = Vec::new();
+        for leaf in 0..Self::FAT_TREE_LEAVES {
+            for spine in 0..Self::FAT_TREE_SPINES {
+                let s = Self::FAT_TREE_LEAVES + spine;
+                links.push((leaf, s));
+                links.push((s, leaf));
+            }
+        }
+        TopologySpec {
+            name: "fat_tree",
+            core_count: Self::FAT_TREE_LEAVES + Self::FAT_TREE_SPINES,
+            links,
+        }
+    }
+
+    /// Leaf count of [`TopologySpec::fat_tree`].
+    pub const FAT_TREE_LEAVES: usize = 4;
+    /// Spine count of [`TopologySpec::fat_tree`].
+    pub const FAT_TREE_SPINES: usize = 2;
+
+    /// The leaf–spine–leaf path from `src_leaf` to `dst_leaf` through the
+    /// given spine (by spine index, `0..FAT_TREE_SPINES`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range leaves, equal leaves, or spine index.
+    pub fn fat_tree_path(src_leaf: usize, dst_leaf: usize, spine: usize) -> CorePath {
+        assert!(
+            src_leaf < Self::FAT_TREE_LEAVES && dst_leaf < Self::FAT_TREE_LEAVES,
+            "fat-tree leaves are 0..{}, got {src_leaf}->{dst_leaf}",
+            Self::FAT_TREE_LEAVES
+        );
+        assert!(src_leaf != dst_leaf, "fat-tree path needs distinct leaves");
+        assert!(
+            spine < Self::FAT_TREE_SPINES,
+            "fat-tree spines are 0..{}, got {spine}",
+            Self::FAT_TREE_SPINES
+        );
+        CorePath::new(vec![src_leaf, Self::FAT_TREE_LEAVES + spine, dst_leaf])
+    }
+
+    /// Number of core-to-core links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// The index of the directed link `src -> dst`, if it exists.
+    pub fn link_index(&self, src: usize, dst: usize) -> Option<usize> {
+        self.links.iter().position(|&(a, b)| a == src && b == dst)
+    }
+
+    /// Whether the topology is the left-to-right chain shape (every link
+    /// is `i -> i+1`), which is what the scenario DSL's `route=A-B`
+    /// notation can address.
+    pub fn is_chain(&self) -> bool {
+        self.links.len() == self.core_count - 1
+            && self
+                .links
+                .iter()
+                .enumerate()
+                .all(|(i, &(a, b))| a == i && b == i + 1)
+    }
+}
+
 /// Link parameters shared by every link in the paper topology: 4 Mbps,
 /// 40 ms propagation, 40-packet tail-drop queue.
 pub fn paper_link() -> LinkSpec {
@@ -140,5 +339,53 @@ mod tests {
     #[should_panic(expected = "numbered")]
     fn flow_zero_rejected() {
         Route::of_paper_flow(0);
+    }
+
+    #[test]
+    fn route_converts_to_contiguous_path() {
+        let path: CorePath = Route::new(1, 3).into();
+        assert_eq!(path.0, vec![1, 2, 3]);
+        assert_eq!(path.first(), 1);
+        assert_eq!(path.last(), 3);
+        assert_eq!(path.congested_links(), 2);
+    }
+
+    #[test]
+    fn chains_are_chains() {
+        assert!(TopologySpec::paper_chain().is_chain());
+        assert!(TopologySpec::chain(7).is_chain());
+        assert!(TopologySpec::parking_lot(3).is_chain());
+        assert!(!TopologySpec::fat_tree().is_chain());
+    }
+
+    #[test]
+    fn paper_chain_matches_route_geometry() {
+        let topo = TopologySpec::paper_chain();
+        assert_eq!(topo.core_count, Route::CORE_COUNT);
+        assert_eq!(topo.link_count(), Route::CORE_COUNT - 1);
+        let path: CorePath = Route::new(0, 3).into();
+        assert_eq!(path.link_indices(&topo), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn fat_tree_paths_resolve_to_links() {
+        let topo = TopologySpec::fat_tree();
+        assert_eq!(topo.core_count, 6);
+        assert_eq!(topo.link_count(), 16);
+        let via0 = TopologySpec::fat_tree_path(0, 3, 0);
+        let via1 = TopologySpec::fat_tree_path(0, 3, 1);
+        assert_eq!(via0.0, vec![0, 4, 3]);
+        assert_eq!(via1.0, vec![0, 5, 3]);
+        // Distinct spines load disjoint link sets.
+        let l0 = via0.link_indices(&topo);
+        let l1 = via1.link_indices(&topo);
+        assert!(l0.iter().all(|i| !l1.contains(i)), "{l0:?} vs {l1:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "not a link")]
+    fn off_topology_path_rejected() {
+        let path = CorePath::new(vec![0, 2]);
+        path.link_indices(&TopologySpec::paper_chain());
     }
 }

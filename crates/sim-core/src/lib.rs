@@ -27,6 +27,7 @@
 //! assert_eq!(t, SimTime::from_secs_f64(1.0));
 //! ```
 
+pub mod check;
 pub mod event;
 pub mod rng;
 pub mod stats;

@@ -5,19 +5,20 @@
 //! stream with [`DetRng::stream`], keyed by a stable label, so adding a new
 //! consumer of randomness never perturbs the draws seen by existing
 //! components.
-
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
+//!
+//! The generator is a self-contained xoshiro256++ (public domain, Blackman
+//! & Vigna), seeded through SplitMix64 — no external crates, so the
+//! simulator builds in hermetic environments and the draw sequences are
+//! pinned by this file alone.
 
 /// A deterministic random number generator stream.
 ///
-/// Wraps a cryptographically-seeded PRNG; identical `(seed, label)` pairs
-/// always produce identical draw sequences.
+/// Wraps a xoshiro256++ generator; identical `(seed, label)` pairs always
+/// produce identical draw sequences.
 ///
 /// # Example
 ///
 /// ```
-/// use rand::RngCore;
 /// use sim_core::rng::DetRng;
 ///
 /// let mut a = DetRng::stream(42, "router-1");
@@ -28,7 +29,7 @@ use rand::{Rng, RngCore, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct DetRng {
-    inner: StdRng,
+    state: [u64; 4],
 }
 
 /// SplitMix64 step: a strong 64-bit mixing function used to whiten derived
@@ -53,31 +54,63 @@ fn fnv1a(label: &str) -> u64 {
 impl DetRng {
     /// Creates the root stream for `seed`.
     pub fn new(seed: u64) -> Self {
-        DetRng {
-            inner: StdRng::seed_from_u64(splitmix64(seed)),
-        }
+        Self::from_mixed(splitmix64(seed))
     }
 
     /// Derives the independent stream identified by `label` under `seed`.
     pub fn stream(seed: u64, label: &str) -> Self {
-        DetRng {
-            inner: StdRng::seed_from_u64(splitmix64(seed ^ splitmix64(fnv1a(label)))),
-        }
+        Self::from_mixed(splitmix64(seed ^ splitmix64(fnv1a(label))))
     }
 
     /// Derives an independent sub-stream labelled by `label` and `index`
     /// (e.g. one stream per flow).
     pub fn substream(seed: u64, label: &str, index: u64) -> Self {
-        DetRng {
-            inner: StdRng::seed_from_u64(splitmix64(
-                seed ^ splitmix64(fnv1a(label)) ^ splitmix64(index.wrapping_add(1)),
-            )),
-        }
+        Self::from_mixed(splitmix64(
+            seed ^ splitmix64(fnv1a(label)) ^ splitmix64(index.wrapping_add(1)),
+        ))
     }
 
-    /// Draws a uniform value in `[0, 1)`.
+    /// Expands a whitened 64-bit seed into the full 256-bit xoshiro state
+    /// by iterating SplitMix64, the seeding procedure recommended by the
+    /// generator's authors. The state is never all-zero because SplitMix64
+    /// is a bijection composed with distinct constants.
+    fn from_mixed(mixed: u64) -> Self {
+        let mut s = mixed;
+        let mut state = [0u64; 4];
+        for slot in &mut state {
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            *slot = z ^ (z >> 31);
+        }
+        DetRng { state }
+    }
+
+    /// Advances the generator and returns the next 64 random bits
+    /// (xoshiro256++ step).
+    pub fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s2 = s2 ^ s0;
+        let mut s3 = s3 ^ s1;
+        let s1 = s1 ^ s2;
+        let s0 = s0 ^ s3;
+        s2 ^= t;
+        s3 = s3.rotate_left(45);
+        self.state = [s0, s1, s2, s3];
+        result
+    }
+
+    /// Returns the next 32 random bits (the high half of a 64-bit draw).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Draws a uniform value in `[0, 1)` with 53 bits of precision.
     pub fn next_f64(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Returns `true` with probability `p` (clamped to `[0, 1]`).
@@ -91,14 +124,29 @@ impl DetRng {
         }
     }
 
-    /// Draws a uniform integer in `[0, n)`.
+    /// Draws a uniform integer in `[0, n)` via Lemire's unbiased
+    /// multiply-shift rejection method.
     ///
     /// # Panics
     ///
     /// Panics if `n == 0`.
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "DetRng::index requires a non-empty range");
-        self.inner.gen_range(0..n)
+        let n = n as u64;
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128).wrapping_mul(n as u128);
+            let low = m as u64;
+            if low >= n {
+                return (m >> 64) as usize;
+            }
+            // Rejection zone: only reached when low < n; recompute the
+            // threshold lazily since it is almost never needed.
+            let threshold = n.wrapping_neg() % n;
+            if low >= threshold {
+                return (m >> 64) as usize;
+            }
+        }
     }
 
     /// Draws an exponentially distributed value with the given `rate`
@@ -120,22 +168,7 @@ impl DetRng {
     /// Panics if `lo >= hi`.
     pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
         assert!(lo < hi, "invalid range [{lo}, {hi})");
-        self.inner.gen_range(lo..hi)
-    }
-}
-
-impl RngCore for DetRng {
-    fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
-    }
-    fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
-    }
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest)
-    }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
+        lo + (hi - lo) * self.next_f64()
     }
 }
 
@@ -198,6 +231,30 @@ mod tests {
         let mut r = DetRng::new(3);
         for _ in 0..1000 {
             assert!(r.index(7) < 7);
+        }
+    }
+
+    #[test]
+    fn index_is_unbiased_enough() {
+        let mut r = DetRng::new(11);
+        let mut counts = [0u32; 5];
+        let n = 50_000;
+        for _ in 0..n {
+            counts[r.index(5)] += 1;
+        }
+        let expect = n as f64 / 5.0;
+        for (i, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - expect).abs() / expect;
+            assert!(dev < 0.05, "bucket {i}: count {c}, expected ≈{expect}");
+        }
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut r = DetRng::new(17);
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
         }
     }
 

@@ -541,7 +541,7 @@ mod tests {
         let mut m = TimeWeightedMean::new(t(0.0), 4.0);
         m.set(t(2.0), 0.0); // 4 for 2s
         m.set(t(3.0), 8.0); // 0 for 1s
-        // then 8 for 1s → (8 + 0 + 8) / 4 = 4
+                            // then 8 for 1s → (8 + 0 + 8) / 4 = 4
         assert!((m.mean(t(4.0)) - 4.0).abs() < 1e-12);
     }
 

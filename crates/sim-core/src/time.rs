@@ -330,7 +330,10 @@ mod tests {
     fn duration_scaling() {
         let d = SimDuration::from_millis(100);
         assert_eq!(d.saturating_mul(10), SimDuration::from_secs(1));
-        assert_eq!(SimDuration::from_secs(1).div(4), SimDuration::from_millis(250));
+        assert_eq!(
+            SimDuration::from_secs(1).div(4),
+            SimDuration::from_millis(250)
+        );
     }
 
     #[test]
@@ -341,7 +344,9 @@ mod tests {
 
     #[test]
     fn checked_add_detects_overflow() {
-        assert!(SimTime::MAX.checked_add(SimDuration::from_nanos(1)).is_none());
+        assert!(SimTime::MAX
+            .checked_add(SimDuration::from_nanos(1))
+            .is_none());
         assert_eq!(
             SimTime::ZERO.checked_add(SimDuration::from_secs(1)),
             Some(SimTime::from_secs(1))

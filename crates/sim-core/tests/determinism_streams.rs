@@ -1,7 +1,6 @@
 //! Cross-cutting determinism tests for the RNG stream derivation: stream
 //! independence, stability across labels, and distribution sanity.
 
-use rand::RngCore;
 use sim_core::rng::DetRng;
 
 #[test]

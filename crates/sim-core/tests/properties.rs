@@ -1,14 +1,16 @@
-//! Property-based tests for the discrete-event substrate.
+//! Randomized property tests for the discrete-event substrate, driven by
+//! the in-tree `sim_core::check` harness.
 
-use proptest::prelude::*;
+use sim_core::check;
 use sim_core::event::EventQueue;
 use sim_core::stats::{ExpAvg, TimeSeries, TimeWeightedMean};
 use sim_core::time::{SimDuration, SimTime};
 
-proptest! {
-    /// Popping returns events sorted by time, and FIFO within equal times.
-    #[test]
-    fn event_queue_pops_sorted_with_fifo_ties(times in prop::collection::vec(0u64..1_000, 1..200)) {
+/// Popping returns events sorted by time, and FIFO within equal times.
+#[test]
+fn event_queue_pops_sorted_with_fifo_ties() {
+    check::cases(64, 0xE0_01, |g| {
+        let times = g.vec_with(1, 200, |g| g.u64_in(0, 1_000));
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.push(SimTime::from_nanos(t), i);
@@ -16,18 +18,21 @@ proptest! {
         let mut last: Option<(SimTime, usize)> = None;
         while let Some((t, idx)) = q.pop() {
             if let Some((lt, lidx)) = last {
-                prop_assert!(t >= lt, "time went backwards");
+                assert!(t >= lt, "time went backwards");
                 if t == lt {
-                    prop_assert!(idx > lidx, "FIFO violated for equal times");
+                    assert!(idx > lidx, "FIFO violated for equal times");
                 }
             }
             last = Some((t, idx));
         }
-    }
+    });
+}
 
-    /// len/is_empty stay consistent through interleaved push/pop.
-    #[test]
-    fn event_queue_len_consistent(ops in prop::collection::vec(prop::bool::ANY, 1..300)) {
+/// len/is_empty stay consistent through interleaved push/pop.
+#[test]
+fn event_queue_len_consistent() {
+    check::cases(64, 0xE0_02, |g| {
+        let ops = g.vec_with(1, 300, |g| g.bool());
         let mut q = EventQueue::new();
         let mut expected = 0usize;
         for (i, push) in ops.into_iter().enumerate() {
@@ -37,24 +42,29 @@ proptest! {
             } else if q.pop().is_some() {
                 expected -= 1;
             }
-            prop_assert_eq!(q.len(), expected);
-            prop_assert_eq!(q.is_empty(), expected == 0);
+            assert_eq!(q.len(), expected);
+            assert_eq!(q.is_empty(), expected == 0);
         }
-    }
+    });
+}
 
-    /// SimTime arithmetic round-trips: (t + d) − d == t and (t + d) − t == d.
-    #[test]
-    fn time_arithmetic_round_trips(t in 0u64..u64::MAX / 4, d in 0u64..u64::MAX / 4) {
-        let t = SimTime::from_nanos(t);
-        let d = SimDuration::from_nanos(d);
-        prop_assert_eq!((t + d) - d, t);
-        prop_assert_eq!((t + d) - t, d);
-    }
+/// SimTime arithmetic round-trips: (t + d) − d == t and (t + d) − t == d.
+#[test]
+fn time_arithmetic_round_trips() {
+    check::cases(256, 0xE0_03, |g| {
+        let t = SimTime::from_nanos(g.u64_in(0, u64::MAX / 4));
+        let d = SimDuration::from_nanos(g.u64_in(0, u64::MAX / 4));
+        assert_eq!((t + d) - d, t);
+        assert_eq!((t + d) - t, d);
+    });
+}
 
-    /// The time-weighted mean always lies within [min, max] of the values
-    /// the signal took.
-    #[test]
-    fn time_weighted_mean_bounded(values in prop::collection::vec((1u64..1_000, 0.0f64..100.0), 1..100)) {
+/// The time-weighted mean always lies within [min, max] of the values
+/// the signal took.
+#[test]
+fn time_weighted_mean_bounded() {
+    check::cases(64, 0xE0_04, |g| {
+        let values = g.vec_with(1, 100, |g| (g.u64_in(1, 1_000), g.f64_in(0.0, 100.0)));
         let mut m = TimeWeightedMean::new(SimTime::ZERO, values[0].1);
         let mut now = SimTime::ZERO;
         let mut lo = values[0].1;
@@ -67,13 +77,19 @@ proptest! {
         }
         let end = now + SimDuration::from_micros(1);
         let mean = m.mean(end);
-        prop_assert!(mean >= lo - 1e-9 && mean <= hi + 1e-9, "mean {mean} outside [{lo}, {hi}]");
-    }
+        assert!(
+            mean >= lo - 1e-9 && mean <= hi + 1e-9,
+            "mean {mean} outside [{lo}, {hi}]"
+        );
+    });
+}
 
-    /// Restarting a window yields the same mean as a fresh integrator fed
-    /// the same tail.
-    #[test]
-    fn time_weighted_mean_restart_equivalence(values in prop::collection::vec((1u64..1_000, 0.0f64..100.0), 2..50)) {
+/// Restarting a window yields the same mean as a fresh integrator fed
+/// the same tail.
+#[test]
+fn time_weighted_mean_restart_equivalence() {
+    check::cases(64, 0xE0_05, |g| {
+        let values = g.vec_with(2, 50, |g| (g.u64_in(1, 1_000), g.f64_in(0.0, 100.0)));
         let split = values.len() / 2;
         let mut now = SimTime::ZERO;
         let mut m = TimeWeightedMean::new(SimTime::ZERO, 0.0);
@@ -91,13 +107,16 @@ proptest! {
             fresh.set(now, v);
         }
         let end = now + SimDuration::from_micros(7);
-        prop_assert!((m.mean(end) - fresh.mean(end)).abs() < 1e-9);
-    }
+        assert!((m.mean(end) - fresh.mean(end)).abs() < 1e-9);
+    });
+}
 
-    /// The exponential average of a non-negative input stays non-negative
-    /// and below the largest instantaneous rate seen.
-    #[test]
-    fn exp_avg_bounded(gaps in prop::collection::vec(1u64..100_000, 2..200)) {
+/// The exponential average of a non-negative input stays non-negative
+/// and below the largest instantaneous rate seen.
+#[test]
+fn exp_avg_bounded() {
+    check::cases(64, 0xE0_06, |g| {
+        let gaps = g.vec_with(2, 200, |g| g.u64_in(1, 100_000));
         let mut e = ExpAvg::new(SimDuration::from_millis(100));
         let mut now = SimTime::ZERO;
         let mut max_inst: f64 = 1.0 / 0.1; // bootstrap rate: amount / K
@@ -105,16 +124,22 @@ proptest! {
             now += SimDuration::from_micros(gap);
             let r = e.observe(now, 1.0);
             max_inst = max_inst.max(1.0 / (gap as f64 * 1e-6));
-            prop_assert!(r >= 0.0);
-            prop_assert!(r <= max_inst + 1e-6, "rate {r} above max instantaneous {max_inst}");
+            assert!(r >= 0.0);
+            assert!(
+                r <= max_inst + 1e-6,
+                "rate {r} above max instantaneous {max_inst}"
+            );
         }
-        prop_assert!(e.decayed(now + SimDuration::from_secs(10)) <= e.rate());
-    }
+        assert!(e.decayed(now + SimDuration::from_secs(10)) <= e.rate());
+    });
+}
 
-    /// Resampling preserves the value range and produces monotone
-    /// timestamps.
-    #[test]
-    fn resample_mean_bounded_and_monotone(samples in prop::collection::vec((1u64..1_000_000, -50.0f64..50.0), 1..100)) {
+/// Resampling preserves the value range and produces monotone
+/// timestamps.
+#[test]
+fn resample_mean_bounded_and_monotone() {
+    check::cases(64, 0xE0_07, |g| {
+        let samples = g.vec_with(1, 100, |g| (g.u64_in(1, 1_000_000), g.f64_in(-50.0, 50.0)));
         let mut series = TimeSeries::new();
         let mut now = SimTime::ZERO;
         let mut lo = f64::INFINITY;
@@ -126,20 +151,24 @@ proptest! {
             hi = hi.max(v);
         }
         let resampled = series.resample_mean(SimDuration::from_millis(10));
-        prop_assert!(!resampled.is_empty());
+        assert!(!resampled.is_empty());
         let mut last_t = None;
         for (t, v) in resampled.iter() {
-            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+            assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
             if let Some(lt) = last_t {
-                prop_assert!(t > lt);
+                assert!(t > lt);
             }
             last_t = Some(t);
         }
-    }
+    });
+}
 
-    /// value_at agrees with a linear scan of the samples.
-    #[test]
-    fn value_at_matches_linear_scan(samples in prop::collection::vec((1u64..1_000, 0.0f64..10.0), 1..50), probe in 0u64..60_000) {
+/// value_at agrees with a linear scan of the samples.
+#[test]
+fn value_at_matches_linear_scan() {
+    check::cases(128, 0xE0_08, |g| {
+        let samples = g.vec_with(1, 50, |g| (g.u64_in(1, 1_000), g.f64_in(0.0, 10.0)));
+        let probe = g.u64_in(0, 60_000);
         let mut series = TimeSeries::new();
         let mut now = SimTime::ZERO;
         for &(gap, v) in &samples {
@@ -152,18 +181,19 @@ proptest! {
             .take_while(|&(t, _)| t <= probe)
             .last()
             .map(|(_, v)| v);
-        prop_assert_eq!(series.value_at(probe), expected);
-    }
+        assert_eq!(series.value_at(probe), expected);
+    });
 }
 
-proptest! {
-    /// Histogram quantiles are monotone in q and bracketed by min/max.
-    #[test]
-    fn histogram_quantiles_monotone(
-        values in prop::collection::vec(1e-6f64..100.0, 1..500),
-        qs in prop::collection::vec(0.0f64..=1.0, 2..10),
-    ) {
-        use sim_core::stats::LogHistogram;
+/// Histogram quantiles are monotone in q and bracketed by min/max.
+#[test]
+fn histogram_quantiles_monotone() {
+    use sim_core::stats::LogHistogram;
+    check::cases(64, 0xE0_09, |g| {
+        let values = g.vec_with(1, 500, |g| g.f64_in(1e-6, 100.0));
+        let mut qs = g.vec_with(2, 9, |g| g.f64_in(0.0, 1.0));
+        qs.push(0.0);
+        qs.push(1.0);
         let mut h = LogHistogram::new();
         let mut lo = f64::INFINITY;
         let mut hi = 0.0f64;
@@ -172,14 +202,16 @@ proptest! {
             lo = lo.min(v);
             hi = hi.max(v);
         }
-        let mut sorted_q = qs.clone();
-        sorted_q.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        qs.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let mut last = 0.0f64;
-        for &q in &sorted_q {
+        for &q in &qs {
             let v = h.quantile(q).unwrap();
-            prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12, "q={q}: {v} outside [{lo}, {hi}]");
-            prop_assert!(v >= last - 1e-12, "quantiles not monotone at q={q}");
+            assert!(
+                v >= lo - 1e-12 && v <= hi + 1e-12,
+                "q={q}: {v} outside [{lo}, {hi}]"
+            );
+            assert!(v >= last - 1e-12, "quantiles not monotone at q={q}");
             last = v;
         }
-    }
+    });
 }

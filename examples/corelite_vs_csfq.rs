@@ -7,19 +7,21 @@
 //! cargo run --release -p scenarios --example corelite_vs_csfq
 //! ```
 
+use scenarios::discipline::{Corelite, Csfq};
 use scenarios::report::{convergence_summary, steady_state_summary, window_jain_index};
 use scenarios::{fig5_6, Discipline};
 use sim_core::time::{SimDuration, SimTime};
 
 fn main() {
     let seed = 20000;
-    for discipline in [
-        Discipline::Corelite(corelite::CoreliteConfig::default()),
-        Discipline::Csfq(csfq::CsfqConfig::default()),
-    ] {
+    let disciplines: Vec<Box<dyn Discipline>> = vec![
+        Box::new(Corelite::new(corelite::CoreliteConfig::default())),
+        Box::new(Csfq::new(csfq::CsfqConfig::default())),
+    ];
+    for discipline in disciplines {
         let scenario = fig5_6(seed);
         let horizon = scenario.horizon;
-        let result = scenario.run(&discipline);
+        let result = scenario.run(discipline.as_ref());
         println!("\n=== {} ===", result.discipline_name);
         let from = SimTime::from_secs(60);
         for s in steady_state_summary(&result, from, horizon) {

@@ -8,8 +8,9 @@
 //! ```
 
 use corelite::{CoreliteConfig, FluidModel};
-use scenarios::runner::{Discipline, Scenario, ScenarioFlow};
-use scenarios::topology::Route;
+use scenarios::discipline::Corelite;
+use scenarios::runner::{Scenario, ScenarioFlow};
+use scenarios::topology::{Route, TopologySpec};
 use sim_core::time::SimTime;
 
 fn main() {
@@ -25,11 +26,12 @@ fn main() {
 
     // Packet simulator: the ground truth, at packet granularity.
     let scenario = Scenario {
+        topology: TopologySpec::paper_chain(),
         name: "fluid_vs_packets",
         flows: weights
             .iter()
             .map(|&w| ScenarioFlow {
-                route: Route::new(0, 1),
+                path: Route::new(0, 1).into(),
                 weight: w,
                 min_rate: 0.0,
                 activations: vec![(SimTime::ZERO, None)],
@@ -38,13 +40,12 @@ fn main() {
         horizon: SimTime::from_secs(260),
         seed: 3,
     };
-    let result = scenario.run(&Discipline::Corelite(CoreliteConfig::default()));
+    let result = scenario.run(&Corelite::new(CoreliteConfig::default()));
 
     println!("flow  weight  fluid prediction  packet simulation  analytic share");
     let expect = fluid.expected_rates();
     for (i, &w) in weights.iter().enumerate() {
-        let measured =
-            result.mean_rate_in(i, SimTime::from_secs(200), SimTime::from_secs(260));
+        let measured = result.mean_rate_in(i, SimTime::from_secs(200), SimTime::from_secs(260));
         println!(
             "  {:2}    {w}        {:7.1}            {measured:7.1}         {:7.1}",
             i + 1,

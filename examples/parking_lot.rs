@@ -13,15 +13,16 @@
 
 use corelite::CoreliteConfig;
 use fairness::maxmin::MaxMinProblem;
-use scenarios::runner::{Discipline, Scenario, ScenarioFlow};
-use scenarios::topology::{Route, LINK_CAPACITY_PPS};
+use scenarios::discipline::Corelite;
+use scenarios::runner::{Scenario, ScenarioFlow};
+use scenarios::topology::{Route, TopologySpec, LINK_CAPACITY_PPS};
 use sim_core::time::SimTime;
 
 fn main() {
     // Flow 0: the long flow over C1→C4 (three congested links).
     // Flows 1-6: two local flows per congested link.
     let mut flows = vec![ScenarioFlow {
-        route: Route::new(0, 3),
+        path: Route::new(0, 3).into(),
         weight: 2,
         min_rate: 0.0,
         activations: vec![(SimTime::ZERO, None)],
@@ -29,7 +30,7 @@ fn main() {
     for link in 0..3 {
         for _ in 0..2 {
             flows.push(ScenarioFlow {
-                route: Route::new(link, link + 1),
+                path: Route::new(link, link + 1).into(),
                 weight: 2,
                 min_rate: 0.0,
                 activations: vec![(SimTime::ZERO, None)],
@@ -37,6 +38,7 @@ fn main() {
         }
     }
     let scenario = Scenario {
+        topology: TopologySpec::paper_chain(),
         name: "parking_lot",
         flows,
         horizon: SimTime::from_secs(200),
@@ -47,20 +49,19 @@ fn main() {
     let mut problem = MaxMinProblem::new();
     let links: Vec<_> = (0..3).map(|_| problem.link(LINK_CAPACITY_PPS)).collect();
     let mut refs = vec![problem.flow(2.0, links.clone())];
-    for link in 0..3 {
+    for &link in &links {
         for _ in 0..2 {
-            refs.push(problem.flow(2.0, [links[link]]));
+            refs.push(problem.flow(2.0, [link]));
         }
     }
     let alloc = problem.solve();
 
-    let result = scenario.run(&Discipline::Corelite(CoreliteConfig::default()));
+    let result = scenario.run(&Corelite::new(CoreliteConfig::default()));
     println!("parking lot, equal weights: every flow should get C/3 ≈ 166.7 pkt/s\n");
     println!("flow  hops  analytic  measured");
     for (i, r) in refs.iter().enumerate() {
-        let measured =
-            result.mean_rate_in(i, SimTime::from_secs(150), SimTime::from_secs(200));
-        let hops = scenario.flows[i].route.congested_links();
+        let measured = result.mean_rate_in(i, SimTime::from_secs(150), SimTime::from_secs(200));
+        let hops = scenario.flows[i].path.congested_links();
         println!(
             "  {:2}    {hops}    {:7.1}   {measured:7.1}",
             i + 1,

@@ -19,9 +19,15 @@ fn main() {
     let mut b = TopologyBuilder::new(42);
 
     // Two ingress edge routers, one core router, one egress.
-    let edge_a = b.node("edge-a", |seed| Box::new(CoreliteEdge::new(seed, cfg.clone())));
-    let edge_b = b.node("edge-b", |seed| Box::new(CoreliteEdge::new(seed, cfg.clone())));
-    let core = b.node("core", |seed| Box::new(CoreliteCore::new(seed, cfg.clone())));
+    let edge_a = b.node("edge-a", |seed| {
+        Box::new(CoreliteEdge::new(seed, cfg.clone()))
+    });
+    let edge_b = b.node("edge-b", |seed| {
+        Box::new(CoreliteEdge::new(seed, cfg.clone()))
+    });
+    let core = b.node("core", |seed| {
+        Box::new(CoreliteCore::new(seed, cfg.clone()))
+    });
     let sink = b.node("sink", |_| Box::new(ForwardLogic));
 
     // Uncongested access links into the core; a 1 Mbps (125 pkt/s at 1 KB

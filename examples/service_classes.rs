@@ -10,8 +10,9 @@
 //! ```
 
 use corelite::CoreliteConfig;
-use scenarios::runner::{Discipline, Scenario, ScenarioFlow};
-use scenarios::topology::Route;
+use scenarios::discipline::Corelite;
+use scenarios::runner::{Scenario, ScenarioFlow};
+use scenarios::topology::{Route, TopologySpec};
 use sim_core::time::SimTime;
 
 #[derive(Clone, Copy)]
@@ -53,11 +54,12 @@ fn main() {
         (Gold, 150),
     ];
     let scenario = Scenario {
+        topology: TopologySpec::paper_chain(),
         name: "service_classes",
         flows: customers
             .iter()
             .map(|&(class, start)| ScenarioFlow {
-                route: Route::new(0, 1),
+                path: Route::new(0, 1).into(),
                 weight: class.weight(),
                 min_rate: 0.0,
                 activations: vec![(SimTime::from_secs(start), None)],
@@ -66,14 +68,13 @@ fn main() {
         horizon: SimTime::from_secs(300),
         seed: 7,
     };
-    let result = scenario.run(&Discipline::Corelite(CoreliteConfig::default()));
+    let result = scenario.run(&Corelite::new(CoreliteConfig::default()));
 
     let phase = |label: &str, from: u64, to: u64| {
         println!("\n{label} (t ∈ [{from}s, {to}s)):");
         let expected = scenario.expected_rates_at(SimTime::from_secs((from + to) / 2));
         for (i, &(class, _)) in customers.iter().enumerate() {
-            let measured =
-                result.mean_rate_in(i, SimTime::from_secs(from), SimTime::from_secs(to));
+            let measured = result.mean_rate_in(i, SimTime::from_secs(from), SimTime::from_secs(to));
             println!(
                 "  customer {} ({:6}, w={}): {measured:6.1} pkt/s  (weighted fair share {:5.1})",
                 i + 1,
@@ -86,6 +87,9 @@ fn main() {
 
     phase("Before the gold customers arrive", 100, 150);
     phase("After the gold customers arrive", 250, 300);
-    println!("\ntotal packet drops in the backbone: {}", result.total_drops());
+    println!(
+        "\ntotal packet drops in the backbone: {}",
+        result.total_drops()
+    );
     println!("(no core router kept any per-flow state)");
 }

@@ -46,7 +46,7 @@ fn main() {
     let report = net.into_report(end);
 
     let rows = tracer.borrow().rows();
-    let csv_tracer = Rc::try_unwrap(tracer).ok().expect("sole owner").into_inner();
+    let csv_tracer = Rc::try_unwrap(tracer).expect("sole owner").into_inner();
     let text = String::from_utf8(csv_tracer.into_inner()).expect("utf8 trace");
 
     println!("captured {rows} packet-level events; first 12 rows:\n");
@@ -62,7 +62,11 @@ fn main() {
     println!(
         "deliveries traced: {} (matches the report: {})",
         text.lines().filter(|l| l.contains(",deliver,")).count(),
-        report.flows.iter().map(|f| f.delivered_packets).sum::<u64>(),
+        report
+            .flows
+            .iter()
+            .map(|f| f.delivered_packets)
+            .sum::<u64>(),
     );
     println!(
         "\nPipe the CSV into your own tooling, or attach a CountingTracer\n\

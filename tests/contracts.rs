@@ -5,36 +5,38 @@
 //! (allocation = floor + weighted share of the surplus).
 
 use corelite::CoreliteConfig;
-use scenarios::runner::{Discipline, Scenario, ScenarioFlow};
-use scenarios::topology::Route;
+use scenarios::discipline::Corelite;
+use scenarios::runner::{Scenario, ScenarioFlow};
+use scenarios::topology::{Route, TopologySpec};
 use sim_core::time::SimTime;
 
 fn contract_scenario(contract: f64, seed: u64) -> Scenario {
     Scenario {
+        topology: TopologySpec::paper_chain(),
         name: "contracts",
         flows: vec![
             // The contracted flow (weight 1).
             ScenarioFlow {
-                route: Route::new(0, 1),
+                path: Route::new(0, 1).into(),
                 weight: 1,
                 min_rate: contract,
                 activations: vec![(SimTime::ZERO, None)],
             },
             // Three best-effort weight-1 flows.
             ScenarioFlow {
-                route: Route::new(0, 1),
+                path: Route::new(0, 1).into(),
                 weight: 1,
                 min_rate: 0.0,
                 activations: vec![(SimTime::ZERO, None)],
             },
             ScenarioFlow {
-                route: Route::new(0, 1),
+                path: Route::new(0, 1).into(),
                 weight: 1,
                 min_rate: 0.0,
                 activations: vec![(SimTime::ZERO, None)],
             },
             ScenarioFlow {
-                route: Route::new(0, 1),
+                path: Route::new(0, 1).into(),
                 weight: 1,
                 min_rate: 0.0,
                 activations: vec![(SimTime::ZERO, None)],
@@ -58,7 +60,7 @@ fn binding_contract_is_honoured() {
     assert!((expected[0] - 350.0).abs() < 1e-6, "{expected:?}");
     assert!((expected[1] - 50.0).abs() < 1e-6, "{expected:?}");
 
-    let result = scenario.run(&Discipline::Corelite(CoreliteConfig::default()));
+    let result = scenario.run(&Corelite::new(CoreliteConfig::default()));
     let contracted = steady(&result, 0);
     assert!(
         contracted >= 300.0 * 0.99,
@@ -83,7 +85,7 @@ fn contract_floor_holds_from_the_first_instant() {
     // its admitted rate: the allotted rate is ≥ the contract at every
     // recorded instant.
     let scenario = contract_scenario(200.0, 42);
-    let result = scenario.run(&Discipline::Corelite(CoreliteConfig::default()));
+    let result = scenario.run(&Corelite::new(CoreliteConfig::default()));
     for (t, rate) in result.allotted_rate(0).iter() {
         assert!(
             rate >= 200.0 - 1e-9,
@@ -101,7 +103,7 @@ fn small_contract_adds_its_reservation() {
     let expected = scenario.expected_rates_at(SimTime::from_secs(100));
     assert!((expected[0] - 162.5).abs() < 1e-6, "{expected:?}");
     assert!((expected[1] - 112.5).abs() < 1e-6, "{expected:?}");
-    let result = scenario.run(&Discipline::Corelite(CoreliteConfig::default()));
+    let result = scenario.run(&Corelite::new(CoreliteConfig::default()));
     let contracted = steady(&result, 0);
     let others: f64 = (1..4).map(|i| steady(&result, i)).sum::<f64>() / 3.0;
     assert!(
@@ -117,13 +119,13 @@ fn contract_survives_a_congestion_storm() {
     let mut scenario = contract_scenario(250.0, 44);
     for _ in 0..10 {
         scenario.flows.push(ScenarioFlow {
-            route: Route::new(0, 1),
+            path: Route::new(0, 1).into(),
             weight: 2,
             min_rate: 0.0,
             activations: vec![(SimTime::from_secs(40), None)],
         });
     }
-    let result = scenario.run(&Discipline::Corelite(CoreliteConfig::default()));
+    let result = scenario.run(&Corelite::new(CoreliteConfig::default()));
     let storm = result.mean_rate_in(0, SimTime::from_secs(80), SimTime::from_secs(120));
     assert!(
         storm >= 250.0 * 0.99,

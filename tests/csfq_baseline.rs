@@ -3,17 +3,19 @@
 //! tracking, and the startup weaknesses the Corelite paper exploits.
 
 use csfq::CsfqConfig;
-use scenarios::runner::{Discipline, Scenario, ScenarioFlow};
-use scenarios::topology::Route;
+use scenarios::discipline::{Corelite, Csfq};
+use scenarios::runner::{Scenario, ScenarioFlow};
+use scenarios::topology::{Route, TopologySpec};
 use sim_core::time::SimTime;
 
 fn scenario(weights: &[u32], horizon: u64, seed: u64) -> Scenario {
     Scenario {
+        topology: TopologySpec::paper_chain(),
         name: "csfq_baseline",
         flows: weights
             .iter()
             .map(|&w| ScenarioFlow {
-                route: Route::new(0, 1),
+                path: Route::new(0, 1).into(),
                 weight: w,
                 min_rate: 0.0,
                 activations: vec![(SimTime::ZERO, None)],
@@ -26,7 +28,7 @@ fn scenario(weights: &[u32], horizon: u64, seed: u64) -> Scenario {
 
 #[test]
 fn csfq_uses_policy_drops_not_only_tail_drops() {
-    let result = scenario(&[1, 1, 2, 2], 120, 31).run(&Discipline::Csfq(CsfqConfig::default()));
+    let result = scenario(&[1, 1, 2, 2], 120, 31).run(&Csfq::new(CsfqConfig::default()));
     let policy: u64 = result.report.flows.iter().map(|f| f.policy_drops).sum();
     assert!(
         policy > 0,
@@ -41,7 +43,7 @@ fn csfq_drops_concentrate_on_over_share_flows() {
     // convergence; drops must track the *normalized* excess, so per
     // delivered packet the two flows see comparable drop ratios, and
     // neither flow is starved.
-    let result = scenario(&[1, 3], 200, 32).run(&Discipline::Csfq(CsfqConfig::default()));
+    let result = scenario(&[1, 3], 200, 32).run(&Csfq::new(CsfqConfig::default()));
     let f0 = &result.report.flows[0];
     let f1 = &result.report.flows[1];
     assert!(f0.delivered_packets > 0 && f1.delivered_packets > 0);
@@ -61,22 +63,23 @@ fn csfq_relabels_so_downstream_links_see_capped_labels() {
     // meaningful. Observable end-to-end: a two-hop flow still gets a
     // weighted-fair allocation.
     let scenario = Scenario {
+        topology: TopologySpec::paper_chain(),
         name: "csfq_two_hop",
         flows: vec![
             ScenarioFlow {
-                route: Route::new(0, 2), // crosses C1-C2 and C2-C3
+                path: Route::new(0, 2).into(), // crosses C1-C2 and C2-C3
                 weight: 2,
                 min_rate: 0.0,
                 activations: vec![(SimTime::ZERO, None)],
             },
             ScenarioFlow {
-                route: Route::new(0, 1),
+                path: Route::new(0, 1).into(),
                 weight: 2,
                 min_rate: 0.0,
                 activations: vec![(SimTime::ZERO, None)],
             },
             ScenarioFlow {
-                route: Route::new(1, 2),
+                path: Route::new(1, 2).into(),
                 weight: 2,
                 min_rate: 0.0,
                 activations: vec![(SimTime::ZERO, None)],
@@ -85,7 +88,7 @@ fn csfq_relabels_so_downstream_links_see_capped_labels() {
         horizon: SimTime::from_secs(200),
         seed: 33,
     };
-    let result = scenario.run(&Discipline::Csfq(CsfqConfig::default()));
+    let result = scenario.run(&Csfq::new(CsfqConfig::default()));
     let rates: Vec<f64> = (0..3)
         .map(|i| result.mean_rate_in(i, SimTime::from_secs(150), SimTime::from_secs(200)))
         .collect();
@@ -105,14 +108,13 @@ fn csfq_startup_shows_early_losses_unlike_corelite() {
     // collectively cross the link capacity while still in slow-start;
     // count drops during the first 20 seconds only.
     let weights = [1u32; 15];
-    let result = scenario(&weights, 20, 34).run(&Discipline::Csfq(CsfqConfig::default()));
+    let result = scenario(&weights, 20, 34).run(&Csfq::new(CsfqConfig::default()));
     assert!(
         result.total_drops() > 0,
         "CSFQ flows should already lose packets during startup"
     );
-    let corelite = scenario(&weights, 20, 34).run(&Discipline::Corelite(
-        corelite::CoreliteConfig::default(),
-    ));
+    let corelite =
+        scenario(&weights, 20, 34).run(&Corelite::new(corelite::CoreliteConfig::default()));
     assert!(
         corelite.total_drops() <= result.total_drops() / 5,
         "corelite startup drops {} vs csfq {}",

@@ -5,16 +5,18 @@
 
 use corelite::CoreliteConfig;
 use csfq::CsfqConfig;
-use scenarios::runner::{Discipline, Scenario, ScenarioFlow};
-use scenarios::topology::Route;
+use scenarios::discipline::{Corelite, Csfq, Discipline};
+use scenarios::runner::{Scenario, ScenarioFlow};
+use scenarios::topology::{Route, TopologySpec};
 use sim_core::time::SimTime;
 
 fn scenario(seed: u64) -> Scenario {
     Scenario {
+        topology: TopologySpec::paper_chain(),
         name: "delay",
         flows: (0..6)
             .map(|i| ScenarioFlow {
-                route: Route::new(0, 1),
+                path: Route::new(0, 1).into(),
                 weight: i as u32 % 3 + 1,
                 min_rate: 0.0,
                 activations: vec![(SimTime::ZERO, None)],
@@ -33,11 +35,12 @@ const WORST_QUEUEING_S: f64 = 3.0 * 40.0 * 0.002;
 
 #[test]
 fn delay_quantiles_are_physically_bounded() {
-    for discipline in [
-        Discipline::Corelite(CoreliteConfig::default()),
-        Discipline::Csfq(CsfqConfig::default()),
-    ] {
-        let result = scenario(71).run(&discipline);
+    let disciplines: Vec<Box<dyn Discipline>> = vec![
+        Box::new(Corelite::new(CoreliteConfig::default())),
+        Box::new(Csfq::new(CsfqConfig::default())),
+    ];
+    for discipline in disciplines {
+        let result = scenario(71).run(discipline.as_ref());
         for (i, f) in result.report.flows.iter().enumerate() {
             let p01 = f.delay_quantile(0.01).expect("packets delivered");
             let p50 = f.delay_quantile(0.5).unwrap();
@@ -47,7 +50,11 @@ fn delay_quantiles_are_physically_bounded() {
                 "{}, flow {i}: p01 {p01} below light-speed floor",
                 result.discipline_name
             );
-            assert!(p50 <= p99, "{}, flow {i}: p50 {p50} > p99 {p99}", result.discipline_name);
+            assert!(
+                p50 <= p99,
+                "{}, flow {i}: p50 {p50} > p99 {p99}",
+                result.discipline_name
+            );
             assert!(
                 p99 <= PROPAGATION_S + WORST_QUEUEING_S + 0.05,
                 "{}, flow {i}: p99 {p99} above the drop-tail bound",
@@ -68,7 +75,7 @@ fn delay_quantiles_are_physically_bounded() {
 fn corelite_keeps_typical_queueing_near_the_threshold() {
     // q_thresh = 8 packets of 40: typical (median) queueing should sit
     // nearer 8×2 ms per congested hop than the 80 ms worst case.
-    let result = scenario(72).run(&Discipline::Corelite(CoreliteConfig::default()));
+    let result = scenario(72).run(&Corelite::new(CoreliteConfig::default()));
     for (i, f) in result.report.flows.iter().enumerate() {
         let p50 = f.delay_quantile(0.5).unwrap();
         let queueing = p50 - PROPAGATION_S - 3.0 * 0.002;
@@ -84,7 +91,7 @@ fn idle_flow_reports_no_delay_quantiles() {
     let mut s = scenario(73);
     // Flow 5 never activates within the horizon.
     s.flows[5].activations = vec![(SimTime::from_secs(500), None)];
-    let result = s.run(&Discipline::Corelite(CoreliteConfig::default()));
+    let result = s.run(&Corelite::new(CoreliteConfig::default()));
     assert_eq!(result.report.flows[5].delay_quantile(0.5), None);
     assert_eq!(result.report.flows[5].delivered_packets, 0);
 }

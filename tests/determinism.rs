@@ -3,16 +3,18 @@
 
 use corelite::CoreliteConfig;
 use fairness::metrics::jain_index;
-use scenarios::runner::{Discipline, Scenario, ScenarioFlow};
-use scenarios::topology::Route;
+use scenarios::discipline::Corelite;
+use scenarios::runner::{Scenario, ScenarioFlow};
+use scenarios::topology::{Route, TopologySpec};
 use sim_core::time::SimTime;
 
 fn scenario(seed: u64) -> Scenario {
     Scenario {
+        topology: TopologySpec::paper_chain(),
         name: "determinism",
         flows: (0..4)
             .map(|i| ScenarioFlow {
-                route: Route::new(0, 1),
+                path: Route::new(0, 1).into(),
                 weight: i % 2 + 1,
                 min_rate: 0.0,
                 activations: vec![(SimTime::ZERO, None)],
@@ -25,13 +27,12 @@ fn scenario(seed: u64) -> Scenario {
 
 #[test]
 fn identical_seeds_give_identical_runs() {
-    let a = scenario(99).run(&Discipline::Corelite(CoreliteConfig::default()));
-    let b = scenario(99).run(&Discipline::Corelite(CoreliteConfig::default()));
+    let a = scenario(99).run(&Corelite::new(CoreliteConfig::default()));
+    let b = scenario(99).run(&Corelite::new(CoreliteConfig::default()));
     assert_eq!(a.report.events_processed, b.report.events_processed);
     for i in 0..4 {
         assert_eq!(
-            a.report.flows[i].delivered_packets,
-            b.report.flows[i].delivered_packets,
+            a.report.flows[i].delivered_packets, b.report.flows[i].delivered_packets,
             "flow {i} delivery counts differ"
         );
         let ra: Vec<_> = a.allotted_rate(i).iter().collect();
@@ -42,8 +43,8 @@ fn identical_seeds_give_identical_runs() {
 
 #[test]
 fn different_seeds_differ_but_agree_on_fairness() {
-    let a = scenario(1).run(&Discipline::Corelite(CoreliteConfig::default()));
-    let b = scenario(2).run(&Discipline::Corelite(CoreliteConfig::default()));
+    let a = scenario(1).run(&Corelite::new(CoreliteConfig::default()));
+    let b = scenario(2).run(&Corelite::new(CoreliteConfig::default()));
     // The random marker selection must actually differ...
     let da: Vec<u64> = a.report.flows.iter().map(|f| f.delivered_packets).collect();
     let db: Vec<u64> = b.report.flows.iter().map(|f| f.delivered_packets).collect();
@@ -61,7 +62,7 @@ fn different_seeds_differ_but_agree_on_fairness() {
 
 #[test]
 fn event_counts_are_plausible() {
-    let r = scenario(5).run(&Discipline::Corelite(CoreliteConfig::default()));
+    let r = scenario(5).run(&Corelite::new(CoreliteConfig::default()));
     // Every delivered packet takes at least 3 hops of events.
     let delivered: u64 = r.report.flows.iter().map(|f| f.delivered_packets).sum();
     assert!(r.report.events_processed > 3 * delivered);

@@ -3,8 +3,9 @@
 
 use corelite::CoreliteConfig;
 use csfq::CsfqConfig;
-use scenarios::runner::{Discipline, Scenario, ScenarioFlow};
-use scenarios::topology::Route;
+use scenarios::discipline::{Corelite, Csfq};
+use scenarios::runner::{Scenario, ScenarioFlow};
+use scenarios::topology::{Route, TopologySpec};
 use sim_core::time::SimTime;
 
 /// Two resident flows (weights 1 and 2) plus a weight-3 visitor active
@@ -13,22 +14,23 @@ use sim_core::time::SimTime;
 /// at the paper's +α-per-epoch linear increase.
 fn join_leave(seed: u64) -> Scenario {
     Scenario {
+        topology: TopologySpec::paper_chain(),
         name: "join_leave",
         flows: vec![
             ScenarioFlow {
-                route: Route::new(0, 1),
+                path: Route::new(0, 1).into(),
                 weight: 1,
                 min_rate: 0.0,
                 activations: vec![(SimTime::ZERO, None)],
             },
             ScenarioFlow {
-                route: Route::new(0, 1),
+                path: Route::new(0, 1).into(),
                 weight: 2,
                 min_rate: 0.0,
                 activations: vec![(SimTime::ZERO, None)],
             },
             ScenarioFlow {
-                route: Route::new(0, 1),
+                path: Route::new(0, 1).into(),
                 weight: 3,
                 min_rate: 0.0,
                 activations: vec![(SimTime::from_secs(200), Some(SimTime::from_secs(280)))],
@@ -47,7 +49,7 @@ fn phase_rates(result: &scenarios::ExperimentResult, from: u64, to: u64) -> Vec<
 
 #[test]
 fn corelite_redistributes_on_join_and_leave() {
-    let result = join_leave(21).run(&Discipline::Corelite(CoreliteConfig::default()));
+    let result = join_leave(21).run(&Corelite::new(CoreliteConfig::default()));
 
     // Before the visitor: shares 167/333 (weights 1:2 on 500 pkt/s).
     let before = phase_rates(&result, 180, 200);
@@ -59,7 +61,10 @@ fn corelite_redistributes_on_join_and_leave() {
     // ramping toward its share at +2 pkt/s²; accept a generous band).
     let during = phase_rates(&result, 260, 280);
     assert!((during[0] - 83.3).abs() / 83.3 < 0.35, "during {during:?}");
-    assert!((during[1] - 166.7).abs() / 166.7 < 0.35, "during {during:?}");
+    assert!(
+        (during[1] - 166.7).abs() / 166.7 < 0.35,
+        "during {during:?}"
+    );
     assert!(
         during[2] > 150.0 && during[2] < 300.0,
         "visitor approaching its 250 pkt/s share: {during:?}"
@@ -79,7 +84,7 @@ fn resident_flows_fall_back_quickly_on_join() {
     // §4.1: "when flows start, other flows fall back almost
     // instantaneously". Within ~15 s of the join, the residents must have
     // given back a substantial part of their pre-join rates.
-    let result = join_leave(22).run(&Discipline::Corelite(CoreliteConfig::default()));
+    let result = join_leave(22).run(&Corelite::new(CoreliteConfig::default()));
     let pre = phase_rates(&result, 180, 200);
     let shortly_after = phase_rates(&result, 205, 215);
     assert!(
@@ -90,7 +95,7 @@ fn resident_flows_fall_back_quickly_on_join() {
 
 #[test]
 fn csfq_also_redistributes_but_with_losses() {
-    let result = join_leave(23).run(&Discipline::Csfq(CsfqConfig::default()));
+    let result = join_leave(23).run(&Csfq::new(CsfqConfig::default()));
     let during = phase_rates(&result, 260, 280);
     assert!(
         during[2] > 150.0 && during[2] < 320.0,
@@ -111,7 +116,7 @@ fn restart_gets_a_fresh_slow_start() {
         (SimTime::from_secs(200), Some(SimTime::from_secs(240))),
         (SimTime::from_secs(250), None),
     ];
-    let result = scenario.run(&Discipline::Corelite(CoreliteConfig::default()));
+    let result = scenario.run(&Corelite::new(CoreliteConfig::default()));
     let series = result.allotted_rate(2);
     let just_restarted = series
         .value_at(SimTime::from_secs_f64(250.6))
@@ -140,7 +145,7 @@ fn window_agent_is_an_alternative_adaptation_scheme() {
         adaptation: AdaptationScheme::WindowAimd,
         ..CoreliteConfig::default()
     };
-    let result = join_leave(25).run(&Discipline::Corelite(cfg));
+    let result = join_leave(25).run(&Corelite::new(cfg));
     let rates = phase_rates(&result, 160, 200); // flows 0 (w1) and 1 (w2)
     assert!(
         rates[1] > rates[0] * 1.2,

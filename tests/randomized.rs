@@ -3,60 +3,45 @@
 //! the analytic weighted max-min solution and losses stay negligible.
 //!
 //! This is the whole-system analogue of the per-module property tests:
-//! proptest draws the flow population (routes, weights, stagger), the
-//! simulator runs it, and the water-filling solver judges the outcome.
+//! the `check` harness draws the flow population (routes, weights,
+//! stagger), the simulator runs it, and the water-filling solver judges
+//! the outcome.
 
 use corelite::CoreliteConfig;
-use proptest::prelude::*;
-use scenarios::runner::{Discipline, Scenario, ScenarioFlow};
-use scenarios::topology::Route;
+use scenarios::runner::{Scenario, ScenarioFlow};
+use scenarios::topology::{Route, TopologySpec};
+use sim_core::check;
 use sim_core::time::SimTime;
 
-#[derive(Debug, Clone)]
-struct FlowDraw {
-    first: usize,
-    span: usize,
-    weight: u32,
-    start: u64,
-}
-
-fn flow_draw() -> impl Strategy<Value = FlowDraw> {
-    (0usize..3, 1usize..3, 1u32..4, 0u64..5).prop_map(|(first, span, weight, start)| FlowDraw {
-        first,
-        span,
-        weight,
-        start,
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 8,
-        .. ProptestConfig::default()
-    })]
-
-    #[test]
-    fn corelite_tracks_maxmin_for_random_populations(draws in prop::collection::vec(flow_draw(), 2..7)) {
-        let flows: Vec<ScenarioFlow> = draws
-            .iter()
-            .map(|d| {
-                let last = (d.first + d.span).min(Route::CORE_COUNT - 1);
-                let first = d.first.min(last - 1);
+#[test]
+fn corelite_tracks_maxmin_for_random_populations() {
+    check::cases(8, 0x5A_01, |g| {
+        let flows: Vec<ScenarioFlow> = (0..g.usize_in(2, 7))
+            .map(|_| {
+                let first_draw = g.usize_in(0, 3);
+                let span = g.usize_in(1, 3);
+                let weight = g.u64_in(1, 4) as u32;
+                let start = g.u64_in(0, 5);
+                let last = (first_draw + span).min(Route::CORE_COUNT - 1);
+                let first = first_draw.min(last - 1);
                 ScenarioFlow {
-                    route: Route::new(first, last),
-                    weight: d.weight,
+                    path: Route::new(first, last).into(),
+                    weight,
                     min_rate: 0.0,
-                    activations: vec![(SimTime::from_secs(d.start), None)],
+                    activations: vec![(SimTime::from_secs(start), None)],
                 }
             })
             .collect();
         let scenario = Scenario {
+            topology: TopologySpec::paper_chain(),
             name: "randomized",
             flows,
             horizon: SimTime::from_secs(220),
             seed: 1234,
         };
-        let result = scenario.run(&Discipline::Corelite(CoreliteConfig::default()));
+        let result = scenario.run(&scenarios::discipline::Corelite::new(
+            CoreliteConfig::default(),
+        ));
 
         let from = SimTime::from_secs(180);
         let to = scenario.horizon;
@@ -64,27 +49,36 @@ proptest! {
         let mut aggregate_err = 0.0;
         for (i, &share) in expected.iter().enumerate() {
             let measured = result.mean_rate_in(i, from, to);
-            prop_assert!(share > 0.0, "every drawn flow is active");
+            assert!(share > 0.0, "every drawn flow is active");
             let err = (measured - share).abs() / share;
             aggregate_err += err;
             // Individual flows may sit off their share when the analytic
             // optimum depends on second-order effects; bound each loosely
             // and the population tightly.
-            prop_assert!(
+            assert!(
                 err < 0.45,
                 "flow {i}: measured {measured:.1} vs share {share:.1} ({:.0}%)",
                 err * 100.0
             );
         }
         let mean_err = aggregate_err / expected.len() as f64;
-        prop_assert!(mean_err < 0.25, "population mean error {:.0}%", mean_err * 100.0);
+        assert!(
+            mean_err < 0.25,
+            "population mean error {:.0}%",
+            mean_err * 100.0
+        );
 
         // Loss-free up to slow-start transients.
-        let delivered: u64 = result.report.flows.iter().map(|f| f.delivered_packets).sum();
+        let delivered: u64 = result
+            .report
+            .flows
+            .iter()
+            .map(|f| f.delivered_packets)
+            .sum();
         let drops = result.total_drops();
-        prop_assert!(
+        assert!(
             (drops as f64) < 0.005 * delivered as f64 + 50.0,
             "drops {drops} of {delivered} delivered"
         );
-    }
+    });
 }

@@ -1,0 +1,142 @@
+//! Integration tests: the weighted max-min reference on non-chain
+//! topologies. `fairness::maxmin` water-filling is cross-checked three
+//! ways — hand-computed shares, a `MaxMinProblem` built directly from
+//! the link lists, and `Scenario::expected_rates_at` going through
+//! [`scenarios::topology::TopologySpec`].
+
+use fairness::maxmin::MaxMinProblem;
+use scenarios::runner::{Scenario, ScenarioFlow};
+use scenarios::topology::{CorePath, TopologySpec, LINK_CAPACITY_PPS};
+use sim_core::time::SimTime;
+
+const EPS: f64 = 1e-9;
+
+fn assert_close(actual: &[f64], expected: &[f64]) {
+    assert_eq!(actual.len(), expected.len());
+    for (i, (a, e)) in actual.iter().zip(expected).enumerate() {
+        assert!(
+            (a - e).abs() < EPS,
+            "flow {i}: got {a}, expected {e} (all: {actual:?})"
+        );
+    }
+}
+
+#[test]
+fn equal_weight_parking_lot_splits_every_link_in_half() {
+    // One long flow over `hops` links plus one cross flow per link, all
+    // weight 1: every link carries exactly two unit-weight flows, so
+    // everyone gets capacity / 2 regardless of path length.
+    for hops in [1usize, 3, 5] {
+        let scenario = Scenario::parking_lot(hops, SimTime::from_secs(10), 1);
+        let rates = scenario.expected_rates_at(SimTime::from_secs(5));
+        assert_close(&rates, &vec![LINK_CAPACITY_PPS / 2.0; hops + 1]);
+    }
+}
+
+#[test]
+fn weighted_parking_lot_bottlenecks_the_long_flow_at_its_tightest_link() {
+    // Long flow (weight 1) over three links; cross weights 1, 3, 1.
+    // The middle link fills first at unit rate 500/4 = 125, freezing the
+    // long flow there; the outer cross flows then take the 375 left over.
+    let topology = TopologySpec::parking_lot(3);
+    let flows = vec![
+        ScenarioFlow::best_effort(CorePath::new(vec![0, 1, 2, 3]), 1, SimTime::ZERO),
+        ScenarioFlow::best_effort(CorePath::new(vec![0, 1]), 1, SimTime::ZERO),
+        ScenarioFlow::best_effort(CorePath::new(vec![1, 2]), 3, SimTime::ZERO),
+        ScenarioFlow::best_effort(CorePath::new(vec![2, 3]), 1, SimTime::ZERO),
+    ];
+    let scenario = Scenario::on(topology, "weighted_lot", flows, SimTime::from_secs(10), 1);
+    let rates = scenario.expected_rates_at(SimTime::from_secs(5));
+    assert_close(&rates, &[125.0, 375.0, 375.0, 375.0]);
+
+    // The same problem posed to the solver directly, bypassing the
+    // topology layer entirely.
+    let mut p = MaxMinProblem::new();
+    let links: Vec<_> = (0..3).map(|_| p.link(LINK_CAPACITY_PPS)).collect();
+    let refs = [
+        p.flow(1.0, links.clone()),
+        p.flow(1.0, [links[0]]),
+        p.flow(3.0, [links[1]]),
+        p.flow(1.0, [links[2]]),
+    ];
+    let alloc = p.solve();
+    let direct: Vec<f64> = refs.iter().map(|&r| alloc.rate(r)).collect();
+    assert_close(&direct, &rates);
+}
+
+#[test]
+fn fat_tree_mix_shares_match_hand_computed_uplink_bottlenecks() {
+    // Eight flows, spines alternating by index, weights cycling 1,2,3.
+    // Every spine→leaf downlink carries one flow, so only the four
+    // leaf→spine uplinks are contended, two flows each:
+    //   leaf0→s0: w1 (f0), w2 (f4) → 166.67 / 333.33
+    //   leaf2→s0: w3 (f2), w1 (f6) → 375 / 125
+    //   leaf1→s1: w2 (f1), w3 (f5) → 200 / 300
+    //   leaf3→s1: w1 (f3), w2 (f7) → 166.67 / 333.33
+    let scenario = Scenario::fat_tree_mix(SimTime::from_secs(10), 1);
+    let rates = scenario.expected_rates_at(SimTime::from_secs(5));
+    let c = LINK_CAPACITY_PPS;
+    assert_close(
+        &rates,
+        &[
+            c / 3.0,
+            c * 2.0 / 5.0,
+            c * 3.0 / 4.0,
+            c / 3.0,
+            c * 2.0 / 3.0,
+            c * 3.0 / 5.0,
+            c / 4.0,
+            c * 2.0 / 3.0,
+        ],
+    );
+}
+
+#[test]
+fn fat_tree_reference_agrees_with_a_directly_posed_problem() {
+    let scenario = Scenario::fat_tree_mix(SimTime::from_secs(10), 1);
+    let topology = &scenario.topology;
+    let via_topology = scenario.expected_rates_at(SimTime::from_secs(5));
+
+    let mut p = MaxMinProblem::new();
+    let links: Vec<_> = (0..topology.link_count())
+        .map(|_| p.link(LINK_CAPACITY_PPS))
+        .collect();
+    let refs: Vec<_> = scenario
+        .flows
+        .iter()
+        .map(|f| {
+            let crossed: Vec<_> = f
+                .path
+                .link_indices(topology)
+                .into_iter()
+                .map(|l| links[l])
+                .collect();
+            p.flow(f.weight as f64, crossed)
+        })
+        .collect();
+    let alloc = p.solve();
+    let direct: Vec<f64> = refs.iter().map(|&r| alloc.rate(r)).collect();
+    assert_close(&direct, &via_topology);
+}
+
+#[test]
+fn min_rate_floors_survive_on_non_chain_topologies() {
+    // Give the long parking-lot flow a floor above its water-filling
+    // share: the floor is reserved first (leaving 200 per link), and the
+    // flow still competes with its weight for the residual — 100 more on
+    // top of the guarantee, with the cross flows absorbing the loss.
+    let topology = TopologySpec::parking_lot(2);
+    let flows = vec![
+        ScenarioFlow {
+            path: CorePath::new(vec![0, 1, 2]),
+            weight: 1,
+            min_rate: 300.0,
+            activations: vec![(SimTime::ZERO, None)],
+        },
+        ScenarioFlow::best_effort(CorePath::new(vec![0, 1]), 1, SimTime::ZERO),
+        ScenarioFlow::best_effort(CorePath::new(vec![1, 2]), 1, SimTime::ZERO),
+    ];
+    let scenario = Scenario::on(topology, "floored_lot", flows, SimTime::from_secs(10), 1);
+    let rates = scenario.expected_rates_at(SimTime::from_secs(5));
+    assert_close(&rates, &[400.0, 100.0, 100.0]);
+}

@@ -4,8 +4,9 @@
 use corelite::{CoreliteConfig, SelectorKind};
 use csfq::CsfqConfig;
 use fairness::metrics::{jain_index, normalized_spread};
-use scenarios::runner::{Discipline, Scenario, ScenarioFlow};
-use scenarios::topology::Route;
+use scenarios::discipline::{Corelite, Csfq};
+use scenarios::runner::{Scenario, ScenarioFlow};
+use scenarios::topology::{Route, TopologySpec};
 use sim_core::time::SimTime;
 
 /// Six flows with weights 1, 1, 2, 2, 3, 3 over the first congested link
@@ -13,11 +14,12 @@ use sim_core::time::SimTime;
 fn six_flows(seed: u64) -> Scenario {
     let weights = [1u32, 1, 2, 2, 3, 3];
     Scenario {
+        topology: TopologySpec::paper_chain(),
         name: "six_flows",
         flows: weights
             .into_iter()
             .map(|w| ScenarioFlow {
-                route: Route::new(0, 1),
+                path: Route::new(0, 1).into(),
                 weight: w,
                 min_rate: 0.0,
                 activations: vec![(SimTime::ZERO, None)],
@@ -56,7 +58,7 @@ fn assert_weighted_fair(result: &scenarios::ExperimentResult, label: &str) {
 
 #[test]
 fn corelite_stateless_selector_is_weighted_fair() {
-    let result = six_flows(1).run(&Discipline::Corelite(CoreliteConfig::default()));
+    let result = six_flows(1).run(&Corelite::new(CoreliteConfig::default()));
     assert_weighted_fair(&result, "corelite/stateless");
     assert_eq!(result.total_drops(), 0, "corelite should be loss-free here");
 }
@@ -64,21 +66,21 @@ fn corelite_stateless_selector_is_weighted_fair() {
 #[test]
 fn corelite_cache_selector_is_weighted_fair() {
     let cfg = CoreliteConfig::default().with_selector(SelectorKind::Cache { capacity: 256 });
-    let result = six_flows(2).run(&Discipline::Corelite(cfg));
+    let result = six_flows(2).run(&Corelite::new(cfg));
     assert_weighted_fair(&result, "corelite/cache");
 }
 
 #[test]
 fn csfq_is_weighted_fair() {
-    let result = six_flows(3).run(&Discipline::Csfq(CsfqConfig::default()));
+    let result = six_flows(3).run(&Csfq::new(CsfqConfig::default()));
     assert_weighted_fair(&result, "csfq");
 }
 
 #[test]
 fn corelite_drops_far_less_than_csfq() {
     // The paper's headline §4.4 comparison on equal terms.
-    let corelite = six_flows(4).run(&Discipline::Corelite(CoreliteConfig::default()));
-    let csfq = six_flows(4).run(&Discipline::Csfq(CsfqConfig::default()));
+    let corelite = six_flows(4).run(&Corelite::new(CoreliteConfig::default()));
+    let csfq = six_flows(4).run(&Csfq::new(CsfqConfig::default()));
     assert!(
         csfq.total_drops() > 10 * corelite.total_drops().max(1),
         "corelite {} drops vs csfq {}",
@@ -96,7 +98,7 @@ fn below_share_flows_receive_no_corelite_feedback() {
     // Flow 0 starts late: while it ramps from 1 pkt/s it is far below its
     // 41 pkt/s share, so it must climb monotonically (no feedback).
     scenario.flows[0].activations = vec![(SimTime::from_secs(60), None)];
-    let result = scenario.run(&Discipline::Corelite(CoreliteConfig::default()));
+    let result = scenario.run(&Corelite::new(CoreliteConfig::default()));
     let series = result.allotted_rate(0);
     let early: Vec<f64> = series
         .iter()
@@ -138,7 +140,7 @@ fn congestion_module_is_replaceable() {
             detector,
             ..CoreliteConfig::default()
         };
-        let result = six_flows(6).run(&Discipline::Corelite(cfg));
+        let result = six_flows(6).run(&Corelite::new(cfg));
         assert_weighted_fair(&result, name);
         assert!(
             result.total_drops() < 100,
