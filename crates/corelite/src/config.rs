@@ -150,6 +150,14 @@ pub struct CoreliteConfig {
     pub initial_rate: f64,
     /// Slow-start doubling interval (paper: every second).
     pub slow_start_interval: SimDuration,
+    /// Idle gap after which a gateway treats a flow as restarted: when no
+    /// packet of the flow has arrived for this long, the next arrival
+    /// re-enters slow-start with fresh controller state instead of
+    /// resuming a stale rate. Mid-path gateways receive no flow
+    /// activation events, so restart must be inferred from the arrival
+    /// process (default 2 s — several edge epochs, well above in-cloud
+    /// queueing delays).
+    pub idle_restart: SimDuration,
     /// Marker selection mechanism at core routers.
     pub selector: SelectorKind,
     /// Exponential-average gain for the stateless selector's running
@@ -179,6 +187,7 @@ impl Default for CoreliteConfig {
             ss_thresh_per_weight: true,
             initial_rate: 1.0,
             slow_start_interval: SimDuration::from_secs(1),
+            idle_restart: SimDuration::from_secs(2),
             selector: SelectorKind::Stateless,
             running_avg_gain: 0.1,
             reference_packet_size: 1000,
@@ -234,6 +243,10 @@ impl CoreliteConfig {
             "correction k must be non-negative"
         );
         assert!(self.initial_rate > 0.0, "initial rate must be positive");
+        assert!(
+            !self.idle_restart.is_zero(),
+            "idle restart gap must be positive"
+        );
         assert!(
             self.running_avg_gain > 0.0 && self.running_avg_gain <= 1.0,
             "running average gain must be in (0, 1]"

@@ -174,6 +174,11 @@ impl RateController {
                         }
                     }
                     .max(self.min_rate);
+                    // Feedback always ends slow-start, even when the
+                    // immediate halving path was skipped (e.g. the ending
+                    // notification was lost and only epoch-accumulated
+                    // counts remain): the phase must never stick.
+                    self.phase = Phase::Linear;
                 } else {
                     match self.phase {
                         Phase::SlowStart => self.try_double(cfg, now),

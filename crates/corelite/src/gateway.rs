@@ -43,6 +43,12 @@ struct GatewayFlow {
     buffer: VecDeque<Packet>,
     emission_pending: bool,
     buffered_peak: usize,
+    /// Last data-packet arrival; a gap ≥ `idle_restart` means the flow
+    /// restarted (mid-path gateways see no flow activation events).
+    last_arrival: SimTime,
+    /// Last paced emission, if any; the emission due time is re-derived
+    /// from it at the *current* rate when the pacing timer fires.
+    last_emit: Option<SimTime>,
 }
 
 /// Router logic for a Corelite inter-cloud gateway edge.
@@ -86,21 +92,55 @@ impl CoreliteGateway {
 
     fn ensure_emission(&mut self, ctx: &mut Ctx<'_>, flow: FlowId) {
         let s = self.flows.get_mut(&flow).expect("gateway flow exists");
-        if !s.emission_pending && !s.buffer.is_empty() && s.controller.rate() > 0.0 {
-            s.emission_pending = true;
-            ctx.set_timer(
-                SimDuration::from_secs_f64(1.0 / s.controller.rate()),
-                TimerKind::with_param(TIMER_EMIT, flow.index() as u64),
-            );
+        if s.emission_pending
+            || s.buffer.is_empty()
+            || !s.controller.is_active()
+            || s.controller.rate() <= 0.0
+        {
+            return;
         }
+        let interval = SimDuration::from_secs_f64(1.0 / s.controller.rate());
+        let delay = match s.last_emit {
+            Some(last) => {
+                let due = last.checked_add(interval).unwrap_or(SimTime::MAX);
+                due.saturating_since(ctx.now())
+            }
+            None => SimDuration::ZERO,
+        };
+        s.emission_pending = true;
+        ctx.set_timer(
+            delay,
+            TimerKind::with_param(TIMER_EMIT, flow.index() as u64),
+        );
     }
 
     fn handle_emit(&mut self, ctx: &mut Ctx<'_>, flow: FlowId) {
         let node = ctx.node();
+        let now = ctx.now();
         let Some(s) = self.flows.get_mut(&flow) else {
             return;
         };
         s.emission_pending = false;
+        // The timer was armed at the rate current when it was set; an
+        // epoch may have changed the rate (or stopped the flow) since.
+        // Re-derive the pacing decision at fire time.
+        if !s.controller.is_active() || s.controller.rate() <= 0.0 {
+            return;
+        }
+        if let Some(last) = s.last_emit {
+            let interval = SimDuration::from_secs_f64(1.0 / s.controller.rate());
+            let due = last.checked_add(interval).unwrap_or(SimTime::MAX);
+            if now < due {
+                // The rate dropped while the timer was in flight: wait
+                // out the remainder of the new interval.
+                s.emission_pending = true;
+                ctx.set_timer(
+                    due.saturating_since(now),
+                    TimerKind::with_param(TIMER_EMIT, flow.index() as u64),
+                );
+                return;
+            }
+        }
         let Some(mut packet) = s.buffer.pop_front() else {
             return;
         };
@@ -112,6 +152,7 @@ impl CoreliteGateway {
             });
             self.markers_injected += 1;
         }
+        s.last_emit = Some(now);
         ctx.emit(packet);
         self.ensure_emission(ctx, flow);
     }
@@ -145,8 +186,19 @@ impl RouterLogic for CoreliteGateway {
                 buffer: VecDeque::new(),
                 emission_pending: false,
                 buffered_peak: 0,
+                last_arrival: now,
+                last_emit: None,
             }
         });
+        // A flow reappearing after a stop or a prolonged idle gap has
+        // restarted: its stale rate no longer reflects the path, so it
+        // begins a fresh slow-start like any new flow.
+        let idle = now.saturating_since(s.last_arrival) >= cfg.idle_restart;
+        if !s.controller.is_active() || idle {
+            s.controller.start(cfg, now, rtt);
+            s.last_emit = None;
+        }
+        s.last_arrival = now;
         if s.buffer.len() >= self.buffer_capacity {
             self.buffer_drops += 1;
             ctx.drop_packet(packet);
@@ -182,6 +234,16 @@ impl RouterLogic for CoreliteGateway {
             }
         }
         // Losses: ignored, as at any Corelite edge.
+    }
+
+    fn on_flow_stop(&mut self, ctx: &mut Ctx<'_>, flow: FlowId) {
+        // Delivered when the gateway itself is the flow's ingress; for
+        // mid-path gateways the idle-gap check in `on_packet` infers the
+        // stop instead. Buffered packets are kept: they drain once the
+        // flow reactivates.
+        if let Some(s) = self.flows.get_mut(&flow) {
+            s.controller.stop(ctx.now());
+        }
     }
 
     fn report(&self, _now: SimTime) -> LogicReport {
@@ -334,5 +396,71 @@ mod tests {
     #[should_panic(expected = "buffer")]
     fn zero_buffer_rejected() {
         CoreliteGateway::new(0, CoreliteConfig::default(), 0);
+    }
+
+    #[test]
+    fn gateway_restarts_controller_after_idle_gap() {
+        // Same shape as `two_clouds`, but the cross-cloud flow stops at
+        // t = 60 s and restarts at t = 100 s — a 40 s gap, far beyond
+        // `idle_restart`. The gateway must re-enter slow-start on the
+        // flow's return instead of resuming (and further inflating) the
+        // stale pre-stop rate.
+        use netsim::ids::NodeId;
+
+        let cfg = CoreliteConfig::default();
+        let mut b = TopologyBuilder::new(31);
+        let e = b.node("E", |s| Box::new(CoreliteEdge::new(s, cfg.clone())));
+        let a1 = b.node("A1", |s| Box::new(CoreliteCore::new(s, cfg.clone())));
+        let a2 = b.node("A2", |s| Box::new(CoreliteCore::new(s, cfg.clone())));
+        let g = b.node("G", |s| Box::new(CoreliteGateway::new(s, cfg.clone(), 200)));
+        let b1 = b.node("B1", |s| Box::new(CoreliteCore::new(s, cfg.clone())));
+        let b2 = b.node("B2", |s| Box::new(CoreliteCore::new(s, cfg.clone())));
+        let x = b.node("X", |_| Box::new(ForwardLogic));
+        let eb = b.node("EB", |s| Box::new(CoreliteEdge::new(s, cfg.clone())));
+        let xb = b.node("XB", |_| Box::new(ForwardLogic));
+
+        let fast = LinkSpec::new(40_000_000, SimDuration::from_millis(5), 400);
+        let shared = LinkSpec::new(4_000_000, SimDuration::from_millis(10), 40);
+        b.link(e, a1, fast);
+        b.link(a1, a2, shared);
+        b.link(a2, g, fast);
+        b.link(g, b1, fast);
+        b.link(b1, b2, shared);
+        b.link(b2, x, fast);
+        b.link(eb, b1, fast);
+        b.link(b2, xb, fast);
+        b.flow(
+            FlowSpec::new(vec![e, a1, a2, g, b1, b2, x], 1)
+                .active(SimTime::ZERO, Some(SimTime::from_secs(60)))
+                .active(SimTime::from_secs(100), None),
+        );
+        b.flow(FlowSpec::new(vec![eb, b1, b2, xb], 1).active(SimTime::ZERO, None));
+        let end = SimTime::from_secs(200);
+        let mut net = b.build();
+        net.run_until(end);
+        let report = net.into_report(end);
+
+        // The gateway's own rate series for the cross-cloud flow (node G
+        // is index 3; `allotted_rate` would return the upstream edge's).
+        let g_series = &report.logic[&NodeId::from_index(3)].flow_rates[&FlowId::from_index(0)];
+        let at_restart = g_series
+            .iter()
+            .filter(|(t, _)| *t >= SimTime::from_secs(100) && *t < SimTime::from_secs(110))
+            .map(|(_, v)| v)
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            at_restart < 16.0,
+            "gateway rate {at_restart} just after restart, expected a fresh slow-start"
+        );
+        // And the flow climbs back toward its ~250 pkt/s cloud-B share
+        // afterwards (the tail window still includes part of the ramp).
+        let cross = report
+            .flow(FlowId::from_index(0))
+            .mean_goodput_in(SimTime::from_secs(160), SimTime::from_secs(200))
+            .unwrap();
+        assert!(
+            cross > 150.0,
+            "cross-cloud flow {cross} after restart, expected recovery toward 250"
+        );
     }
 }

@@ -126,7 +126,13 @@ impl StatelessSelector {
             "marker feedback count must be finite and non-negative, got {fn_count}"
         );
         let count = self.epoch_markers as f64;
+        // Idle epochs (no markers at all) carry no information about the
+        // per-epoch marker rate of *active* traffic — folding their zeros
+        // in would drive `w_av → 0` during a lull and cap `p_w` at 1.0,
+        // producing a spurious feedback burst on the first markers after
+        // the idle period. Keep the last informed average instead.
         let w_av = match self.w_av {
+            _ if count == 0.0 => self.w_av.unwrap_or(0.0),
             None => {
                 self.w_av = Some(count);
                 count
@@ -292,6 +298,41 @@ mod tests {
         }
         let mean = total as f64 / epochs as f64;
         assert!((mean - 10.0).abs() < 1.0, "mean feedback/epoch {mean}");
+    }
+
+    #[test]
+    fn idle_epochs_do_not_collapse_w_av() {
+        let mut s = StatelessSelector::new(0.1);
+        let mut rng = DetRng::new(9);
+        // Warm up the per-epoch marker average at 100 markers/epoch.
+        for _ in 0..40 {
+            for _ in 0..100 {
+                s.on_marker(&m(0, 10.0), &mut rng);
+            }
+            s.on_epoch(0.0);
+        }
+        let warm = s.w_av().unwrap();
+        assert!((warm - 100.0).abs() < 5.0, "warm w_av {warm}");
+        // A long lull: epochs close with zero markers observed.
+        for _ in 0..200 {
+            s.on_epoch(0.0);
+        }
+        assert_eq!(
+            s.w_av(),
+            Some(warm),
+            "idle epochs must not erode the informed average"
+        );
+        // Congestion right as traffic resumes: the selection probability
+        // must reflect the informed average, not a collapsed one (which
+        // would cap p_w at 1.0 and burst feedback to every flow).
+        s.on_epoch(10.0);
+        assert!(
+            (s.p_w() - 10.0 / warm).abs() < 1e-9,
+            "p_w {} after idle, expected {}",
+            s.p_w(),
+            10.0 / warm
+        );
+        assert!(s.p_w() < 0.2, "no spurious feedback burst after idle");
     }
 
     #[test]

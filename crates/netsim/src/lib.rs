@@ -45,6 +45,7 @@
 //!
 //! [Corelite]: https://doi.org/10.1109/ICDCS.2000.840934
 
+pub mod fault;
 pub mod flow;
 pub mod ids;
 pub mod link;
@@ -55,6 +56,7 @@ pub mod packet;
 pub mod topology;
 pub mod trace;
 
+pub use fault::{FaultPlan, FaultWindow};
 pub use flow::{FlowInfo, FlowSpec};
 pub use ids::{FlowId, LinkId, NodeId, PacketId};
 pub use link::LinkSpec;

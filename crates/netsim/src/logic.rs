@@ -76,6 +76,9 @@ pub enum DropReason {
     Tail,
     /// Dropped by router logic (CSFQ's probabilistic dropper).
     Policy,
+    /// Lost to an injected fault (e.g. a flapped link); see
+    /// [`FaultPlan`](crate::fault::FaultPlan).
+    Fault,
 }
 
 /// A deferred state change requested by router logic.

@@ -24,6 +24,7 @@ pub(crate) struct FlowMonitor {
     delivered_bytes: u64,
     tail_drops: u64,
     policy_drops: u64,
+    fault_drops: u64,
     delay: LogHistogram,
     last_cumulative_window: SimTime,
     window: SimDuration,
@@ -38,6 +39,7 @@ impl FlowMonitor {
             delivered_bytes: 0,
             tail_drops: 0,
             policy_drops: 0,
+            fault_drops: 0,
             delay: LogHistogram::new(),
             last_cumulative_window: start,
             window,
@@ -56,6 +58,7 @@ impl FlowMonitor {
         match reason {
             DropReason::Tail => self.tail_drops += 1,
             DropReason::Policy => self.policy_drops += 1,
+            DropReason::Fault => self.fault_drops += 1,
         }
     }
 
@@ -81,6 +84,7 @@ impl FlowMonitor {
             delivered_bytes: self.delivered_bytes,
             tail_drops: self.tail_drops,
             policy_drops: self.policy_drops,
+            fault_drops: self.fault_drops,
             mean_delay_secs: self.delay.mean().unwrap_or(0.0),
         };
         (goodput, self.cumulative, self.delay, totals)
@@ -98,6 +102,8 @@ pub struct FlowTotals {
     pub tail_drops: u64,
     /// Packets dropped by router logic (CSFQ's probabilistic dropper).
     pub policy_drops: u64,
+    /// Packets lost to injected faults (flapped links).
+    pub fault_drops: u64,
     /// Mean end-to-end delay of delivered packets, in seconds.
     pub mean_delay_secs: f64,
 }
@@ -105,7 +111,7 @@ pub struct FlowTotals {
 impl FlowTotals {
     /// All drops regardless of cause.
     pub fn total_drops(&self) -> u64 {
-        self.tail_drops + self.policy_drops
+        self.tail_drops + self.policy_drops + self.fault_drops
     }
 }
 
@@ -129,6 +135,8 @@ pub struct FlowReport {
     pub tail_drops: u64,
     /// Packets dropped by router logic.
     pub policy_drops: u64,
+    /// Packets lost to injected faults (flapped links).
+    pub fault_drops: u64,
     /// Mean end-to-end delay of delivered packets, seconds.
     pub mean_delay_secs: f64,
     /// Distribution of end-to-end delays of delivered packets, seconds.
@@ -138,7 +146,7 @@ pub struct FlowReport {
 impl FlowReport {
     /// All drops regardless of cause.
     pub fn total_drops(&self) -> u64 {
-        self.tail_drops + self.policy_drops
+        self.tail_drops + self.policy_drops + self.fault_drops
     }
 
     /// The `q`-quantile of the end-to-end delay in seconds, or `None` if

@@ -5,13 +5,14 @@ use std::collections::BTreeMap;
 use sim_core::event::EventQueue;
 use sim_core::time::{SimDuration, SimTime};
 
+use crate::fault::FaultState;
 use crate::flow::FlowInfo;
 use crate::ids::{FlowId, LinkId, NodeId};
 use crate::link::{EnqueueOutcome, Link};
 use crate::logic::{Action, ControlMsg, Ctx, DropReason, RouterLogic, TimerKind};
 use crate::monitor::{FlowMonitor, FlowReport, LinkReport, SimReport};
 use crate::packet::Packet;
-use crate::trace::{TraceEvent, Tracer};
+use crate::trace::{FaultKind, TraceEvent, Tracer};
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -51,6 +52,7 @@ pub struct Network {
     notify_losses: bool,
     started: bool,
     tracer: Option<Rc<RefCell<dyn Tracer>>>,
+    faults: Option<FaultState>,
 }
 
 impl Network {
@@ -64,6 +66,7 @@ impl Network {
         window: SimDuration,
         notify_losses: bool,
         tracer: Option<Rc<RefCell<dyn Tracer>>>,
+        faults: Option<FaultState>,
     ) -> Self {
         let mut queue = EventQueue::with_capacity(1024);
         for flow in &flows {
@@ -98,6 +101,7 @@ impl Network {
             notify_losses,
             started: false,
             tracer,
+            faults,
         }
     }
 
@@ -154,7 +158,19 @@ impl Network {
             self.now = time;
             self.dispatch(event);
         }
-        self.now = end;
+        // Advance to the horizon, but never rewind: a caller passing an
+        // `end` earlier than the current time must not move the clock (and
+        // with it the measurement windows) backwards.
+        if end > self.now {
+            self.now = end;
+        }
+    }
+
+    /// The instant `node`'s control plane resumes, if it is paused now.
+    fn pause_end(&self, node: NodeId) -> Option<SimTime> {
+        self.faults
+            .as_ref()
+            .and_then(|f| f.paused_until(node, self.now))
     }
 
     fn dispatch(&mut self, event: Event) {
@@ -162,6 +178,17 @@ impl Network {
             Event::Arrive { node, packet } => self.handle_arrive(node, packet),
             Event::TxDone { link } => self.handle_tx_done(link),
             Event::Timer { node, timer } => {
+                if let Some(until) = self.pause_end(node) {
+                    // Defer to the pause's end so self-rescheduling timer
+                    // chains (epochs, pacing) resume afterwards.
+                    self.trace(TraceEvent::Fault {
+                        kind: FaultKind::RouterPaused,
+                        node,
+                        flow: None,
+                    });
+                    self.queue.push(until, Event::Timer { node, timer });
+                    return;
+                }
                 self.with_logic(node, |logic, ctx| logic.on_timer(ctx, timer));
             }
             Event::Control { node, msg } => {
@@ -169,6 +196,15 @@ impl Network {
                     ControlMsg::MarkerFeedback { marker, .. } => (marker.flow, true),
                     ControlMsg::Loss { flow, .. } => (flow, false),
                 };
+                if self.pause_end(node).is_some() {
+                    // A paused control plane cannot receive signalling.
+                    self.trace(TraceEvent::Fault {
+                        kind: FaultKind::ControlLost,
+                        node,
+                        flow: Some(flow),
+                    });
+                    return;
+                }
                 self.trace(TraceEvent::Control {
                     node,
                     flow,
@@ -178,10 +214,28 @@ impl Network {
             }
             Event::FlowStart { flow } => {
                 let ingress = self.flows[flow.index()].ingress();
+                if let Some(until) = self.pause_end(ingress) {
+                    self.trace(TraceEvent::Fault {
+                        kind: FaultKind::RouterPaused,
+                        node: ingress,
+                        flow: Some(flow),
+                    });
+                    self.queue.push(until, Event::FlowStart { flow });
+                    return;
+                }
                 self.with_logic(ingress, |logic, ctx| logic.on_flow_start(ctx, flow));
             }
             Event::FlowStop { flow } => {
                 let ingress = self.flows[flow.index()].ingress();
+                if let Some(until) = self.pause_end(ingress) {
+                    self.trace(TraceEvent::Fault {
+                        kind: FaultKind::RouterPaused,
+                        node: ingress,
+                        flow: Some(flow),
+                    });
+                    self.queue.push(until, Event::FlowStop { flow });
+                    return;
+                }
                 self.with_logic(ingress, |logic, ctx| logic.on_flow_stop(ctx, flow));
             }
         }
@@ -197,6 +251,19 @@ impl Network {
                 flow: packet.flow,
             });
             self.monitors[packet.flow.index()].record_delivery(self.now, packet.size, delay);
+        } else if self.pause_end(node).is_some() {
+            // A paused router's data plane keeps moving packets, but its
+            // control plane does not run: forward blindly along the path
+            // with no marking, detection, or shaping.
+            let next_hop = flow.next_hop(node);
+            self.trace(TraceEvent::Fault {
+                kind: FaultKind::RouterPaused,
+                node,
+                flow: Some(packet.flow),
+            });
+            if let Some(link) = next_hop {
+                self.apply_actions(node, vec![Action::Forward { link, packet }]);
+            }
         } else {
             self.with_logic(node, |logic, ctx| logic.on_packet(ctx, packet));
         }
@@ -239,7 +306,34 @@ impl Network {
     fn apply_actions(&mut self, node: NodeId, actions: Vec<Action>) {
         for action in actions {
             match action {
-                Action::Forward { link, packet } => {
+                Action::Forward { link, mut packet } => {
+                    if self
+                        .faults
+                        .as_ref()
+                        .is_some_and(|f| f.link_down(link, self.now))
+                    {
+                        self.trace(TraceEvent::Fault {
+                            kind: FaultKind::LinkDown,
+                            node,
+                            flow: Some(packet.flow),
+                        });
+                        self.record_drop(node, &packet, DropReason::Fault);
+                        continue;
+                    }
+                    if packet.marker.is_some() {
+                        let stripped = self
+                            .faults
+                            .as_mut()
+                            .is_some_and(|f| f.marker_stripped(link));
+                        if stripped {
+                            packet.marker = None;
+                            self.trace(TraceEvent::Fault {
+                                kind: FaultKind::MarkerStripped,
+                                node,
+                                flow: Some(packet.flow),
+                            });
+                        }
+                    }
                     let l = &mut self.links[link.index()];
                     assert_eq!(
                         l.src(),
@@ -271,8 +365,7 @@ impl Network {
                     self.record_drop(node, &packet, reason);
                 }
                 Action::Control { to, delay, msg } => {
-                    self.queue
-                        .push(self.now + delay, Event::Control { node: to, msg });
+                    self.push_control(to, delay, msg);
                 }
                 Action::Timer { delay, timer } => {
                     self.queue
@@ -280,6 +373,44 @@ impl Network {
                 }
             }
         }
+    }
+
+    /// Schedules a control message for delivery after `delay`, applying
+    /// any configured control-plane faults (loss, extra delay/jitter).
+    fn push_control(&mut self, to: NodeId, delay: SimDuration, msg: ControlMsg) {
+        let flow = match msg {
+            ControlMsg::MarkerFeedback { marker, .. } => marker.flow,
+            ControlMsg::Loss { flow, .. } => flow,
+        };
+        // Decide first, trace after: the fault state needs `&mut self`
+        // while tracing borrows `&self`.
+        let (lost, extra) = match self.faults.as_mut() {
+            Some(f) => {
+                if f.control_lost() {
+                    (true, SimDuration::ZERO)
+                } else {
+                    (false, f.control_extra_delay())
+                }
+            }
+            None => (false, SimDuration::ZERO),
+        };
+        if lost {
+            self.trace(TraceEvent::Fault {
+                kind: FaultKind::ControlLost,
+                node: to,
+                flow: Some(flow),
+            });
+            return;
+        }
+        if !extra.is_zero() {
+            self.trace(TraceEvent::Fault {
+                kind: FaultKind::ControlDelayed,
+                node: to,
+                flow: Some(flow),
+            });
+        }
+        self.queue
+            .push(self.now + delay + extra, Event::Control { node: to, msg });
     }
 
     fn record_drop(&mut self, at: NodeId, packet: &Packet, reason: DropReason) {
@@ -296,16 +427,12 @@ impl Network {
             // ingress after the reverse propagation delay.
             if let Some(pos) = flow.path.iter().position(|&n| n == at) {
                 let delay = self.reverse_delays[packet.flow.index()][pos];
-                self.queue.push(
-                    self.now + delay,
-                    Event::Control {
-                        node: flow.ingress(),
-                        msg: ControlMsg::Loss {
-                            flow: packet.flow,
-                            at,
-                        },
-                    },
-                );
+                let ingress = flow.ingress();
+                let msg = ControlMsg::Loss {
+                    flow: packet.flow,
+                    at,
+                };
+                self.push_control(ingress, delay, msg);
             }
         }
     }
@@ -332,6 +459,7 @@ impl Network {
                     delivered_bytes: totals.delivered_bytes,
                     tail_drops: totals.tail_drops,
                     policy_drops: totals.policy_drops,
+                    fault_drops: totals.fault_drops,
                     mean_delay_secs: totals.mean_delay_secs,
                     delay,
                 }
@@ -533,6 +661,24 @@ mod tests {
     }
 
     #[test]
+    fn run_until_never_rewinds_the_clock() {
+        let (mut net, f) = chain(100.0);
+        net.run_until(SimTime::from_secs(4));
+        assert_eq!(net.now(), SimTime::from_secs(4));
+        // A stale (earlier) horizon must not move time backwards.
+        net.run_until(SimTime::from_secs(2));
+        assert_eq!(net.now(), SimTime::from_secs(4));
+        // And the network still works after the stale call.
+        net.run_until(SimTime::from_secs(6));
+        let report = net.into_report(SimTime::from_secs(6));
+        let delivered = report.flow(f).delivered_packets;
+        assert!(
+            (590..=600).contains(&delivered),
+            "delivered {delivered}, expected ~600 over 6 s"
+        );
+    }
+
+    #[test]
     fn report_exposes_link_utilization() {
         let (mut net, _) = chain(250.0);
         let end = SimTime::from_secs(10);
@@ -618,5 +764,277 @@ mod trace_tests {
             assert!(t >= last, "trace went backwards: {line}");
             last = t;
         }
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    use super::*;
+    use crate::fault::FaultPlan;
+    use crate::flow::FlowSpec;
+    use crate::link::LinkSpec;
+    use crate::logic::{CbrSource, Ctx, ForwardLogic, RouterLogic};
+    use crate::packet::Marker;
+    use crate::topology::TopologyBuilder;
+    use crate::trace::CountingTracer;
+
+    fn fast_link() -> LinkSpec {
+        LinkSpec::new(4_000_000, SimDuration::from_millis(40), 40)
+    }
+
+    /// src --> mid --> dst with a CBR source and an installed fault plan.
+    fn faulty_chain(rate: f64, plan: FaultPlan) -> (Network, FlowId, Rc<RefCell<CountingTracer>>) {
+        let tracer = Rc::new(RefCell::new(CountingTracer::default()));
+        let mut b = TopologyBuilder::new(11);
+        b.tracer(tracer.clone());
+        b.faults(plan);
+        let src = b.node("src", move |_| Box::new(CbrSource::new(rate)));
+        let mid = b.node("mid", |_| Box::new(ForwardLogic));
+        let dst = b.node("dst", |_| Box::new(ForwardLogic));
+        b.link(src, mid, fast_link());
+        b.link(mid, dst, fast_link());
+        let f = b.flow(FlowSpec::new(vec![src, mid, dst], 1).active(SimTime::ZERO, None));
+        (b.build(), f, tracer)
+    }
+
+    #[test]
+    fn total_control_loss_suppresses_all_notifications() {
+        // Overdriven link: every drop would normally yield one loss
+        // notification; with control_loss = 1.0 none may arrive.
+        let (mut net, f, tracer) = faulty_chain(1000.0, FaultPlan::new().control_loss(1.0));
+        let end = SimTime::from_secs(5);
+        net.run_until(end);
+        let report = net.into_report(end);
+        let counts = *tracer.borrow();
+        assert!(report.flow(f).tail_drops > 1000);
+        assert_eq!(counts.controls, 0, "all control messages must be lost");
+        assert_eq!(
+            counts.faults,
+            report.flow(f).tail_drops,
+            "one ControlLost fault per suppressed notification"
+        );
+    }
+
+    #[test]
+    fn control_delay_defers_but_delivers_notifications() {
+        let plan = FaultPlan::new().control_delay(SimDuration::from_millis(200), SimDuration::ZERO);
+        let (mut net, f, tracer) = faulty_chain(1000.0, plan);
+        let end = SimTime::from_secs(5);
+        net.run_until(end);
+        let report = net.into_report(end);
+        let counts = *tracer.borrow();
+        assert!(report.flow(f).tail_drops > 1000);
+        // Delayed, not lost: notifications still arrive (except those
+        // pushed past the horizon by the extra delay).
+        assert!(counts.controls > 0);
+        assert!(counts.faults > 0, "each delay is traced");
+    }
+
+    #[test]
+    fn flap_window_drops_then_recovers() {
+        let flap = FaultPlan::new().flap(
+            LinkId::from_index(0),
+            SimTime::from_secs(1),
+            SimTime::from_secs(2),
+        );
+        let (mut net, f, _tracer) = faulty_chain(100.0, flap);
+        let end = SimTime::from_secs(10);
+        net.run_until(end);
+        let report = net.into_report(end);
+        let fr = report.flow(f);
+        // One second of 100 pkt/s lost to the downed link.
+        assert!(
+            (95..=105).contains(&(fr.fault_drops as i64)),
+            "fault drops {}",
+            fr.fault_drops
+        );
+        assert_eq!(fr.tail_drops, 0);
+        assert!(
+            (885..=905).contains(&(fr.delivered_packets as i64)),
+            "delivered {}",
+            fr.delivered_packets
+        );
+        // Traffic resumed after the flap: goodput over [3 s, 10 s) is the
+        // full source rate.
+        let after = fr
+            .mean_goodput_in(SimTime::from_secs(3), SimTime::from_secs(10))
+            .unwrap();
+        assert!((after - 100.0).abs() < 2.0, "post-flap goodput {after}");
+    }
+
+    #[test]
+    fn paused_ingress_defers_timer_chains() {
+        // Pausing the source's control plane for [1 s, 2 s) stops its
+        // emission timers; the chain resumes at the window's end.
+        let pause = FaultPlan::new().pause(
+            NodeId::from_index(0),
+            SimTime::from_secs(1),
+            SimTime::from_secs(2),
+        );
+        let (mut net, f, tracer) = faulty_chain(100.0, pause);
+        let end = SimTime::from_secs(10);
+        net.run_until(end);
+        let report = net.into_report(end);
+        let fr = report.flow(f);
+        assert!(
+            (885..=910).contains(&(fr.delivered_packets as i64)),
+            "delivered {}, expected ~900 with 1 s of emissions deferred",
+            fr.delivered_packets
+        );
+        assert_eq!(fr.total_drops(), 0);
+        assert!(tracer.borrow().faults > 0);
+    }
+
+    #[test]
+    fn paused_transit_router_blind_forwards() {
+        // Pausing a mid-path router must not lose data packets: its data
+        // plane keeps forwarding along the path.
+        let pause = FaultPlan::new().pause(
+            NodeId::from_index(1),
+            SimTime::from_secs(1),
+            SimTime::from_secs(2),
+        );
+        let (mut net, f, tracer) = faulty_chain(100.0, pause);
+        let end = SimTime::from_secs(10);
+        net.run_until(end);
+        let report = net.into_report(end);
+        let fr = report.flow(f);
+        assert!(
+            (988..=1000).contains(&(fr.delivered_packets as i64)),
+            "delivered {}",
+            fr.delivered_packets
+        );
+        assert_eq!(fr.total_drops(), 0);
+        // ~100 blind-forwarded packets traced as RouterPaused faults.
+        assert!(tracer.borrow().faults >= 95);
+    }
+
+    /// Emits CBR traffic with a marker on every packet.
+    struct MarkingSource {
+        rate_pps: f64,
+    }
+
+    const MARK_EMIT: u32 = 77;
+
+    impl RouterLogic for MarkingSource {
+        fn on_flow_start(&mut self, ctx: &mut Ctx<'_>, flow: FlowId) {
+            ctx.set_timer(
+                SimDuration::ZERO,
+                TimerKind::with_param(MARK_EMIT, flow.index() as u64),
+            );
+        }
+
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, timer: TimerKind) {
+            if timer.tag != MARK_EMIT {
+                return;
+            }
+            let flow = FlowId(timer.param as usize);
+            if !ctx.flow(flow).is_active_at(ctx.now()) {
+                return;
+            }
+            let node = ctx.node();
+            let packet = ctx.new_packet(flow).with_marker(Marker {
+                flow,
+                edge: node,
+                normalized_rate: 1.0,
+            });
+            ctx.emit(packet);
+            ctx.set_timer(
+                SimDuration::from_secs_f64(1.0 / self.rate_pps),
+                TimerKind::with_param(MARK_EMIT, flow.index() as u64),
+            );
+        }
+    }
+
+    /// Counts marker-carrying packets passing through.
+    #[derive(Default)]
+    struct MarkerCounter {
+        markers_seen: Rc<RefCell<u64>>,
+    }
+
+    impl RouterLogic for MarkerCounter {
+        fn on_packet(&mut self, ctx: &mut Ctx<'_>, packet: Packet) {
+            if packet.marker.is_some() {
+                *self.markers_seen.borrow_mut() += 1;
+            }
+            ctx.emit(packet);
+        }
+    }
+
+    fn marker_run(plan: FaultPlan) -> (u64, u64) {
+        let seen = Rc::new(RefCell::new(0u64));
+        let seen_handle = seen.clone();
+        let mut b = TopologyBuilder::new(5);
+        b.faults(plan);
+        let src = b.node("src", |_| Box::new(MarkingSource { rate_pps: 100.0 }));
+        let mid = b.node("mid", move |_| {
+            Box::new(MarkerCounter {
+                markers_seen: seen_handle,
+            })
+        });
+        let dst = b.node("dst", |_| Box::new(ForwardLogic));
+        b.link(src, mid, fast_link());
+        b.link(mid, dst, fast_link());
+        let f = b.flow(FlowSpec::new(vec![src, mid, dst], 1).active(SimTime::ZERO, None));
+        let end = SimTime::from_secs(5);
+        let mut net = b.build();
+        net.run_until(end);
+        let report = net.into_report(end);
+        let delivered = report.flow(f).delivered_packets;
+        let markers = *seen.borrow();
+        (delivered, markers)
+    }
+
+    #[test]
+    fn marker_strip_removes_markers_but_keeps_packets() {
+        let (clean_delivered, clean_markers) = marker_run(FaultPlan::new());
+        assert!(clean_markers >= 490, "markers {clean_markers}");
+
+        let strip = FaultPlan::new().marker_loss(LinkId::from_index(0), 1.0);
+        let (delivered, markers) = marker_run(strip);
+        assert_eq!(markers, 0, "all markers must be stripped on link 0");
+        assert_eq!(
+            delivered, clean_delivered,
+            "stripping markers must not lose data packets"
+        );
+
+        // Stripping on the second hop leaves the mid-node observation
+        // intact.
+        let strip_late = FaultPlan::new().marker_loss(LinkId::from_index(1), 1.0);
+        let (_, markers_late) = marker_run(strip_late);
+        assert_eq!(markers_late, clean_markers);
+    }
+
+    #[test]
+    fn faulty_runs_are_deterministic() {
+        let plan = FaultPlan::new()
+            .control_loss(0.3)
+            .control_delay(SimDuration::from_millis(5), SimDuration::from_millis(20))
+            .flap(
+                LinkId::from_index(1),
+                SimTime::from_secs(2),
+                SimTime::from_millis(2300),
+            );
+        let run = |plan: FaultPlan| {
+            let (mut net, f, tracer) = faulty_chain(700.0, plan);
+            let end = SimTime::from_secs(5);
+            net.run_until(end);
+            let report = net.into_report(end);
+            let counts = *tracer.borrow();
+            (
+                report.flow(f).delivered_packets,
+                report.flow(f).total_drops(),
+                report.flow(f).fault_drops,
+                counts,
+            )
+        };
+        let a = run(plan.clone());
+        let b = run(plan);
+        assert_eq!(a, b, "same seed and plan must reproduce exactly");
+        assert!(a.2 > 0, "flap must cause fault drops");
+        assert!(a.3.faults > 0);
     }
 }

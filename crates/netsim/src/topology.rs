@@ -2,6 +2,7 @@
 
 use sim_core::time::SimDuration;
 
+use crate::fault::{FaultPlan, FaultState};
 use crate::flow::{FlowInfo, FlowSpec};
 use crate::ids::{FlowId, LinkId, NodeId};
 use crate::link::{Link, LinkSpec};
@@ -40,6 +41,7 @@ pub struct TopologyBuilder {
     window: SimDuration,
     notify_losses: bool,
     tracer: Option<Rc<RefCell<dyn Tracer>>>,
+    faults: FaultPlan,
 }
 
 impl TopologyBuilder {
@@ -55,6 +57,7 @@ impl TopologyBuilder {
             window: SimDuration::from_secs(1),
             notify_losses: true,
             tracer: None,
+            faults: FaultPlan::default(),
         }
     }
 
@@ -131,6 +134,15 @@ impl TopologyBuilder {
         self
     }
 
+    /// Installs a fault-injection plan (see [`crate::fault`]). The plan's
+    /// random streams are derived from the experiment seed under
+    /// dedicated labels, so installing faults never perturbs the draws of
+    /// other components.
+    pub fn faults(&mut self, plan: FaultPlan) -> &mut Self {
+        self.faults = plan;
+        self
+    }
+
     /// Resolves paths and produces a runnable [`Network`].
     ///
     /// # Panics
@@ -139,7 +151,7 @@ impl TopologyBuilder {
     /// node pair.
     pub fn build(self) -> Network {
         let TopologyBuilder {
-            seed: _,
+            seed,
             names,
             logics,
             links,
@@ -147,7 +159,13 @@ impl TopologyBuilder {
             window,
             notify_losses,
             tracer,
+            faults,
         } = self;
+        let faults = if faults.is_empty() {
+            None
+        } else {
+            Some(FaultState::new(faults, seed))
+        };
 
         let flows: Vec<FlowInfo> = flow_specs
             .into_iter()
@@ -216,6 +234,7 @@ impl TopologyBuilder {
             window,
             notify_losses,
             tracer,
+            faults,
         )
     }
 }

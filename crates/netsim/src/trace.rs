@@ -62,6 +62,30 @@ pub enum TraceEvent {
         /// `true` for marker feedback, `false` for a loss notification.
         is_feedback: bool,
     },
+    /// A fault was injected (see [`FaultPlan`](crate::fault::FaultPlan)).
+    Fault {
+        /// What kind of fault fired.
+        kind: FaultKind,
+        /// The node at which the fault took effect.
+        node: NodeId,
+        /// The flow affected, when one is identifiable.
+        flow: Option<FlowId>,
+    },
+}
+
+/// The kinds of injected fault a tracer can observe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// A control message was discarded in transit.
+    ControlLost,
+    /// A control message was delayed beyond its nominal delivery time.
+    ControlDelayed,
+    /// A piggybacked marker was removed from a data packet.
+    MarkerStripped,
+    /// A packet entered a flapped (down) link and was dropped.
+    LinkDown,
+    /// A paused router blind-forwarded a packet or deferred an event.
+    RouterPaused,
 }
 
 impl TraceEvent {
@@ -72,6 +96,7 @@ impl TraceEvent {
             TraceEvent::Drop { .. } => "drop",
             TraceEvent::Deliver { .. } => "deliver",
             TraceEvent::Control { .. } => "control",
+            TraceEvent::Fault { .. } => "fault",
         }
     }
 }
@@ -94,6 +119,8 @@ pub struct CountingTracer {
     pub delivers: u64,
     /// Control messages delivered.
     pub controls: u64,
+    /// Faults injected.
+    pub faults: u64,
 }
 
 impl Tracer for CountingTracer {
@@ -103,6 +130,7 @@ impl Tracer for CountingTracer {
             TraceEvent::Drop { .. } => self.drops += 1,
             TraceEvent::Deliver { .. } => self.delivers += 1,
             TraceEvent::Control { .. } => self.controls += 1,
+            TraceEvent::Fault { .. } => self.faults += 1,
         }
     }
 }
@@ -171,6 +199,10 @@ impl<W: Write> Tracer for CsvTracer<W> {
                 self.out,
                 "{t:.6},control,{node},,,{flow},feedback={is_feedback}"
             ),
+            TraceEvent::Fault { kind, node, flow } => {
+                let flow = flow.map(|f| f.to_string()).unwrap_or_default();
+                writeln!(self.out, "{t:.6},fault,{node},,,{flow},kind={kind:?}")
+            }
         };
         result.expect("write trace row");
         self.rows += 1;

@@ -36,11 +36,29 @@
 //! `route=A-B` shorthand works on any chain topology; non-chain
 //! topologies need explicit `path=` core lists. Every flow's path is
 //! validated against the topology's links after parsing.
+//!
+//! A `fault { ... }` block injects dirty-network conditions (see
+//! [`crate::fault::FaultSpec`]); one fault directive per line, times in
+//! seconds, link/core numbers as in the `topology` directive:
+//!
+//! ```text
+//! fault {
+//!     control_loss  0.2        # lose 20% of control messages
+//!     control_delay 0.05 0.01  # +50 ms, up to 10 ms jitter
+//!     marker_loss   1 0.5      # strip half the markers on core link 1
+//!     flap          0 10 12    # core link 0 down during [10 s, 12 s)
+//!     pause         2 30 31    # core 2's control plane pauses [30, 31)
+//! }
+//! ```
+//!
+//! Link and core indices are validated against the topology after
+//! parsing, like flow paths.
 
 use std::fmt;
 
 use sim_core::time::SimTime;
 
+use crate::fault::FaultSpec;
 use crate::runner::{Scenario, ScenarioFlow};
 use crate::topology::{CorePath, TopologySpec};
 
@@ -73,6 +91,11 @@ pub fn parse_scenario(text: &str) -> Result<Scenario, ParseScenarioError> {
     let mut horizon: Option<f64> = None;
     let mut topology: Option<TopologySpec> = None;
     let mut flows: Vec<(usize, ScenarioFlow)> = Vec::new();
+    let mut faults = FaultSpec::default();
+    // `(line, kind, index)` of every fault directive that names a link or
+    // core — validated against the topology once it is known.
+    let mut fault_indices: Vec<(usize, FaultIndex, usize)> = Vec::new();
+    let mut fault_block_open: Option<usize> = None;
 
     for (idx, raw) in text.lines().enumerate() {
         let line_no = idx + 1;
@@ -84,6 +107,14 @@ pub fn parse_scenario(text: &str) -> Result<Scenario, ParseScenarioError> {
             line: line_no,
             message,
         };
+        if fault_block_open.is_some() {
+            if line == "}" {
+                fault_block_open = None;
+            } else if let Some(named) = parse_fault_directive(line, line_no, &mut faults)? {
+                fault_indices.push(named);
+            }
+            continue;
+        }
         let (directive, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
         let rest = rest.trim();
         match directive {
@@ -103,6 +134,12 @@ pub fn parse_scenario(text: &str) -> Result<Scenario, ParseScenarioError> {
                 horizon = Some(h);
             }
             "flow" => flows.push((line_no, parse_flow(rest, line_no)?)),
+            "fault" => {
+                if rest != "{" {
+                    return Err(err(format!("expected `fault {{`, got `fault {rest}`")));
+                }
+                fault_block_open = Some(line_no);
+            }
             "topology" => {
                 if topology.is_some() {
                     return Err(err("duplicate `topology` directive".into()));
@@ -113,6 +150,12 @@ pub fn parse_scenario(text: &str) -> Result<Scenario, ParseScenarioError> {
         }
     }
 
+    if let Some(open) = fault_block_open {
+        return Err(ParseScenarioError {
+            line: open,
+            message: "unclosed `fault {` block".into(),
+        });
+    }
     let horizon = horizon.ok_or(ParseScenarioError {
         line: 0,
         message: "missing `horizon` directive".into(),
@@ -150,6 +193,22 @@ pub fn parse_scenario(text: &str) -> Result<Scenario, ParseScenarioError> {
             }
         }
     }
+    // Same late validation for fault targets.
+    for &(line, kind, index) in &fault_indices {
+        let (what, limit) = match kind {
+            FaultIndex::Link => ("link", topology.link_count()),
+            FaultIndex::Core => ("core", topology.core_count),
+        };
+        if index >= limit {
+            return Err(ParseScenarioError {
+                line,
+                message: format!(
+                    "{what} {index} out of range for topology `{}` ({limit} {what}s)",
+                    topology.name
+                ),
+            });
+        }
+    }
     // `Scenario.name` is `&'static str` for table labels; leak the parsed
     // name (a CLI parses one scenario per process).
     let name: &'static str = Box::leak(name.unwrap_or_else(|| "cli".into()).into_boxed_str());
@@ -159,7 +218,110 @@ pub fn parse_scenario(text: &str) -> Result<Scenario, ParseScenarioError> {
         flows.into_iter().map(|(_, f)| f).collect(),
         SimTime::from_secs_f64(horizon),
         seed,
-    ))
+    )
+    .with_faults(faults))
+}
+
+/// Which kind of entity a fault directive indexed, for late validation.
+#[derive(Debug, Clone, Copy)]
+enum FaultIndex {
+    Link,
+    Core,
+}
+
+/// Parses one directive inside a `fault { ... }` block into `faults`.
+/// Returns the named link/core index, if the directive has one, for
+/// validation against the topology.
+fn parse_fault_directive(
+    line: &str,
+    line_no: usize,
+    faults: &mut FaultSpec,
+) -> Result<Option<(usize, FaultIndex, usize)>, ParseScenarioError> {
+    let err = |message: String| ParseScenarioError {
+        line: line_no,
+        message,
+    };
+    let tokens: Vec<&str> = line.split_whitespace().collect();
+    let expect_args = |n: usize| -> Result<(), ParseScenarioError> {
+        if tokens.len() - 1 != n {
+            return Err(err(format!(
+                "`{}` takes {n} argument{}, got {}",
+                tokens[0],
+                if n == 1 { "" } else { "s" },
+                tokens.len() - 1
+            )));
+        }
+        Ok(())
+    };
+    let number = |v: &str, what: &str| -> Result<f64, ParseScenarioError> {
+        let n: f64 = v
+            .parse()
+            .map_err(|_| err(format!("invalid {what} {v:?}")))?;
+        if !n.is_finite() || n < 0.0 {
+            return Err(err(format!("{what} must be finite and non-negative")));
+        }
+        Ok(n)
+    };
+    let probability = |v: &str, what: &str| -> Result<f64, ParseScenarioError> {
+        let p = number(v, what)?;
+        if p > 1.0 {
+            return Err(err(format!("{what} must be in [0, 1], got {p}")));
+        }
+        Ok(p)
+    };
+    let index = |v: &str, what: &str| -> Result<usize, ParseScenarioError> {
+        v.parse().map_err(|_| err(format!("invalid {what} {v:?}")))
+    };
+    let window = |a: &str, b: &str| -> Result<(f64, f64), ParseScenarioError> {
+        let from = number(a, "window start")?;
+        let until = number(b, "window end")?;
+        if until <= from {
+            return Err(err(format!("window {from}..{until} ends before it starts")));
+        }
+        Ok((from, until))
+    };
+    match tokens[0] {
+        "control_loss" => {
+            expect_args(1)?;
+            faults.control_loss = probability(tokens[1], "control loss probability")?;
+            Ok(None)
+        }
+        "control_delay" => {
+            if tokens.len() < 2 || tokens.len() > 3 {
+                return Err(err("`control_delay` takes DELAY [JITTER] in seconds".into()));
+            }
+            faults.control_delay = number(tokens[1], "control delay")?;
+            if let Some(j) = tokens.get(2) {
+                faults.control_jitter = number(j, "control jitter")?;
+            }
+            Ok(None)
+        }
+        "marker_loss" => {
+            expect_args(2)?;
+            let link = index(tokens[1], "link index")?;
+            let p = probability(tokens[2], "marker loss probability")?;
+            faults.marker_loss.push((link, p));
+            Ok(Some((line_no, FaultIndex::Link, link)))
+        }
+        "flap" => {
+            expect_args(3)?;
+            let link = index(tokens[1], "link index")?;
+            let (from, until) = window(tokens[2], tokens[3])?;
+            faults.flaps.push((link, from, until));
+            Ok(Some((line_no, FaultIndex::Link, link)))
+        }
+        "pause" => {
+            expect_args(3)?;
+            let core = index(tokens[1], "core index")?;
+            let (from, until) = window(tokens[2], tokens[3])?;
+            faults.pauses.push((core, from, until));
+            Ok(Some((line_no, FaultIndex::Core, core)))
+        }
+        other => Err(err(format!(
+            "unknown fault directive {other:?} (expected control_loss, \
+             control_delay, marker_loss, flap, or pause)"
+        ))),
+    }
 }
 
 fn parse_topology(rest: &str, line: usize) -> Result<TopologySpec, ParseScenarioError> {
@@ -469,5 +631,77 @@ flow route=0-1 active=60..60
     fn unknown_flow_attribute_rejected() {
         let e = parse_scenario("horizon 5\nflow route=0-1 color=red\n").unwrap_err();
         assert!(e.message.contains("color"));
+    }
+
+    #[test]
+    fn fault_block_parses_every_directive() {
+        let s = parse_scenario(
+            "horizon 30
+flow route=0-1
+fault {
+    control_loss  0.2   # comments still work
+    control_delay 0.05 0.01
+    marker_loss   1 0.5
+    flap          0 10 12
+    pause         2 20 21
+}
+",
+        )
+        .unwrap();
+        assert_eq!(s.faults.control_loss, 0.2);
+        assert_eq!(s.faults.control_delay, 0.05);
+        assert_eq!(s.faults.control_jitter, 0.01);
+        assert_eq!(s.faults.marker_loss, vec![(1, 0.5)]);
+        assert_eq!(s.faults.flaps, vec![(0, 10.0, 12.0)]);
+        assert_eq!(s.faults.pauses, vec![(2, 20.0, 21.0)]);
+        assert!(!s.faults.to_plan().is_empty());
+    }
+
+    #[test]
+    fn scenarios_without_faults_stay_clean() {
+        let s = parse_scenario(GOOD).unwrap();
+        assert!(s.faults.is_empty());
+    }
+
+    #[test]
+    fn unclosed_fault_block_rejected() {
+        let e =
+            parse_scenario("horizon 5\nflow route=0-1\nfault {\ncontrol_loss 0.1\n").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("unclosed"), "{}", e.message);
+    }
+
+    #[test]
+    fn malformed_fault_directives_rejected() {
+        for (bad, needle) in [
+            ("fault", "expected `fault {`"),
+            ("fault on", "expected `fault {`"),
+            ("fault {\nwiggle 1 2\n}", "unknown fault directive"),
+            ("fault {\ncontrol_loss 1.5\n}", "must be in [0, 1]"),
+            ("fault {\ncontrol_loss\n}", "takes 1 argument"),
+            ("fault {\nflap 0 12 10\n}", "ends before it starts"),
+            ("fault {\npause 0 5 5\n}", "ends before it starts"),
+            ("fault {\nmarker_loss x 0.5\n}", "invalid link index"),
+        ] {
+            let e = parse_scenario(&format!("horizon 5\nflow route=0-1\n{bad}\n")).unwrap_err();
+            assert!(e.message.contains(needle), "{bad}: {}", e.message);
+        }
+    }
+
+    #[test]
+    fn fault_targets_validated_against_topology() {
+        // The paper chain has 3 core links and 4 cores.
+        let e = parse_scenario("horizon 5\nflow route=0-1\nfault {\nflap 3 1 2\n}\n").unwrap_err();
+        assert_eq!(e.line, 4);
+        assert!(e.message.contains("link 3 out of range"), "{}", e.message);
+        let e = parse_scenario("horizon 5\nflow route=0-1\nfault {\npause 4 1 2\n}\n").unwrap_err();
+        assert!(e.message.contains("core 4 out of range"), "{}", e.message);
+        // A longer chain makes the same indices valid.
+        let s = parse_scenario(
+            "topology chain 6\nhorizon 5\nflow route=0-5\nfault {\nflap 3 1 2\npause 4 1 2\n}\n",
+        )
+        .unwrap();
+        assert_eq!(s.faults.flaps, vec![(3, 1.0, 2.0)]);
+        assert_eq!(s.faults.pauses, vec![(4, 1.0, 2.0)]);
     }
 }

@@ -18,6 +18,8 @@
 //!   reference allocation.
 //! * [`exec`] — a deterministic parallel executor for experiment sweeps
 //!   (results byte-identical to serial execution).
+//! * [`fault`] — scenario-level fault injection ([`fault::FaultSpec`])
+//!   and the control-loss degradation sweep behind the `faults` binary.
 //! * [`report`] — expected-vs-measured tables, convergence summaries, and
 //!   CSV export for replotting.
 //! * [`plot`] — a dependency-free SVG line plotter; the `figures` binary
@@ -34,6 +36,7 @@
 pub mod discipline;
 pub mod dsl;
 pub mod exec;
+pub mod fault;
 pub mod plot;
 pub mod report;
 pub mod runner;
@@ -41,6 +44,7 @@ pub mod schedules;
 pub mod topology;
 
 pub use discipline::Discipline;
+pub use fault::FaultSpec;
 pub use runner::{ExperimentResult, ReferenceSpec, Scenario, ScenarioFlow};
 pub use schedules::{fig3_4, fig5_6, fig7_8, fig9_10, PaperFigure};
 pub use topology::{CorePath, Route, TopologySpec};

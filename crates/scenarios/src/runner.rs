@@ -9,6 +9,7 @@ use sim_core::stats::TimeSeries;
 use sim_core::time::SimTime;
 
 use crate::discipline::Discipline;
+use crate::fault::FaultSpec;
 use crate::topology::{paper_link, CorePath, TopologySpec, LINK_CAPACITY_PPS};
 
 /// One flow of a scenario.
@@ -54,6 +55,8 @@ pub struct Scenario {
     pub horizon: SimTime,
     /// Experiment seed.
     pub seed: u64,
+    /// Faults to inject (empty by default — a clean network).
+    pub faults: FaultSpec,
 }
 
 impl Scenario {
@@ -81,7 +84,14 @@ impl Scenario {
             flows,
             horizon,
             seed,
+            faults: FaultSpec::default(),
         }
+    }
+
+    /// Replaces the scenario's fault specification (builder-style).
+    pub fn with_faults(mut self, faults: FaultSpec) -> Self {
+        self.faults = faults;
+        self
     }
 
     /// The classic parking-lot workload on a chain of `hops` congested
@@ -188,6 +198,9 @@ impl Scenario {
                 spec = spec.active(start, stop);
             }
             b.flow(spec);
+        }
+        if !self.faults.is_empty() {
+            b.faults(self.faults.to_plan());
         }
         let reference = ReferenceSpec::of(discipline, &self.flows);
         let mut net = b.build();

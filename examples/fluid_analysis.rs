@@ -27,6 +27,7 @@ fn main() {
     // Packet simulator: the ground truth, at packet granularity.
     let scenario = Scenario {
         topology: TopologySpec::paper_chain(),
+        faults: Default::default(),
         name: "fluid_vs_packets",
         flows: weights
             .iter()

@@ -39,6 +39,7 @@ fn main() {
     }
     let scenario = Scenario {
         topology: TopologySpec::paper_chain(),
+        faults: Default::default(),
         name: "parking_lot",
         flows,
         horizon: SimTime::from_secs(200),

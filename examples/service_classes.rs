@@ -55,6 +55,7 @@ fn main() {
     ];
     let scenario = Scenario {
         topology: TopologySpec::paper_chain(),
+        faults: Default::default(),
         name: "service_classes",
         flows: customers
             .iter()

@@ -13,6 +13,7 @@ use sim_core::time::SimTime;
 fn contract_scenario(contract: f64, seed: u64) -> Scenario {
     Scenario {
         topology: TopologySpec::paper_chain(),
+        faults: Default::default(),
         name: "contracts",
         flows: vec![
             // The contracted flow (weight 1).

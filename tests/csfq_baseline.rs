@@ -11,6 +11,7 @@ use sim_core::time::SimTime;
 fn scenario(weights: &[u32], horizon: u64, seed: u64) -> Scenario {
     Scenario {
         topology: TopologySpec::paper_chain(),
+        faults: Default::default(),
         name: "csfq_baseline",
         flows: weights
             .iter()
@@ -64,6 +65,7 @@ fn csfq_relabels_so_downstream_links_see_capped_labels() {
     // weighted-fair allocation.
     let scenario = Scenario {
         topology: TopologySpec::paper_chain(),
+        faults: Default::default(),
         name: "csfq_two_hop",
         flows: vec![
             ScenarioFlow {

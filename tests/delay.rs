@@ -13,6 +13,7 @@ use sim_core::time::SimTime;
 fn scenario(seed: u64) -> Scenario {
     Scenario {
         topology: TopologySpec::paper_chain(),
+        faults: Default::default(),
         name: "delay",
         flows: (0..6)
             .map(|i| ScenarioFlow {

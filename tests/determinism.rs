@@ -11,6 +11,7 @@ use sim_core::time::SimTime;
 fn scenario(seed: u64) -> Scenario {
     Scenario {
         topology: TopologySpec::paper_chain(),
+        faults: Default::default(),
         name: "determinism",
         flows: (0..4)
             .map(|i| ScenarioFlow {

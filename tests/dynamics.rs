@@ -15,6 +15,7 @@ use sim_core::time::SimTime;
 fn join_leave(seed: u64) -> Scenario {
     Scenario {
         topology: TopologySpec::paper_chain(),
+        faults: Default::default(),
         name: "join_leave",
         flows: vec![
             ScenarioFlow {

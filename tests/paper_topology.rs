@@ -26,6 +26,7 @@ fn compressed_fig3(seed: u64) -> Scenario {
         .collect();
     Scenario {
         topology: TopologySpec::paper_chain(),
+        faults: Default::default(),
         name: "compressed_fig3",
         flows,
         horizon: SimTime::from_secs(200),

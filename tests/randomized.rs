@@ -34,6 +34,7 @@ fn corelite_tracks_maxmin_for_random_populations() {
             .collect();
         let scenario = Scenario {
             topology: TopologySpec::paper_chain(),
+            faults: Default::default(),
             name: "randomized",
             flows,
             horizon: SimTime::from_secs(220),

@@ -15,6 +15,7 @@ fn six_flows(seed: u64) -> Scenario {
     let weights = [1u32, 1, 2, 2, 3, 3];
     Scenario {
         topology: TopologySpec::paper_chain(),
+        faults: Default::default(),
         name: "six_flows",
         flows: weights
             .into_iter()
