@@ -130,9 +130,10 @@ impl StatelessSelector {
         // per-epoch marker rate of *active* traffic — folding their zeros
         // in would drive `w_av → 0` during a lull and cap `p_w` at 1.0,
         // producing a spurious feedback burst on the first markers after
-        // the idle period. Keep the last informed average instead.
+        // the idle period. Keep the last informed average instead. The
+        // idle test is on the integer marker count, so it is exact.
         let w_av = match self.w_av {
-            _ if count == 0.0 => self.w_av.unwrap_or(0.0),
+            _ if self.epoch_markers == 0 => self.w_av.unwrap_or(0.0),
             None => {
                 self.w_av = Some(count);
                 count

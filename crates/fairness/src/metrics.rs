@@ -40,7 +40,7 @@ pub fn jain_index(rates: &[f64], weights: &[f64]) -> f64 {
         sum += x;
         sum_sq += x * x;
     }
-    if sum_sq == 0.0 {
+    if sum_sq <= 0.0 {
         return 1.0; // all-zero allocation: degenerate but uniform
     }
     (sum * sum) / (rates.len() as f64 * sum_sq)
@@ -70,9 +70,9 @@ pub fn normalized_spread(rates: &[f64], weights: &[f64]) -> f64 {
         min = min.min(x);
         max = max.max(x);
     }
-    if rates.is_empty() || max == 0.0 {
+    if rates.is_empty() || max <= 0.0 {
         1.0
-    } else if min == 0.0 {
+    } else if min <= 0.0 {
         f64::INFINITY
     } else {
         max / min

@@ -114,7 +114,7 @@ impl FaultPlan {
 
     /// True when the plan injects nothing.
     pub fn is_empty(&self) -> bool {
-        self.control_loss == 0.0
+        self.control_loss <= 0.0
             && self.control_delay.is_zero()
             && self.control_jitter.is_zero()
             && self.marker_loss.is_empty()

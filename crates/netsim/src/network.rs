@@ -565,7 +565,7 @@ mod tests {
         let mean = report
             .flow(f)
             .mean_goodput_in(SimTime::from_secs(2), SimTime::from_secs(10))
-            .unwrap();
+            .expect("goodput window lies within the run");
         assert!((mean - 100.0).abs() < 2.0, "mean goodput {mean}");
     }
 
@@ -596,7 +596,7 @@ mod tests {
         let cum: Vec<f64> = report.flow(f).cumulative.iter().map(|(_, v)| v).collect();
         assert!(cum.windows(2).all(|w| w[1] >= w[0]));
         assert_eq!(
-            *cum.last().unwrap(),
+            *cum.last().expect("cumulative series is never empty"),
             report.flow(f).delivered_packets as f64
         );
     }
@@ -646,7 +646,7 @@ mod tests {
         let idle = report
             .flow(f)
             .mean_goodput_in(SimTime::from_secs(2), SimTime::from_secs(3))
-            .unwrap();
+            .expect("idle window lies within the run");
         assert!(idle < 5.0, "idle-period goodput {idle}");
     }
 
@@ -757,10 +757,16 @@ mod trace_tests {
         assert!(rows > 100, "rows {rows}");
         // Times are non-decreasing in the emitted CSV.
         let tracer = Rc::try_unwrap(tracer).expect("sole owner").into_inner();
-        let text = String::from_utf8(tracer.into_inner()).unwrap();
+        let text =
+            String::from_utf8(tracer.into_inner()).expect("CsvTracer emits only valid UTF-8");
         let mut last = 0.0f64;
         for line in text.lines().skip(1) {
-            let t: f64 = line.split(',').next().unwrap().parse().unwrap();
+            let t: f64 = line
+                .split(',')
+                .next()
+                .expect("every CSV row starts with a time column")
+                .parse()
+                .expect("the time column is a decimal number");
             assert!(t >= last, "trace went backwards: {line}");
             last = t;
         }
@@ -861,7 +867,7 @@ mod fault_tests {
         // full source rate.
         let after = fr
             .mean_goodput_in(SimTime::from_secs(3), SimTime::from_secs(10))
-            .unwrap();
+            .expect("post-flap window lies within the run");
         assert!((after - 100.0).abs() < 2.0, "post-flap goodput {after}");
     }
 

@@ -363,7 +363,7 @@ fn parse_flow(rest: &str, line: usize) -> Result<ScenarioFlow, ParseScenarioErro
     let mut path: Option<CorePath> = None;
     let mut weight = 1u32;
     let mut min_rate = 0.0f64;
-    let mut start = 0.0f64;
+    let mut start: Option<f64> = None;
     let mut stop: Option<f64> = None;
     let mut activations: Vec<(SimTime, Option<SimTime>)> = Vec::new();
     for kv in rest.split_whitespace() {
@@ -416,9 +416,11 @@ fn parse_flow(rest: &str, line: usize) -> Result<ScenarioFlow, ParseScenarioErro
                 }
             }
             "start" => {
-                start = value
-                    .parse()
-                    .map_err(|_| err(format!("invalid start {value:?}")))?;
+                start = Some(
+                    value
+                        .parse()
+                        .map_err(|_| err(format!("invalid start {value:?}")))?,
+                );
             }
             "stop" => {
                 stop = Some(
@@ -454,16 +456,20 @@ fn parse_flow(rest: &str, line: usize) -> Result<ScenarioFlow, ParseScenarioErro
     }
     let path = path.ok_or_else(|| err("flow needs route=A-B or path=C0,C1,...".into()))?;
     if let Some(stop) = stop {
-        if stop <= start {
-            return Err(err(format!("stop {stop} must be after start {start}")));
+        let from = start.unwrap_or(0.0);
+        if stop <= from {
+            return Err(err(format!("stop {stop} must be after start {from}")));
         }
     }
     if activations.is_empty() {
         activations.push((
-            SimTime::from_secs_f64(start),
+            SimTime::from_secs_f64(start.unwrap_or(0.0)),
             stop.map(SimTime::from_secs_f64),
         ));
-    } else if start != 0.0 || stop.is_some() {
+    } else if start.is_some() || stop.is_some() {
+        // Presence, not value, decides the conflict: an explicit
+        // `start=0` alongside `active=..` ranges is just as ambiguous
+        // as a nonzero one.
         return Err(err(
             "use either start/stop or active=.. ranges, not both".into()
         ));

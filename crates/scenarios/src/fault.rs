@@ -67,9 +67,9 @@ impl FaultSpec {
 
     /// Whether the specification injects anything at all.
     pub fn is_empty(&self) -> bool {
-        self.control_loss == 0.0
-            && self.control_delay == 0.0
-            && self.control_jitter == 0.0
+        self.control_loss <= 0.0
+            && self.control_delay <= 0.0
+            && self.control_jitter <= 0.0
             && self.marker_loss.is_empty()
             && self.flaps.is_empty()
             && self.pauses.is_empty()

@@ -191,9 +191,12 @@ fn nice_ceil(v: f64) -> f64 {
 }
 
 fn fmt_tick(v: f64) -> String {
-    if v == 0.0 {
+    // Tick values come from `i * step`, so integers are exact in
+    // practice; compare with a slack anyway so accumulated FP error in a
+    // future step computation cannot flip a label to "1234.0" form.
+    if v.abs() < 1e-12 {
         "0".to_owned()
-    } else if v.fract() == 0.0 && v < 1e6 {
+    } else if v.fract().abs() < 1e-9 && v < 1e6 {
         format!("{v:.0}")
     } else {
         format!("{v:.1}")

@@ -22,7 +22,7 @@ impl FlowSummary {
     /// Relative error of the measurement against the analytic share
     /// (0 when both are 0).
     pub fn relative_error(&self) -> f64 {
-        if self.expected == 0.0 {
+        if self.expected.abs() < 1e-9 {
             if self.measured.abs() < 1e-9 {
                 0.0
             } else {

@@ -470,10 +470,10 @@ impl LogHistogram {
         if self.count == 0 {
             return None;
         }
-        if q == 0.0 {
+        if q <= 0.0 {
             return Some(self.min_seen);
         }
-        if q == 1.0 {
+        if q >= 1.0 {
             return Some(self.max_seen);
         }
         let target = q * self.count as f64;

@@ -1,0 +1,8 @@
+//! Positive fixture: a FlowId-keyed map injected into a core-router
+//! module — exactly the per-flow state the paper's §2–3 claim forbids.
+use std::collections::BTreeMap;
+
+pub struct CoreRouter {
+    per_flow_rates: BTreeMap<FlowId, f64>,
+    arrivals: Vec<(FlowId, u64)>,
+}

@@ -1,0 +1,8 @@
+//! Positive fixture: exact float equality is brittle under FP error.
+pub fn degenerate(share: f64, q: f64) -> bool {
+    share == 0.0 || q != 1.0 || q.fract() == epsilon()
+}
+
+fn epsilon() -> f64 {
+    1e-9
+}

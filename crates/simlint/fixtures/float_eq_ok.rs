@@ -1,0 +1,10 @@
+//! Negative fixture: epsilon and ordered comparisons, integer
+//! equality, and a justified inline allow.
+pub fn degenerate(share: f64, q: f64, n: u64) -> bool {
+    share.abs() < 1e-9 || q <= 0.0 || q >= 1.0 || n == 0
+}
+
+pub fn sentinel(start: f64) -> bool {
+    // The parser default is an exact 0.0 sentinel, never computed.
+    start != 0.0 // simlint: allow(float-eq)
+}

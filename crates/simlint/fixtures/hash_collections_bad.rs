@@ -1,0 +1,14 @@
+//! Positive fixture: hash collections iterate in nondeterministic
+//! order, breaking byte-identical replay.
+use std::collections::{HashMap, HashSet};
+
+pub fn tally(xs: &[u32]) -> HashMap<u32, u32> {
+    let mut seen: HashSet<u32> = HashSet::new();
+    let mut out = HashMap::new();
+    for &x in xs {
+        if seen.insert(x) {
+            out.insert(x, 1);
+        }
+    }
+    out
+}

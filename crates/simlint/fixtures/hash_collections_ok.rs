@@ -1,0 +1,14 @@
+//! Negative fixture: ordered collections keep replay deterministic.
+//! A doc comment mentioning HashMap must not trip the rule either.
+use std::collections::{BTreeMap, BTreeSet};
+
+pub fn tally(xs: &[u32]) -> BTreeMap<u32, u32> {
+    let mut seen: BTreeSet<u32> = BTreeSet::new();
+    let mut out = BTreeMap::new();
+    for &x in xs {
+        if seen.insert(x) {
+            out.insert(x, 1);
+        }
+    }
+    out
+}

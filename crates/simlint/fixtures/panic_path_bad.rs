@@ -1,0 +1,5 @@
+//! Positive fixture: a bare unwrap() in the event loop gives a
+//! useless panic message a million events into a run.
+pub fn pop_next(queue: &mut Vec<u64>) -> u64 {
+    queue.pop().unwrap()
+}

@@ -1,0 +1,9 @@
+//! Negative fixture: expect() naming the violated invariant, and the
+//! non-panicking combinators, are the sanctioned forms.
+pub fn pop_next(queue: &mut Vec<u64>) -> u64 {
+    queue.pop().expect("peeked event must exist")
+}
+
+pub fn pop_or_zero(queue: &mut Vec<u64>) -> u64 {
+    queue.pop().unwrap_or(0)
+}

@@ -1,0 +1,7 @@
+//! Positive fixture: external RNG crates draw differently across
+//! versions and platforms; the repo hand-rolls DetRng instead.
+use rand::Rng;
+
+pub fn jitter() -> f64 {
+    rand::thread_rng().gen()
+}

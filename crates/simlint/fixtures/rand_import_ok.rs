@@ -1,0 +1,7 @@
+//! Negative fixture: seeded in-repo DetRng streams are the sanctioned
+//! randomness source ("rand" in comments is fine).
+use sim_core::rng::DetRng;
+
+pub fn jitter(rng: &mut DetRng) -> f64 {
+    rng.next_f64()
+}

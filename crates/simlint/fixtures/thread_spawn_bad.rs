@@ -1,0 +1,6 @@
+//! Positive fixture: threads outside scenarios::exec/bench introduce
+//! scheduling nondeterminism.
+pub fn fan_out() {
+    let h = std::thread::spawn(|| 1 + 1);
+    h.join().ok();
+}

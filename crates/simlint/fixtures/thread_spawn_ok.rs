@@ -1,0 +1,7 @@
+//! Negative fixture: single-threaded event-loop code. The word
+//! "thread" in prose or as a local identifier is not a violation.
+pub fn run(thread_count_hint: usize) -> usize {
+    // Deterministic single-threaded execution; std::thread only in
+    // comments.
+    thread_count_hint.max(1)
+}

@@ -1,0 +1,6 @@
+//! Positive fixture: wall-clock reads make a run irreproducible.
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> (Instant, SystemTime) {
+    (Instant::now(), SystemTime::now())
+}

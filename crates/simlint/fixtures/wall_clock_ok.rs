@@ -1,0 +1,10 @@
+//! Negative fixture: simulation code tells time with SimTime; merely
+//! importing Instant (e.g. for a type alias) does not read the clock.
+use std::time::Instant;
+
+pub fn horizon() -> f64 {
+    let t = SimTime::from_secs(5);
+    t.as_secs_f64()
+}
+
+pub type BenchStamp = Instant;

@@ -1,0 +1,63 @@
+//! `simlint` — in-repo static analysis enforcing the two properties the
+//! whole reproduction stands on:
+//!
+//! * **core-statelessness** — Corelite's headline claim (paper §2–3) is
+//!   that core routers keep no per-flow state; the `core-state` rule
+//!   machine-checks that no core-router module declares a
+//!   `FlowId`-keyed or per-flow-growing collection.
+//! * **deterministic replay** — serial and parallel experiment sweeps
+//!   are `cmp`-compared byte-for-byte in CI; the `hash-collections`,
+//!   `wall-clock`, `thread-spawn` and `rand-import` rules keep the
+//!   nondeterminism sources that would silently break this out of the
+//!   simulation crates.
+//!
+//! Two hygiene rules ride along: `float-eq` (exact `==`/`!=` on floats)
+//! and `panic-path` (bare `unwrap()` in the netsim event loop).
+//!
+//! Violations print as `file:line: rule — message` and any violation
+//! makes the process exit nonzero. Suppress per-site with an inline
+//! `// simlint: allow(<rule>)` comment (covers that line and the next)
+//! or per-path in the checked-in `simlint.toml`. See DESIGN.md §10.
+//!
+//! The crate is dependency-free by necessity: crates.io is unreachable
+//! in the reproduction container, so the lexer, walker and TOML-subset
+//! parser are hand-rolled like sim-core's `DetRng`.
+
+pub mod config;
+pub mod lexer;
+pub mod rules;
+pub mod walker;
+
+use std::path::Path;
+
+pub use config::Allowlist;
+pub use rules::{classify, scan_source, FileClass, Violation, RULES};
+
+/// Lints one file on disk. `rel` decides rule scoping and must be the
+/// workspace-relative path (`crates/netsim/src/network.rs`).
+pub fn lint_file(root: &Path, rel: &str, allow: &Allowlist) -> Result<Vec<Violation>, String> {
+    let src =
+        std::fs::read_to_string(root.join(rel)).map_err(|e| format!("cannot read {rel}: {e}"))?;
+    Ok(scan_source(rel, &src, classify(rel), allow))
+}
+
+/// Lints every `.rs` file in the workspace tree at `root`, returning
+/// violations sorted by file and line.
+pub fn lint_workspace(root: &Path, allow: &Allowlist) -> Result<Vec<Violation>, String> {
+    let mut all = Vec::new();
+    for rel in walker::collect_rs_files(root)? {
+        all.extend(lint_file(root, &rel, allow)?);
+    }
+    all.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(all)
+}
+
+/// Loads `simlint.toml` from `root`; a missing file is an empty
+/// allowlist, a malformed one is an error.
+pub fn load_allowlist(root: &Path) -> Result<Allowlist, String> {
+    match std::fs::read_to_string(root.join("simlint.toml")) {
+        Ok(text) => Allowlist::parse(&text),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Allowlist::default()),
+        Err(e) => Err(format!("cannot read simlint.toml: {e}")),
+    }
+}

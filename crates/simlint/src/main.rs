@@ -1,0 +1,98 @@
+//! CLI for the in-repo lint pass. See the crate docs and DESIGN.md §10.
+//!
+//! ```text
+//! simlint --workspace             # lint the whole tree (CI entry point)
+//! simlint path/to/file.rs ...     # lint specific files
+//! simlint --list-rules            # print every rule and its rationale
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use simlint::walker::{find_workspace_root, rel_to_string};
+use simlint::{lint_file, lint_workspace, load_allowlist, RULES};
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(0) => ExitCode::SUCCESS,
+        Ok(violations) => {
+            eprintln!("simlint: {violations} violation(s)");
+            ExitCode::FAILURE
+        }
+        Err(msg) => {
+            eprintln!("simlint: error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run() -> Result<usize, String> {
+    let mut workspace = false;
+    let mut files: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--list-rules" => {
+                for (name, description) in RULES {
+                    println!("{name:<18} {description}");
+                }
+                return Ok(0);
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: simlint [--workspace] [--list-rules] [FILE.rs ...]\n\
+                     Lints the Corelite workspace for core-statelessness and determinism\n\
+                     invariants. With no arguments, behaves as --workspace. Violations\n\
+                     print as `file:line: rule — message`; exit code 1 on any violation.\n\
+                     Suppress with `// simlint: allow(<rule>)` or simlint.toml."
+                );
+                return Ok(0);
+            }
+            _ if arg.starts_with('-') => {
+                return Err(format!("unknown flag `{arg}` (try --help)"));
+            }
+            _ => files.push(arg),
+        }
+    }
+
+    let cwd = std::env::current_dir().map_err(|e| format!("cannot read cwd: {e}"))?;
+    let root = find_workspace_root(&cwd)?;
+    let allow = load_allowlist(&root)?;
+
+    let violations = if workspace || files.is_empty() {
+        lint_workspace(&root, &allow)?
+    } else {
+        let mut all = Vec::new();
+        for file in &files {
+            let rel = to_workspace_rel(&root, file)?;
+            all.extend(lint_file(&root, &rel, &allow)?);
+        }
+        all.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+        all
+    };
+    for v in &violations {
+        println!("{v}");
+    }
+    Ok(violations.len())
+}
+
+/// Maps a CLI path (absolute or cwd-relative) to a workspace-relative
+/// path so rule scoping and allowlists apply regardless of invocation
+/// directory.
+fn to_workspace_rel(root: &Path, file: &str) -> Result<String, String> {
+    let path = PathBuf::from(file);
+    let abs = if path.is_absolute() {
+        path
+    } else {
+        std::env::current_dir()
+            .map_err(|e| format!("cannot read cwd: {e}"))?
+            .join(path)
+    };
+    let abs = abs
+        .canonicalize()
+        .map_err(|e| format!("cannot resolve {file}: {e}"))?;
+    let rel = abs
+        .strip_prefix(root)
+        .map_err(|_| format!("{file} is outside the workspace at {}", root.display()))?;
+    Ok(rel_to_string(rel))
+}

@@ -1,0 +1,566 @@
+//! The lint rules and the token-stream scanner that applies them.
+//!
+//! Each rule is a named invariant of this repository (see DESIGN.md
+//! §10); every rule can be suppressed per-site with an inline
+//! `// simlint: allow(<rule>)` comment or per-path via `simlint.toml`.
+
+use crate::config::Allowlist;
+use crate::lexer::{lex, Lexed, Tok, Token};
+
+/// One rule violation, printed as `file:line: rule — message`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    pub file: String,
+    pub line: u32,
+    pub rule: &'static str,
+    pub message: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: {} — {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Every rule simlint knows, with a one-line description (shown by
+/// `simlint --list-rules` and validated against `simlint.toml` keys).
+pub const RULES: &[(&str, &str)] = &[
+    (
+        "core-state",
+        "core-router modules must not declare FlowId-keyed or per-flow-growing collections",
+    ),
+    (
+        "hash-collections",
+        "HashMap/HashSet iteration order is nondeterministic; use BTreeMap/BTreeSet",
+    ),
+    (
+        "wall-clock",
+        "Instant::now()/SystemTime read wall-clock time and break deterministic replay",
+    ),
+    (
+        "thread-spawn",
+        "std::thread outside scenarios::exec/bench breaks deterministic event ordering",
+    ),
+    (
+        "rand-import",
+        "external RNG crates are forbidden; use sim_core::rng::DetRng streams",
+    ),
+    (
+        "float-eq",
+        "exact ==/!= on floats; use an epsilon or ordered comparison",
+    ),
+    (
+        "panic-path",
+        "bare unwrap() in the netsim event loop; expect() must name the violated invariant",
+    ),
+];
+
+/// True when `rule` is a known rule name.
+pub fn is_known_rule(rule: &str) -> bool {
+    RULES.iter().any(|&(name, _)| name == rule)
+}
+
+/// Core-router modules: the paper's headline claim (§2–3) is that these
+/// keep no per-flow state. FRED is in the list because it sits in the
+/// same core-AQM position — its deliberate per-flow accounting is
+/// allowlisted in `simlint.toml`, not exempted here.
+const CORE_MODULES: &[&str] = &[
+    "crates/corelite/src/router.rs",
+    "crates/corelite/src/detector.rs",
+    "crates/corelite/src/stateless.rs",
+    "crates/corelite/src/cache.rs",
+    "crates/corelite/src/congestion.rs",
+    "crates/csfq/src/core.rs",
+    "crates/baselines/src/red.rs",
+    "crates/baselines/src/fred.rs",
+];
+
+/// The netsim event-loop hot path: a panic here aborts a million-event
+/// run, so every fallible step must say which invariant broke.
+const EVENT_LOOP_MODULES: &[&str] = &[
+    "crates/netsim/src/network.rs",
+    "crates/netsim/src/logic.rs",
+    "crates/netsim/src/link.rs",
+];
+
+/// Collection types whose `<FlowId, …>` instantiation is per-flow state.
+const KEYED_COLLECTIONS: &[&str] = &[
+    "HashMap", "BTreeMap", "HashSet", "BTreeSet", "IndexMap", "VecDeque",
+];
+
+/// Hash-based collections with nondeterministic iteration order.
+const HASH_COLLECTIONS: &[&str] = &[
+    "HashMap",
+    "HashSet",
+    "FxHashMap",
+    "FxHashSet",
+    "AHashMap",
+    "AHashSet",
+    "IndexMap",
+    "IndexSet",
+    "DashMap",
+    "DashSet",
+];
+
+/// RNG crates whose mere import makes runs irreproducible across
+/// toolchains (this repo hand-rolls `DetRng` instead).
+const RNG_CRATES: &[&str] = &[
+    "rand",
+    "rand_core",
+    "rand_chacha",
+    "rand_distr",
+    "rand_pcg",
+    "rand_xoshiro",
+    "fastrand",
+    "oorandom",
+    "getrandom",
+];
+
+/// How a file is treated by path-scoped rules.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FileClass {
+    /// Core-router module: the `core-state` rule applies.
+    pub core_module: bool,
+    /// netsim event-loop module: the `panic-path` rule applies.
+    pub event_loop: bool,
+    /// Test code (integration test file): `float-eq` does not apply.
+    pub is_test: bool,
+}
+
+/// Classifies `rel` (workspace-relative path with `/` separators).
+///
+/// Lint fixtures under `simlint/fixtures/` classify by filename prefix
+/// (`core_state_*` as a core module, `panic_path_*` as an event-loop
+/// module) so the fixtures exercise the path-scoped rules without
+/// masquerading as real tree paths.
+pub fn classify(rel: &str) -> FileClass {
+    if let Some(name) = rel
+        .contains("simlint/fixtures/")
+        .then(|| rel.rsplit('/').next().unwrap_or(rel))
+    {
+        return FileClass {
+            core_module: name.starts_with("core_state"),
+            event_loop: name.starts_with("panic_path"),
+            is_test: false,
+        };
+    }
+    FileClass {
+        core_module: CORE_MODULES.contains(&rel),
+        event_loop: EVENT_LOOP_MODULES.contains(&rel),
+        is_test: rel.starts_with("tests/") || rel.contains("/tests/"),
+    }
+}
+
+/// Lints `src` as file `rel` classified as `class`, honoring inline
+/// `simlint: allow(...)` comments and the `allow` config.
+pub fn scan_source(rel: &str, src: &str, class: FileClass, allow: &Allowlist) -> Vec<Violation> {
+    let lexed = lex(src);
+    let test_ranges = cfg_test_ranges(&lexed.tokens);
+    let mut found = Vec::new();
+    let toks = &lexed.tokens;
+
+    let ident = |i: usize| -> Option<&str> {
+        match toks.get(i).map(|t| &t.tok) {
+            Some(Tok::Ident(s)) => Some(s.as_str()),
+            _ => None,
+        }
+    };
+    let op = |i: usize, want: &str| matches!(toks.get(i).map(|t| &t.tok), Some(Tok::Op(o)) if *o == want);
+
+    for i in 0..toks.len() {
+        let line = toks[i].line;
+        match &toks[i].tok {
+            Tok::Ident(name) => {
+                // core-state: `BTreeMap<FlowId, …>` (optionally with a
+                // turbofish) or `Vec<(FlowId, …)>` in a core module.
+                if class.core_module {
+                    let mut j = i + 1;
+                    if op(j, "::") {
+                        j += 1; // turbofish `BTreeMap::<FlowId, _>`
+                    }
+                    if op(j, "<") {
+                        let keyed = KEYED_COLLECTIONS.contains(&name.as_str())
+                            && ident(j + 1) == Some("FlowId");
+                        let tupled =
+                            name == "Vec" && op(j + 1, "(") && ident(j + 2) == Some("FlowId");
+                        if keyed || tupled {
+                            found.push(Violation {
+                                file: rel.to_owned(),
+                                line,
+                                rule: "core-state",
+                                message: format!(
+                                    "per-flow state `{name}<FlowId, …>` in a core-router module; \
+                                     cores must stay stateless (paper §2–3)"
+                                ),
+                            });
+                        }
+                    }
+                }
+                // hash-collections: any mention as an identifier.
+                if HASH_COLLECTIONS.contains(&name.as_str()) {
+                    found.push(Violation {
+                        file: rel.to_owned(),
+                        line,
+                        rule: "hash-collections",
+                        message: format!(
+                            "`{name}` iterates in nondeterministic order, breaking byte-identical \
+                             replay; use BTreeMap/BTreeSet"
+                        ),
+                    });
+                }
+                // wall-clock: `Instant::now` or any `SystemTime`.
+                let wall = (name == "Instant" && op(i + 1, "::") && ident(i + 2) == Some("now"))
+                    || name == "SystemTime";
+                if wall {
+                    found.push(Violation {
+                        file: rel.to_owned(),
+                        line,
+                        rule: "wall-clock",
+                        message: "wall-clock time in simulation code breaks deterministic replay; \
+                                  use sim_core::time::SimTime"
+                            .to_owned(),
+                    });
+                }
+                // thread-spawn: `std::thread` or `thread::{spawn,scope,…}`.
+                let threaded = (name == "std" && op(i + 1, "::") && ident(i + 2) == Some("thread"))
+                    || (name == "thread"
+                        && op(i + 1, "::")
+                        && matches!(
+                            ident(i + 2),
+                            Some("spawn" | "scope" | "Builder" | "available_parallelism")
+                        ))
+                    || name == "rayon";
+                if threaded {
+                    found.push(Violation {
+                        file: rel.to_owned(),
+                        line,
+                        rule: "thread-spawn",
+                        message: "threads outside scenarios::exec/bench break deterministic \
+                                  event ordering"
+                            .to_owned(),
+                    });
+                }
+                // rand-import: any mention of an external RNG crate.
+                if RNG_CRATES.contains(&name.as_str()) {
+                    found.push(Violation {
+                        file: rel.to_owned(),
+                        line,
+                        rule: "rand-import",
+                        message: format!(
+                            "external RNG `{name}` is nondeterministic across toolchains; use \
+                             sim_core::rng::DetRng streams"
+                        ),
+                    });
+                }
+                // panic-path: `.unwrap()` in an event-loop module.
+                if class.event_loop
+                    && name == "unwrap"
+                    && i > 0
+                    && op(i - 1, ".")
+                    && op(i + 1, "(")
+                    && op(i + 2, ")")
+                {
+                    found.push(Violation {
+                        file: rel.to_owned(),
+                        line,
+                        rule: "panic-path",
+                        message: "bare unwrap() in the event-loop hot path; use expect() naming \
+                                  the violated invariant so a panic in a million-event run is \
+                                  diagnosable"
+                            .to_owned(),
+                    });
+                }
+            }
+            // float-eq: `==`/`!=` with a float-literal operand or a
+            // `.fract()` receiver, outside tests.
+            Tok::Op(o @ ("==" | "!="))
+                if !class.is_test && !in_ranges(&test_ranges, line) && float_operand(toks, i) =>
+            {
+                found.push(Violation {
+                    file: rel.to_owned(),
+                    line,
+                    rule: "float-eq",
+                    message: format!(
+                        "exact `{o}` on a floating-point value; use an epsilon or ordered \
+                         comparison, or justify with `simlint: allow(float-eq)`"
+                    ),
+                });
+            }
+            _ => {}
+        }
+    }
+    suppress(found, &lexed, allow)
+}
+
+/// True when the `==`/`!=` at `i` has a float operand we can see
+/// lexically: a float literal on either side (allowing unary minus), or
+/// a `.fract()` call immediately before it.
+fn float_operand(toks: &[Token], i: usize) -> bool {
+    if i > 0 && toks[i - 1].tok == Tok::Float {
+        return true;
+    }
+    let next = match toks.get(i + 1).map(|t| &t.tok) {
+        Some(Tok::Op("-")) => toks.get(i + 2).map(|t| &t.tok),
+        t => t,
+    };
+    if next == Some(&Tok::Float) {
+        return true;
+    }
+    // `x.fract() ==` lexes as … Ident(fract) ( ) ==
+    i >= 3
+        && matches!(&toks[i - 3].tok, Tok::Ident(s) if s == "fract")
+        && toks[i - 2].tok == Tok::Op("(")
+        && toks[i - 1].tok == Tok::Op(")")
+}
+
+/// Line ranges covered by `#[cfg(test)]` items (typically `mod tests`),
+/// found by brace-matching after the attribute.
+fn cfg_test_ranges(toks: &[Token]) -> Vec<(u32, u32)> {
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].tok == Tok::Op("#")
+            && matches!(toks.get(i + 1).map(|t| &t.tok), Some(Tok::Op("[")))
+        {
+            // Scan the attribute for `cfg` … `test` before its `]`.
+            let mut j = i + 2;
+            let mut depth = 1usize;
+            let mut saw_cfg = false;
+            let mut saw_test = false;
+            let mut saw_not = false;
+            while j < toks.len() && depth > 0 {
+                match &toks[j].tok {
+                    Tok::Op("[") => depth += 1,
+                    Tok::Op("]") => depth -= 1,
+                    Tok::Ident(s) if s == "cfg" => saw_cfg = true,
+                    Tok::Ident(s) if s == "test" => saw_test = true,
+                    // `#[cfg(not(test))]` marks *live* code.
+                    Tok::Ident(s) if s == "not" => saw_not = true,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if saw_cfg && saw_test && !saw_not {
+                // Skip any further attributes, then brace-match the item.
+                while toks.get(j).map(|t| &t.tok) == Some(&Tok::Op("#"))
+                    && toks.get(j + 1).map(|t| &t.tok) == Some(&Tok::Op("["))
+                {
+                    let mut d = 1usize;
+                    j += 2;
+                    while j < toks.len() && d > 0 {
+                        match &toks[j].tok {
+                            Tok::Op("[") => d += 1,
+                            Tok::Op("]") => d -= 1,
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                }
+                let start = toks.get(j).map_or(0, |t| t.line);
+                // Find the item's opening brace (a `;` first means a
+                // braceless item like `#[cfg(test)] use …;`).
+                while j < toks.len() && toks[j].tok != Tok::Op("{") && toks[j].tok != Tok::Op(";") {
+                    j += 1;
+                }
+                if toks.get(j).map(|t| &t.tok) == Some(&Tok::Op("{")) {
+                    let mut d = 1usize;
+                    j += 1;
+                    while j < toks.len() && d > 0 {
+                        match &toks[j].tok {
+                            Tok::Op("{") => d += 1,
+                            Tok::Op("}") => d -= 1,
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                }
+                let end = toks.get(j.saturating_sub(1)).map_or(u32::MAX, |t| t.line);
+                ranges.push((start, end));
+                i = j;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    ranges
+}
+
+fn in_ranges(ranges: &[(u32, u32)], line: u32) -> bool {
+    ranges.iter().any(|&(a, b)| line >= a && line <= b)
+}
+
+/// Drops violations covered by an inline allow (same line or the line
+/// directly above) or by the config allowlist for the file's path.
+fn suppress(found: Vec<Violation>, lexed: &Lexed, allow: &Allowlist) -> Vec<Violation> {
+    found
+        .into_iter()
+        .filter(|v| {
+            let inline = lexed
+                .allows
+                .iter()
+                .any(|a| a.rule == v.rule && (a.line == v.line || a.line + 1 == v.line));
+            !inline && !allow.allows(v.rule, &v.file)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(rel: &str, src: &str) -> Vec<Violation> {
+        scan_source(rel, src, classify(rel), &Allowlist::default())
+    }
+
+    #[test]
+    fn classify_paths() {
+        assert!(classify("crates/corelite/src/router.rs").core_module);
+        assert!(classify("crates/netsim/src/network.rs").event_loop);
+        assert!(classify("tests/paper_topology.rs").is_test);
+        assert!(classify("crates/netsim/tests/properties.rs").is_test);
+        assert!(!classify("crates/netsim/src/flow.rs").core_module);
+        assert!(classify("crates/simlint/fixtures/core_state_bad.rs").core_module);
+        assert!(classify("crates/simlint/fixtures/panic_path_bad.rs").event_loop);
+    }
+
+    #[test]
+    fn flowid_map_flagged_only_in_core_modules() {
+        let src = "struct S { m: BTreeMap<FlowId, f64> }";
+        let core = scan("crates/csfq/src/core.rs", src);
+        assert_eq!(core.len(), 1, "{core:?}");
+        assert_eq!(core[0].rule, "core-state");
+        let edge = scan("crates/csfq/src/edge.rs", src);
+        assert!(edge.is_empty(), "{edge:?}");
+    }
+
+    #[test]
+    fn flowid_tuple_vec_and_turbofish_flagged() {
+        let v = scan(
+            "crates/corelite/src/router.rs",
+            "let v: Vec<(FlowId, f64)> = Vec::new(); let m = BTreeMap::<FlowId, u8>::new();",
+        );
+        assert_eq!(v.len(), 2, "{v:?}");
+    }
+
+    #[test]
+    fn linkid_map_in_core_is_fine() {
+        let v = scan(
+            "crates/corelite/src/router.rs",
+            "struct S { m: BTreeMap<LinkId, LinkState> }",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn hash_collections_flagged_everywhere() {
+        let v = scan(
+            "crates/netsim/src/flow.rs",
+            "use std::collections::HashMap;",
+        );
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "hash-collections");
+    }
+
+    #[test]
+    fn wall_clock_and_threads_flagged() {
+        let v = scan(
+            "crates/netsim/src/flow.rs",
+            "let t = Instant::now(); std::thread::spawn(|| {});",
+        );
+        let rules: Vec<_> = v.iter().map(|v| v.rule).collect();
+        assert!(rules.contains(&"wall-clock"), "{v:?}");
+        assert!(rules.contains(&"thread-spawn"), "{v:?}");
+    }
+
+    #[test]
+    fn instant_import_alone_is_fine() {
+        let v = scan("crates/netsim/src/flow.rs", "use std::time::Instant;");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn rand_import_flagged() {
+        let v = scan("crates/netsim/src/flow.rs", "use rand::Rng;");
+        assert_eq!(v[0].rule, "rand-import");
+    }
+
+    #[test]
+    fn float_eq_literal_both_sides_and_fract() {
+        let v = scan(
+            "crates/sim-core/src/stats.rs",
+            "if q == 0.0 {} if 1.0 != r {} if v.fract() == z {}",
+        );
+        assert_eq!(v.len(), 3, "{v:?}");
+        assert!(v.iter().all(|v| v.rule == "float-eq"));
+    }
+
+    #[test]
+    fn int_eq_and_epsilon_compare_are_fine() {
+        let v = scan(
+            "crates/sim-core/src/stats.rs",
+            "if n == 0 {} if (a - b).abs() < 1e-9 {} if q <= 0.0 {}",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn float_eq_skipped_in_test_files_and_cfg_test_mods() {
+        assert!(scan("tests/x.rs", "assert!(a == 0.0);").is_empty());
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n fn t() { assert!(a == 0.0); }\n}";
+        let v = scan("crates/sim-core/src/stats.rs", src);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn float_eq_before_cfg_test_mod_still_flagged() {
+        let src = "fn live(a: f64) -> bool { a == 0.0 }\n#[cfg(test)]\nmod tests {}";
+        let v = scan("crates/sim-core/src/stats.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+    }
+
+    #[test]
+    fn bare_unwrap_flagged_only_in_event_loop() {
+        let src = "let x = q.pop().unwrap();";
+        assert_eq!(scan("crates/netsim/src/network.rs", src).len(), 1);
+        assert!(scan("crates/netsim/src/flow.rs", src).is_empty());
+        // expect() with a message and unwrap_or_else are fine.
+        let ok = "q.pop().expect(\"queue invariant\"); v.unwrap_or_else(|| 0);";
+        assert!(scan("crates/netsim/src/network.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn inline_allow_suppresses_same_and_next_line() {
+        let same = "let t = Instant::now(); // simlint: allow(wall-clock) bench timing";
+        assert!(scan("crates/x/src/a.rs", same).is_empty());
+        let above = "// simlint: allow(wall-clock) bench timing\nlet t = Instant::now();";
+        assert!(scan("crates/x/src/a.rs", above).is_empty());
+        let wrong_rule = "let t = Instant::now(); // simlint: allow(float-eq)";
+        assert_eq!(scan("crates/x/src/a.rs", wrong_rule).len(), 1);
+    }
+
+    #[test]
+    fn config_allowlist_suppresses_by_path_prefix() {
+        let mut allow = Allowlist::default();
+        allow.insert("wall-clock", "crates/bench");
+        let v = scan_source(
+            "crates/bench/src/lib.rs",
+            "let t = Instant::now();",
+            FileClass::default(),
+            &allow,
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn comments_never_trigger_rules() {
+        let v = scan(
+            "crates/netsim/src/flow.rs",
+            "// HashMap Instant::now rand\n/* std::thread */ fn f() {}",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+}

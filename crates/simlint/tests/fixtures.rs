@@ -1,0 +1,87 @@
+//! Fixture-based rule tests: for every rule, one deliberately-violating
+//! snippet must be flagged and one idiomatic snippet must pass. The
+//! fixtures live in `crates/simlint/fixtures/` and are excluded from
+//! tree scans by the walker, so they are linted here one-by-one.
+
+use std::path::{Path, PathBuf};
+
+use simlint::walker::find_workspace_root;
+use simlint::{lint_file, Allowlist};
+
+fn root() -> PathBuf {
+    find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root must exist")
+}
+
+fn fixture(name: &str) -> String {
+    format!("crates/simlint/fixtures/{name}.rs")
+}
+
+fn violations_for(name: &str) -> Vec<simlint::Violation> {
+    lint_file(&root(), &fixture(name), &Allowlist::default()).expect("fixture must be readable")
+}
+
+/// Each rule's bad fixture yields at least one violation of exactly
+/// that rule; its ok fixture yields none at all.
+#[test]
+fn every_rule_has_a_flagged_and_a_clean_fixture() {
+    for (rule, _) in simlint::RULES {
+        let stem = rule.replace('-', "_");
+        let bad = violations_for(&format!("{stem}_bad"));
+        assert!(
+            bad.iter().any(|v| v.rule == *rule),
+            "{rule}: bad fixture produced no {rule} violation: {bad:?}"
+        );
+        let ok = violations_for(&format!("{stem}_ok"));
+        assert!(ok.is_empty(), "{rule}: ok fixture must be clean: {ok:?}");
+    }
+}
+
+/// The acceptance-criterion fixture: a FlowId-keyed map injected into a
+/// core-router-classified module is caught, with both the keyed-map and
+/// the growing-tuple-vec forms, and reports usable file:line positions.
+#[test]
+fn flowid_keyed_map_in_core_module_is_caught() {
+    let v = violations_for("core_state_bad");
+    let core: Vec<_> = v.iter().filter(|v| v.rule == "core-state").collect();
+    assert_eq!(core.len(), 2, "map + tuple-vec: {v:?}");
+    assert!(core.iter().all(|v| v.file.ends_with("core_state_bad.rs")));
+    assert!(core.iter().all(|v| v.line > 0));
+    let rendered = core[0].to_string();
+    assert!(
+        rendered.contains("core_state_bad.rs:") && rendered.contains(": core-state — "),
+        "display format must be `file:line: rule — message`, got {rendered}"
+    );
+}
+
+/// The config allowlist suppresses by path prefix — the mechanism that
+/// exempts FRED's deliberate per-flow state in the real tree.
+#[test]
+fn config_allowlist_suppresses_fixture_violations() {
+    let mut allow = Allowlist::default();
+    allow.insert("core-state", "crates/simlint/fixtures");
+    let v = lint_file(&root(), &fixture("core_state_bad"), &allow).expect("fixture readable");
+    assert!(
+        v.iter().all(|v| v.rule != "core-state"),
+        "allowlisted path must be clean: {v:?}"
+    );
+}
+
+/// The float-eq ok fixture exercises the inline-allow path: the same
+/// comparison without its `simlint: allow(float-eq)` comment is caught.
+#[test]
+fn inline_allow_is_load_bearing_in_float_eq_fixture() {
+    let src = std::fs::read_to_string(root().join(fixture("float_eq_ok")))
+        .expect("fixture must be readable");
+    let stripped = src.replace("// simlint: allow(float-eq)", "");
+    let rel = fixture("float_eq_ok");
+    let v = simlint::scan_source(
+        &rel,
+        &stripped,
+        simlint::classify(&rel),
+        &Allowlist::default(),
+    );
+    assert!(
+        v.iter().any(|v| v.rule == "float-eq"),
+        "without the allow comment the sentinel compare must be flagged: {v:?}"
+    );
+}

@@ -1,0 +1,50 @@
+//! The workspace self-scan: the live tree must be clean under the
+//! checked-in `simlint.toml`. This is the test-suite twin of the CI
+//! step `cargo run --release -p simlint -- --workspace` — any PR that
+//! introduces per-flow state in a core module or a nondeterminism
+//! source in a sim crate fails here before it ever reaches CI.
+
+use std::path::Path;
+
+use simlint::walker::find_workspace_root;
+use simlint::{lint_workspace, load_allowlist};
+
+#[test]
+fn live_tree_is_clean() {
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root must exist");
+    let allow = load_allowlist(&root).expect("simlint.toml must parse");
+    let violations = lint_workspace(&root, &allow).expect("workspace scan must succeed");
+    assert!(
+        violations.is_empty(),
+        "the tree has simlint violations:\n{}",
+        violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+/// The checked-in allowlist must stay minimal and intentional: FRED's
+/// per-flow state and the parallel executor's threads are the only
+/// path-level exemptions today. If this fails after an edit to
+/// simlint.toml, make sure the new entry is justified in DESIGN.md §10.
+#[test]
+fn checked_in_allowlist_covers_known_exemptions() {
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root must exist");
+    let allow = load_allowlist(&root).expect("simlint.toml must parse");
+    assert!(
+        allow.allows("core-state", "crates/baselines/src/fred.rs"),
+        "FRED keeps per-flow state by design and must be allowlisted"
+    );
+    assert!(
+        allow.allows("thread-spawn", "crates/scenarios/src/exec.rs"),
+        "the deterministic parallel executor is the sanctioned thread user"
+    );
+    assert!(
+        !allow.allows("core-state", "crates/corelite/src/router.rs"),
+        "Corelite core modules must never be exempt from core-state"
+    );
+}
