@@ -1,14 +1,15 @@
 //! Microbenchmarks of the discrete-event substrate: event queue, RNG
-//! streams, the time-weighted queue average, and the exponential rate
-//! estimator.
+//! streams, the time-weighted queue average, the exponential rate
+//! estimator, and end-to-end simulator throughput (the paper-chain
+//! scenario used by the CI bench smoke gate).
 
-use bench::{black_box, Runner};
+use bench::{black_box, compress, run_checked, Runner};
 use sim_core::event::EventQueue;
 use sim_core::rng::DetRng;
 use sim_core::stats::{ExpAvg, TimeWeightedMean};
 use sim_core::time::{SimDuration, SimTime};
 
-fn bench_event_queue(runner: &Runner) {
+fn bench_event_queue(runner: &mut Runner) {
     runner.bench("event_queue/push_pop_interleaved_1k", || {
         let mut q = EventQueue::with_capacity(1024);
         // A sliding window of pending events, like a busy link.
@@ -34,7 +35,7 @@ fn bench_event_queue(runner: &Runner) {
     });
 }
 
-fn bench_rng(runner: &Runner) {
+fn bench_rng(runner: &mut Runner) {
     let mut rng = DetRng::new(7);
     runner.bench("rng/bernoulli_10k", || {
         let mut hits = 0u32;
@@ -48,7 +49,7 @@ fn bench_rng(runner: &Runner) {
     });
 }
 
-fn bench_stats(runner: &Runner) {
+fn bench_stats(runner: &mut Runner) {
     runner.bench("stats/time_weighted_mean_10k_updates", || {
         let mut m = TimeWeightedMean::new(SimTime::ZERO, 0.0);
         for i in 1..10_000u64 {
@@ -67,7 +68,7 @@ fn bench_stats(runner: &Runner) {
     });
 }
 
-fn bench_simulator_scaling(runner: &Runner) {
+fn bench_simulator_scaling(runner: &mut Runner) {
     use corelite::CoreliteConfig;
     use scenarios::discipline::Corelite;
     use scenarios::runner::{Scenario, ScenarioFlow};
@@ -88,20 +89,38 @@ fn bench_simulator_scaling(runner: &Runner) {
             1,
         );
         let discipline = Corelite::new(CoreliteConfig::default());
-        runner.bench(
+        runner.bench_events(
             &format!("simulator_scaling/corelite_{flows}_flows_10s"),
             || {
                 let result = scenario.run(&discipline);
-                black_box(result.report.events_processed)
+                result.report.events_processed
             },
         );
     }
 }
 
+/// End-to-end throughput on the paper's §4.2 chain topology, compressed
+/// to 20 simulated seconds. This is the workload the CI bench smoke step
+/// gates against `BENCH_4.json`.
+fn bench_paper_chain(runner: &mut Runner) {
+    use scenarios::fig3_4;
+    use scenarios::PaperFigure;
+
+    let scenario = compress(fig3_4(1), 20);
+    let discipline = PaperFigure::Fig3.discipline();
+    runner.bench_events("engine/paper_chain_20s", || {
+        run_checked(&scenario, discipline.as_ref())
+            .report
+            .events_processed
+    });
+}
+
 fn main() {
-    let runner = Runner::from_args();
-    bench_event_queue(&runner);
-    bench_rng(&runner);
-    bench_stats(&runner);
-    bench_simulator_scaling(&runner);
+    let mut runner = Runner::from_args("engine");
+    bench_event_queue(&mut runner);
+    bench_rng(&mut runner);
+    bench_stats(&mut runner);
+    bench_simulator_scaling(&mut runner);
+    bench_paper_chain(&mut runner);
+    std::process::exit(runner.finish());
 }

@@ -25,7 +25,7 @@ fn marker(flow: usize, rn: f64) -> Marker {
     }
 }
 
-fn bench_selectors(runner: &Runner) {
+fn bench_selectors(runner: &mut Runner) {
     let mut cache = MarkerCache::new(512);
     runner.bench("selector/cache_push_1k", || {
         for i in 0..1_000 {
@@ -52,7 +52,7 @@ fn bench_selectors(runner: &Runner) {
     });
 }
 
-fn bench_congestion_and_csfq(runner: &Runner) {
+fn bench_congestion_and_csfq(runner: &mut Runner) {
     runner.bench("per_packet/marker_feedback_count", || {
         black_box(marker_feedback_count(
             black_box(17.3),
@@ -74,7 +74,7 @@ fn bench_congestion_and_csfq(runner: &Runner) {
     });
 }
 
-fn bench_maxmin(runner: &Runner) {
+fn bench_maxmin(runner: &mut Runner) {
     runner.bench("maxmin/paper_20_flows", || {
         let mut p = MaxMinProblem::new();
         let links: Vec<_> = (0..3).map(|_| p.link(500.0)).collect();
@@ -99,7 +99,7 @@ fn bench_maxmin(runner: &Runner) {
 
 /// Ablation cost axis: how the design choices change simulation cost on
 /// the §4.2 workload (quality tables live in the `ablations` binary).
-fn bench_ablation_cost(runner: &Runner) {
+fn bench_ablation_cost(runner: &mut Runner) {
     let cases: Vec<(&str, CoreliteConfig)> = vec![
         ("stateless", CoreliteConfig::default()),
         (
@@ -131,9 +131,10 @@ fn bench_ablation_cost(runner: &Runner) {
 }
 
 fn main() {
-    let runner = Runner::from_args();
-    bench_selectors(&runner);
-    bench_congestion_and_csfq(&runner);
-    bench_maxmin(&runner);
-    bench_ablation_cost(&runner);
+    let mut runner = Runner::from_args("mechanisms");
+    bench_selectors(&mut runner);
+    bench_congestion_and_csfq(&mut runner);
+    bench_maxmin(&mut runner);
+    bench_ablation_cost(&mut runner);
+    std::process::exit(runner.finish());
 }

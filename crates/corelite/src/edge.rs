@@ -21,8 +21,6 @@
 //! Packet losses (CSFQ's feedback signal) are counted but deliberately
 //! ignored: *"edges react only to congestion indications"* (§4.3).
 
-use std::collections::BTreeMap;
-
 use sim_core::time::{SimDuration, SimTime};
 
 use netsim::ids::FlowId;
@@ -40,6 +38,29 @@ struct FlowState {
     controller: RateController,
     /// True while an emission timer is outstanding.
     emission_pending: bool,
+    /// One-entry memo of `1 / rate` as a duration: the controller's
+    /// rate only changes on epoch boundaries and feedback, while the
+    /// conversion runs once per emitted packet. Bit-identical on hits.
+    gap_cache: (f64, SimDuration),
+}
+
+impl FlowState {
+    fn new(controller: RateController) -> Self {
+        FlowState {
+            controller,
+            emission_pending: false,
+            gap_cache: (0.0, SimDuration::ZERO),
+        }
+    }
+
+    /// Inter-packet gap at the controller's current rate.
+    fn gap(&mut self) -> SimDuration {
+        let rate = self.controller.rate();
+        if self.gap_cache.0 != rate {
+            self.gap_cache = (rate, SimDuration::from_secs_f64(1.0 / rate));
+        }
+        self.gap_cache.1
+    }
 }
 
 /// Router logic for a Corelite (ingress) edge router.
@@ -51,7 +72,10 @@ struct FlowState {
 #[derive(Debug)]
 pub struct CoreliteEdge {
     cfg: CoreliteConfig,
-    flows: BTreeMap<FlowId, FlowState>,
+    /// Per-flow state, indexed by `FlowId::index()` (`None` for flows
+    /// not managed by this edge). Flow ids are small dense integers, so
+    /// direct indexing beats a map lookup on the per-packet path.
+    flows: Vec<Option<FlowState>>,
     markers_injected: u64,
     feedback_received: u64,
     losses_ignored: u64,
@@ -70,7 +94,7 @@ impl CoreliteEdge {
         cfg.validate();
         CoreliteEdge {
             cfg,
-            flows: BTreeMap::new(),
+            flows: Vec::new(),
             markers_injected: 0,
             feedback_received: 0,
             losses_ignored: 0,
@@ -81,23 +105,31 @@ impl CoreliteEdge {
     /// The allowed rate `b_g(f)` the edge currently enforces for `flow`,
     /// or `None` if the flow has never started here.
     pub fn allowed_rate(&self, flow: FlowId) -> Option<f64> {
-        self.flows.get(&flow).map(|s| s.controller.rate())
+        self.state(flow).map(|s| s.controller.rate())
+    }
+
+    fn state(&self, flow: FlowId) -> Option<&FlowState> {
+        self.flows.get(flow.index()).and_then(|s| s.as_ref())
+    }
+
+    fn state_mut(&mut self, flow: FlowId) -> Option<&mut FlowState> {
+        self.flows.get_mut(flow.index()).and_then(|s| s.as_mut())
     }
 
     fn ensure_emission(&mut self, ctx: &mut Ctx<'_>, flow: FlowId) {
-        let s = self.flows.get_mut(&flow).expect("flow state exists");
+        let s = self.state_mut(flow).expect("flow state exists");
         if s.controller.is_active() && s.controller.rate() > 0.0 && !s.emission_pending {
             s.emission_pending = true;
-            ctx.set_timer(
-                SimDuration::from_secs_f64(1.0 / s.controller.rate()),
-                TimerKind::with_param(TIMER_EMIT, flow.index() as u64),
-            );
+            let gap = s.gap();
+            ctx.set_timer(gap, TimerKind::with_param(TIMER_EMIT, flow.index() as u64));
         }
     }
 
     fn handle_emit(&mut self, ctx: &mut Ctx<'_>, flow: FlowId) {
         let node = ctx.node();
-        let Some(s) = self.flows.get_mut(&flow) else {
+        // Split borrow: `s` holds `self.flows` while the counter and
+        // config fields stay independently accessible.
+        let Some(s) = self.flows.get_mut(flow.index()).and_then(|s| s.as_mut()) else {
             return;
         };
         s.emission_pending = false;
@@ -114,12 +146,9 @@ impl CoreliteEdge {
             self.markers_injected += 1;
         }
         ctx.emit(packet);
-        let s = self.flows.get_mut(&flow).expect("flow state exists");
         s.emission_pending = true;
-        ctx.set_timer(
-            SimDuration::from_secs_f64(1.0 / s.controller.rate()),
-            TimerKind::with_param(TIMER_EMIT, flow.index() as u64),
-        );
+        let gap = s.gap();
+        ctx.set_timer(gap, TimerKind::with_param(TIMER_EMIT, flow.index() as u64));
     }
 }
 
@@ -133,18 +162,20 @@ impl RouterLogic for CoreliteEdge {
         let info = ctx.flow(flow);
         let (weight, min_rate) = (info.weight, info.min_rate);
         let rtt = 2.0 * ctx.one_way_delay(flow).as_secs_f64();
-        let s = self.flows.entry(flow).or_insert_with(|| FlowState {
-            controller: RateController::new(weight, min_rate),
-            emission_pending: false,
-        });
+        if self.flows.len() <= flow.index() {
+            self.flows.resize_with(flow.index() + 1, || None);
+        }
+        let s = self.flows[flow.index()]
+            .get_or_insert_with(|| FlowState::new(RateController::new(weight, min_rate)));
         // A restarting flow begins a fresh slow-start, like a new arrival.
         s.controller.start(&self.cfg, now, rtt);
         self.ensure_emission(ctx, flow);
     }
 
     fn on_flow_stop(&mut self, ctx: &mut Ctx<'_>, flow: FlowId) {
-        if let Some(s) = self.flows.get_mut(&flow) {
-            s.controller.stop(ctx.now());
+        let now = ctx.now();
+        if let Some(s) = self.state_mut(flow) {
+            s.controller.stop(now);
         }
     }
 
@@ -152,9 +183,12 @@ impl RouterLogic for CoreliteEdge {
         match timer.tag {
             TIMER_EPOCH => {
                 let now = ctx.now();
-                let flows: Vec<FlowId> = self.flows.keys().copied().collect();
-                for flow in flows {
-                    let s = self.flows.get_mut(&flow).expect("flow state exists");
+                for i in 0..self.flows.len() {
+                    if self.flows[i].is_none() {
+                        continue;
+                    }
+                    let flow = FlowId::from_index(i);
+                    let s = self.flows[i].as_mut().expect("flow state exists");
                     s.controller.epoch_update(&self.cfg, now);
                     self.ensure_emission(ctx, flow);
                 }
@@ -169,8 +203,9 @@ impl RouterLogic for CoreliteEdge {
         match msg {
             ControlMsg::MarkerFeedback { marker, from } => {
                 self.feedback_received += 1;
-                if let Some(s) = self.flows.get_mut(&marker.flow) {
-                    s.controller.on_feedback(from, ctx.now());
+                let now = ctx.now();
+                if let Some(s) = self.state_mut(marker.flow) {
+                    s.controller.on_feedback(from, now);
                 }
             }
             ControlMsg::Loss { .. } => {
@@ -183,10 +218,11 @@ impl RouterLogic for CoreliteEdge {
 
     fn report(&self, _now: SimTime) -> LogicReport {
         let mut report = LogicReport::default();
-        for (flow, s) in &self.flows {
+        for (i, s) in self.flows.iter().enumerate() {
+            let Some(s) = s else { continue };
             report
                 .flow_rates
-                .insert(*flow, s.controller.series().clone());
+                .insert(FlowId::from_index(i), s.controller.series().clone());
         }
         report
             .counters

@@ -101,9 +101,41 @@ pub struct FlowInfo {
     pub hops: Vec<LinkId>,
     /// Activation periods.
     pub activations: Vec<(SimTime, Option<SimTime>)>,
+    /// `next_hops[node]` is the outgoing link at that node (O(1) lookup
+    /// on the per-packet forwarding path; derived from `path`/`hops`).
+    next_hops: Vec<Option<LinkId>>,
 }
 
 impl FlowInfo {
+    /// Resolves a flow from its path and hop links. `hops[i]` must be
+    /// the link from `path[i]` to `path[i+1]`.
+    pub fn new(
+        id: FlowId,
+        weight: u32,
+        packet_size: u32,
+        min_rate: f64,
+        path: Vec<NodeId>,
+        hops: Vec<LinkId>,
+        activations: Vec<(SimTime, Option<SimTime>)>,
+    ) -> Self {
+        debug_assert_eq!(hops.len() + 1, path.len(), "one hop per path edge");
+        let table_len = path.iter().map(|n| n.index() + 1).max().unwrap_or(0);
+        let mut next_hops = vec![None; table_len];
+        for (i, &node) in path.iter().enumerate() {
+            next_hops[node.index()] = hops.get(i).copied();
+        }
+        FlowInfo {
+            id,
+            weight,
+            packet_size,
+            min_rate,
+            path,
+            hops,
+            activations,
+            next_hops,
+        }
+    }
+
     /// The ingress edge router (first node of the path).
     pub fn ingress(&self) -> NodeId {
         self.path[0]
@@ -117,10 +149,7 @@ impl FlowInfo {
     /// Returns the outgoing link for this flow at `node`, or `None` if
     /// `node` is the egress (or not on the path).
     pub fn next_hop(&self, node: NodeId) -> Option<LinkId> {
-        self.path
-            .iter()
-            .position(|&n| n == node)
-            .and_then(|i| self.hops.get(i).copied())
+        self.next_hops.get(node.index()).copied().flatten()
     }
 
     /// Returns `true` if the flow is scheduled to be active at `t`.
@@ -136,7 +165,7 @@ mod tests {
     use super::*;
 
     fn n(i: usize) -> NodeId {
-        NodeId(i)
+        NodeId::from_index(i)
     }
 
     #[test]
@@ -182,18 +211,18 @@ mod tests {
     }
 
     fn info() -> FlowInfo {
-        FlowInfo {
-            id: FlowId(0),
-            weight: 1,
-            packet_size: 1000,
-            min_rate: 0.0,
-            path: vec![n(0), n(1), n(2)],
-            hops: vec![LinkId(10), LinkId(11)],
-            activations: vec![
+        FlowInfo::new(
+            FlowId(0),
+            1,
+            1000,
+            0.0,
+            vec![n(0), n(1), n(2)],
+            vec![LinkId(10), LinkId(11)],
+            vec![
                 (SimTime::ZERO, Some(SimTime::from_secs(5))),
                 (SimTime::from_secs(10), None),
             ],
-        }
+        )
     }
 
     #[test]

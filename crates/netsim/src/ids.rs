@@ -9,13 +9,18 @@ use std::fmt;
 macro_rules! id_type {
     ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
         $(#[$doc])*
+        // `u32` rather than `usize`: identifiers ride inside every
+        // queued event, and the event queue moves entries constantly
+        // (slot drains, sorts, cascades), so four spare bytes per id
+        // are pure memory-traffic overhead. Four billion entities is
+        // far beyond any simulation this repo runs.
         #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-        pub struct $name(pub(crate) usize);
+        pub struct $name(pub(crate) u32);
 
         impl $name {
             /// Returns the raw index of this identifier.
             pub const fn index(self) -> usize {
-                self.0
+                self.0 as usize
             }
 
             /// Creates an identifier from a raw index.
@@ -23,8 +28,13 @@ macro_rules! id_type {
             /// Intended for table-driven scenario construction; an index
             /// that does not name an existing entity will cause a panic
             /// when first used against a network.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `index` exceeds `u32::MAX`.
             pub const fn from_index(index: usize) -> Self {
-                $name(index)
+                assert!(index <= u32::MAX as usize, "entity index exceeds u32");
+                $name(index as u32)
             }
         }
 

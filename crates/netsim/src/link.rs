@@ -87,6 +87,11 @@ pub struct Link {
     forwarded_bytes: u64,
     dropped_packets: u64,
     peak_occupancy: usize,
+    /// One-entry serialization-time cache. `tx_time` costs a 128-bit
+    /// division; packet sizes are near-constant in practice, so caching
+    /// the last `(size, tx_time)` pair removes it from the per-packet
+    /// path while returning bit-identical durations.
+    tx_cache: (u32, SimDuration),
 }
 
 impl Link {
@@ -96,14 +101,26 @@ impl Link {
             spec,
             src,
             dst,
-            queue: VecDeque::new(),
+            // Full capacity up front: a link queue never exceeds its
+            // spec'd capacity, so enqueue never reallocates.
+            queue: VecDeque::with_capacity(spec.queue_capacity),
             busy: false,
             occupancy: TimeWeightedMean::new(SimTime::ZERO, 0.0),
             forwarded_packets: 0,
             forwarded_bytes: 0,
             dropped_packets: 0,
             peak_occupancy: 0,
+            // Size 0 never occurs, so the cache starts cold.
+            tx_cache: (0, SimDuration::ZERO),
         }
+    }
+
+    /// Serialization time for `size` bytes via the one-entry cache.
+    fn cached_tx_time(&mut self, size: u32) -> SimDuration {
+        if self.tx_cache.0 != size {
+            self.tx_cache = (size, self.spec.tx_time(size));
+        }
+        self.tx_cache.1
     }
 
     /// The node this link transmits from.
@@ -141,7 +158,7 @@ impl Link {
             None
         } else {
             self.busy = true;
-            Some(self.spec.tx_time(packet.size))
+            Some(self.cached_tx_time(packet.size))
         };
         self.queue.push_back(packet);
         self.peak_occupancy = self.peak_occupancy.max(self.queue.len());
@@ -169,8 +186,8 @@ impl Link {
         self.forwarded_packets += 1;
         self.forwarded_bytes += packet.size as u64;
         self.occupancy.set(now, self.queue.len() as f64);
-        let next = match self.queue.front() {
-            Some(next) => Some(self.spec.tx_time(next.size)),
+        let next = match self.queue.front().map(|p| p.size) {
+            Some(size) => Some(self.cached_tx_time(size)),
             None => {
                 self.busy = false;
                 None

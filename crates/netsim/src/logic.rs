@@ -116,6 +116,91 @@ pub enum Action {
     },
 }
 
+/// Actions kept inline before spilling to the heap. Typical callbacks
+/// emit one or two actions (forward + maybe a timer); epoch timers on
+/// busy edges emit one per flow and may spill.
+const ACTION_BUF_INLINE: usize = 8;
+
+/// A reusable action buffer with inline capacity — the command queue
+/// between router logic and the network.
+///
+/// The network owns one `ActionBuf` and threads it through every
+/// [`Ctx`]; callbacks append with the `Ctx` helpers, the network drains
+/// with [`take_next`](ActionBuf::take_next) and calls
+/// [`reset`](ActionBuf::reset) before the next event. The first
+/// [`ACTION_BUF_INLINE`] actions per callback live inline; the spill
+/// vector beyond them is allocated once and recycled, so steady-state
+/// dispatch performs no heap allocation (see DESIGN.md §"Engine
+/// performance" for the contract).
+#[derive(Debug, Default)]
+pub struct ActionBuf {
+    inline: [Option<Action>; ACTION_BUF_INLINE],
+    spill: Vec<Option<Action>>,
+    len: usize,
+    cursor: usize,
+}
+
+impl ActionBuf {
+    /// Creates an empty buffer whose spill area holds `spill_capacity`
+    /// actions before reallocating.
+    pub fn with_capacity(spill_capacity: usize) -> Self {
+        ActionBuf {
+            inline: Default::default(),
+            spill: Vec::with_capacity(spill_capacity),
+            len: 0,
+            cursor: 0,
+        }
+    }
+
+    /// Appends an action.
+    pub fn push(&mut self, action: Action) {
+        if self.len < ACTION_BUF_INLINE {
+            self.inline[self.len] = Some(action);
+        } else {
+            self.spill.push(Some(action));
+        }
+        self.len += 1;
+    }
+
+    /// Removes and returns the next unconsumed action, in push order.
+    pub fn take_next(&mut self) -> Option<Action> {
+        if self.cursor >= self.len {
+            return None;
+        }
+        let action = if self.cursor < ACTION_BUF_INLINE {
+            self.inline[self.cursor].take()
+        } else {
+            self.spill[self.cursor - ACTION_BUF_INLINE].take()
+        };
+        self.cursor += 1;
+        debug_assert!(action.is_some(), "actions are taken exactly once");
+        action
+    }
+
+    /// Number of actions pushed and not yet reset.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if no actions have been pushed since the last
+    /// reset.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Empties the buffer for reuse, keeping the spill capacity. All
+    /// pushed actions must have been consumed with
+    /// [`take_next`](ActionBuf::take_next) (debug-asserted).
+    pub fn reset(&mut self) {
+        debug_assert_eq!(self.cursor, self.len, "reset with unconsumed actions");
+        // Consumed slots are already None; dropping them is free and
+        // `clear` keeps the spill allocation.
+        self.spill.clear();
+        self.len = 0;
+        self.cursor = 0;
+    }
+}
+
 /// Per-flow and per-node measurements exported by router logic at the end
 /// of a run (e.g. Corelite's allotted-rate series `b_g(f)`).
 #[derive(Debug, Clone, Default)]
@@ -138,10 +223,12 @@ pub struct Ctx<'a> {
     flows: &'a [FlowInfo],
     reverse_delays: &'a [Vec<SimDuration>],
     next_packet: &'a mut u64,
-    actions: Vec<Action>,
+    outgoing: &'a [LinkId],
+    actions: &'a mut ActionBuf,
 }
 
 impl<'a> Ctx<'a> {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         now: SimTime,
         node: NodeId,
@@ -149,6 +236,8 @@ impl<'a> Ctx<'a> {
         flows: &'a [FlowInfo],
         reverse_delays: &'a [Vec<SimDuration>],
         next_packet: &'a mut u64,
+        outgoing: &'a [LinkId],
+        actions: &'a mut ActionBuf,
     ) -> Self {
         Ctx {
             now,
@@ -157,12 +246,9 @@ impl<'a> Ctx<'a> {
             flows,
             reverse_delays,
             next_packet,
-            actions: Vec::new(),
+            outgoing,
+            actions,
         }
-    }
-
-    pub(crate) fn into_actions(self) -> Vec<Action> {
-        self.actions
     }
 
     /// Current simulation time.
@@ -195,14 +281,11 @@ impl<'a> Ctx<'a> {
         self.flow(flow).next_hop(self.node)
     }
 
-    /// Outgoing links of this node, in creation order.
-    pub fn outgoing_links(&self) -> Vec<LinkId> {
-        self.links
-            .iter()
-            .enumerate()
-            .filter(|(_, l)| l.src() == self.node)
-            .map(|(i, _)| LinkId(i))
-            .collect()
+    /// Outgoing links of this node, in creation order (precomputed at
+    /// build time; no allocation). The iterator borrows the network, not
+    /// the `Ctx`, so it can be held across `&mut self` calls.
+    pub fn outgoing_links(&self) -> std::iter::Copied<std::slice::Iter<'a, LinkId>> {
+        self.outgoing.iter().copied()
     }
 
     /// Static parameters of `link`.
@@ -402,7 +485,7 @@ impl RouterLogic for PoissonSource {
         if timer.tag != POISSON_EMIT {
             return;
         }
-        let flow = FlowId(timer.param as usize);
+        let flow = FlowId::from_index(timer.param as usize);
         if !ctx.flow(flow).is_active_at(ctx.now()) {
             return; // flow stopped; emission chain ends here
         }
@@ -427,7 +510,9 @@ impl RouterLogic for PoissonSource {
 /// (non-adaptive) load generator.
 #[derive(Debug)]
 pub struct CbrSource {
-    rate_pps: f64,
+    /// Inter-packet gap, fixed for the source's lifetime; precomputed
+    /// so the emission path skips the float-to-duration conversion.
+    gap: SimDuration,
     emitted: u64,
 }
 
@@ -442,7 +527,7 @@ impl CbrSource {
     pub fn new(rate_pps: f64) -> Self {
         assert!(rate_pps > 0.0, "source rate must be positive");
         CbrSource {
-            rate_pps,
+            gap: SimDuration::from_secs_f64(1.0 / rate_pps),
             emitted: 0,
         }
     }
@@ -460,7 +545,7 @@ impl RouterLogic for CbrSource {
         if timer.tag != CBR_EMIT {
             return;
         }
-        let flow = FlowId(timer.param as usize);
+        let flow = FlowId::from_index(timer.param as usize);
         if !ctx.flow(flow).is_active_at(ctx.now()) {
             return;
         }
@@ -468,7 +553,7 @@ impl RouterLogic for CbrSource {
         ctx.emit(packet);
         self.emitted += 1;
         ctx.set_timer(
-            SimDuration::from_secs_f64(1.0 / self.rate_pps),
+            self.gap,
             TimerKind::with_param(CBR_EMIT, flow.index() as u64),
         );
     }

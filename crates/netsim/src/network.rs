@@ -2,14 +2,14 @@
 
 use std::collections::BTreeMap;
 
-use sim_core::event::EventQueue;
+use sim_core::event::{EventQueue, QueueBackend};
 use sim_core::time::{SimDuration, SimTime};
 
 use crate::fault::FaultState;
 use crate::flow::FlowInfo;
 use crate::ids::{FlowId, LinkId, NodeId};
 use crate::link::{EnqueueOutcome, Link};
-use crate::logic::{Action, ControlMsg, Ctx, DropReason, RouterLogic, TimerKind};
+use crate::logic::{Action, ActionBuf, ControlMsg, Ctx, DropReason, RouterLogic, TimerKind};
 use crate::monitor::{FlowMonitor, FlowReport, LinkReport, SimReport};
 use crate::packet::Packet;
 use crate::trace::{FaultKind, TraceEvent, Tracer};
@@ -53,6 +53,13 @@ pub struct Network {
     started: bool,
     tracer: Option<Rc<RefCell<dyn Tracer>>>,
     faults: Option<FaultState>,
+    /// Reusable action buffer threaded through every logic callback;
+    /// drained and reset after each event so steady-state dispatch never
+    /// allocates.
+    scratch: ActionBuf,
+    /// `outgoing_by_node[n]` lists node `n`'s outgoing links in creation
+    /// order (precomputed for `Ctx::outgoing_links`).
+    outgoing_by_node: Vec<Vec<LinkId>>,
 }
 
 impl Network {
@@ -67,8 +74,9 @@ impl Network {
         notify_losses: bool,
         tracer: Option<Rc<RefCell<dyn Tracer>>>,
         faults: Option<FaultState>,
+        queue_backend: QueueBackend,
     ) -> Self {
-        let mut queue = EventQueue::with_capacity(1024);
+        let mut queue = EventQueue::with_backend(queue_backend, 1024);
         for flow in &flows {
             for &(start, stop) in &flow.activations {
                 queue.push(start, Event::FlowStart { flow: flow.id });
@@ -81,6 +89,10 @@ impl Network {
             .iter()
             .map(|_| FlowMonitor::new(SimTime::ZERO, window))
             .collect();
+        let mut outgoing_by_node: Vec<Vec<LinkId>> = vec![Vec::new(); names.len()];
+        for (i, link) in links.iter().enumerate() {
+            outgoing_by_node[link.src().index()].push(LinkId::from_index(i));
+        }
         let nodes = names
             .into_iter()
             .zip(logics)
@@ -102,6 +114,10 @@ impl Network {
             started: false,
             tracer,
             faults,
+            // Pre-sized so even per-flow action bursts (epoch timers on
+            // an edge carrying many flows) stay allocation-free.
+            scratch: ActionBuf::with_capacity(64),
+            outgoing_by_node,
         }
     }
 
@@ -149,11 +165,10 @@ impl Network {
         if !self.started {
             self.started = true;
             for i in 0..self.nodes.len() {
-                self.with_logic(NodeId(i), |logic, ctx| logic.on_start(ctx));
+                self.with_logic(NodeId::from_index(i), |logic, ctx| logic.on_start(ctx));
             }
         }
-        while self.queue.peek_time().is_some_and(|t| t <= end) {
-            let (time, event) = self.queue.pop().expect("peeked event must exist");
+        while let Some((time, event)) = self.queue.pop_at_or_before(end) {
             debug_assert!(time >= self.now, "event queue went backwards");
             self.now = time;
             self.dispatch(event);
@@ -262,7 +277,7 @@ impl Network {
                 flow: Some(packet.flow),
             });
             if let Some(link) = next_hop {
-                self.apply_actions(node, vec![Action::Forward { link, packet }]);
+                self.apply_action(node, Action::Forward { link, packet });
             }
         } else {
             self.with_logic(node, |logic, ctx| logic.on_packet(ctx, packet));
@@ -289,88 +304,96 @@ impl Network {
             .logic
             .take()
             .expect("router logic invoked re-entrantly");
-        let mut ctx = Ctx::new(
-            self.now,
-            node,
-            &mut self.links,
-            &self.flows,
-            &self.reverse_delays,
-            &mut self.next_packet,
-        );
-        f(logic.as_mut(), &mut ctx);
-        let actions = ctx.into_actions();
+        debug_assert!(self.scratch.is_empty(), "action scratch not drained");
+        {
+            let mut ctx = Ctx::new(
+                self.now,
+                node,
+                &mut self.links,
+                &self.flows,
+                &self.reverse_delays,
+                &mut self.next_packet,
+                &self.outgoing_by_node[node.index()],
+                &mut self.scratch,
+            );
+            f(logic.as_mut(), &mut ctx);
+        }
         self.nodes[node.index()].logic = Some(logic);
-        self.apply_actions(node, actions);
+        // Applying an action never pushes back into the scratch buffer
+        // (drops notify via `push_control`, which schedules directly on
+        // the event queue), so a single cursor pass drains it.
+        while let Some(action) = self.scratch.take_next() {
+            self.apply_action(node, action);
+        }
+        self.scratch.reset();
     }
 
-    fn apply_actions(&mut self, node: NodeId, actions: Vec<Action>) {
-        for action in actions {
-            match action {
-                Action::Forward { link, mut packet } => {
-                    if self
+    fn apply_action(&mut self, node: NodeId, action: Action) {
+        match action {
+            Action::Forward { link, mut packet } => {
+                if self
+                    .faults
+                    .as_ref()
+                    .is_some_and(|f| f.link_down(link, self.now))
+                {
+                    self.trace(TraceEvent::Fault {
+                        kind: FaultKind::LinkDown,
+                        node,
+                        flow: Some(packet.flow),
+                    });
+                    self.record_drop(node, &packet, DropReason::Fault);
+                    return;
+                }
+                if packet.marker.is_some() {
+                    let stripped = self
                         .faults
-                        .as_ref()
-                        .is_some_and(|f| f.link_down(link, self.now))
-                    {
+                        .as_mut()
+                        .is_some_and(|f| f.marker_stripped(link));
+                    if stripped {
+                        packet.marker = None;
                         self.trace(TraceEvent::Fault {
-                            kind: FaultKind::LinkDown,
+                            kind: FaultKind::MarkerStripped,
                             node,
                             flow: Some(packet.flow),
                         });
-                        self.record_drop(node, &packet, DropReason::Fault);
-                        continue;
-                    }
-                    if packet.marker.is_some() {
-                        let stripped = self
-                            .faults
-                            .as_mut()
-                            .is_some_and(|f| f.marker_stripped(link));
-                        if stripped {
-                            packet.marker = None;
-                            self.trace(TraceEvent::Fault {
-                                kind: FaultKind::MarkerStripped,
-                                node,
-                                flow: Some(packet.flow),
-                            });
-                        }
-                    }
-                    let l = &mut self.links[link.index()];
-                    assert_eq!(
-                        l.src(),
-                        node,
-                        "node {node} forwarded on link {link} it does not own"
-                    );
-                    let (pkt_id, pkt_flow) = (packet.id, packet.flow);
-                    match l.enqueue(self.now, packet) {
-                        EnqueueOutcome::Accepted {
-                            starts_transmission,
-                        } => {
-                            let queue_len = self.links[link.index()].queue_len();
-                            self.trace(TraceEvent::Enqueue {
-                                link,
-                                packet: pkt_id,
-                                flow: pkt_flow,
-                                queue_len,
-                            });
-                            if let Some(tx) = starts_transmission {
-                                self.queue.push(self.now + tx, Event::TxDone { link });
-                            }
-                        }
-                        EnqueueOutcome::Dropped(p) => {
-                            self.record_drop(node, &p, DropReason::Tail);
-                        }
                     }
                 }
-                Action::Drop { packet, reason } => {
-                    self.record_drop(node, &packet, reason);
+                let l = &mut self.links[link.index()];
+                assert_eq!(
+                    l.src(),
+                    node,
+                    "node {node} forwarded on link {link} it does not own"
+                );
+                let (pkt_id, pkt_flow) = (packet.id, packet.flow);
+                match l.enqueue(self.now, packet) {
+                    EnqueueOutcome::Accepted {
+                        starts_transmission,
+                    } => {
+                        let queue_len = self.links[link.index()].queue_len();
+                        self.trace(TraceEvent::Enqueue {
+                            link,
+                            packet: pkt_id,
+                            flow: pkt_flow,
+                            queue_len,
+                        });
+                        if let Some(tx) = starts_transmission {
+                            self.queue.push(self.now + tx, Event::TxDone { link });
+                        }
+                    }
+                    EnqueueOutcome::Dropped(p) => {
+                        self.record_drop(node, &p, DropReason::Tail);
+                    }
                 }
-                Action::Control { to, delay, msg } => {
-                    self.push_control(to, delay, msg);
-                }
-                Action::Timer { delay, timer } => {
-                    self.queue
-                        .push(self.now + delay, Event::Timer { node, timer });
-                }
+            }
+            Action::Drop { packet, reason } => {
+                self.record_drop(node, &packet, reason);
+            }
+            Action::Control { to, delay, msg } => {
+                self.push_control(to, delay, msg);
+            }
+            Action::Timer { delay, timer } => {
+                self.queue
+                    .push(self.now + delay, Event::Timer { node, timer });
             }
         }
     }
@@ -471,7 +494,7 @@ impl Network {
             .iter()
             .enumerate()
             .map(|(i, l)| LinkReport {
-                id: LinkId(i),
+                id: LinkId::from_index(i),
                 src: l.src(),
                 dst: l.dst(),
                 forwarded_packets: l.forwarded_packets(),
@@ -491,7 +514,7 @@ impl Network {
             .enumerate()
             .map(|(i, slot)| {
                 (
-                    NodeId(i),
+                    NodeId::from_index(i),
                     slot.logic
                         .as_ref()
                         .expect("logic present outside callbacks")
@@ -937,7 +960,7 @@ mod fault_tests {
             if timer.tag != MARK_EMIT {
                 return;
             }
-            let flow = FlowId(timer.param as usize);
+            let flow = FlowId::from_index(timer.param as usize);
             if !ctx.flow(flow).is_active_at(ctx.now()) {
                 return;
             }

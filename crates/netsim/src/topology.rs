@@ -1,5 +1,6 @@
 //! Declarative network construction.
 
+use sim_core::event::QueueBackend;
 use sim_core::time::SimDuration;
 
 use crate::fault::{FaultPlan, FaultState};
@@ -42,6 +43,7 @@ pub struct TopologyBuilder {
     notify_losses: bool,
     tracer: Option<Rc<RefCell<dyn Tracer>>>,
     faults: FaultPlan,
+    queue_backend: QueueBackend,
 }
 
 impl TopologyBuilder {
@@ -58,6 +60,7 @@ impl TopologyBuilder {
             notify_losses: true,
             tracer: None,
             faults: FaultPlan::default(),
+            queue_backend: QueueBackend::Wheel,
         }
     }
 
@@ -69,7 +72,7 @@ impl TopologyBuilder {
         name: &str,
         factory: impl FnOnce(u64) -> Box<dyn RouterLogic>,
     ) -> NodeId {
-        let id = NodeId(self.names.len());
+        let id = NodeId::from_index(self.names.len());
         // Mix the node index into the experiment seed; DetRng whitens
         // further, so a simple affine mix suffices here.
         let component_seed = self
@@ -90,7 +93,7 @@ impl TopologyBuilder {
         assert!(src.index() < self.names.len(), "unknown src node {src}");
         assert!(dst.index() < self.names.len(), "unknown dst node {dst}");
         assert_ne!(src, dst, "self-links are not allowed");
-        let id = LinkId(self.links.len());
+        let id = LinkId::from_index(self.links.len());
         self.links.push(Link::new(src, dst, spec));
         id
     }
@@ -103,7 +106,7 @@ impl TopologyBuilder {
 
     /// Adds a flow.
     pub fn flow(&mut self, spec: FlowSpec) -> FlowId {
-        let id = FlowId(self.flow_specs.len());
+        let id = FlowId::from_index(self.flow_specs.len());
         self.flow_specs.push(spec);
         id
     }
@@ -134,6 +137,15 @@ impl TopologyBuilder {
         self
     }
 
+    /// Selects the event-queue backend (default: the timer wheel). The
+    /// heap backend is kept for differential testing; both deliver
+    /// events in exactly the same order, so simulation results are
+    /// byte-identical across backends.
+    pub fn queue_backend(&mut self, backend: QueueBackend) -> &mut Self {
+        self.queue_backend = backend;
+        self
+    }
+
     /// Installs a fault-injection plan (see [`crate::fault`]). The plan's
     /// random streams are derived from the experiment seed under
     /// dedicated labels, so installing faults never perturbs the draws of
@@ -160,6 +172,7 @@ impl TopologyBuilder {
             notify_losses,
             tracer,
             faults,
+            queue_backend,
         } = self;
         let faults = if faults.is_empty() {
             None
@@ -171,7 +184,7 @@ impl TopologyBuilder {
             .into_iter()
             .enumerate()
             .map(|(i, spec)| {
-                let id = FlowId(i);
+                let id = FlowId::from_index(i);
                 for &n in &spec.path {
                     assert!(
                         n.index() < names.len(),
@@ -185,7 +198,7 @@ impl TopologyBuilder {
                         links
                             .iter()
                             .position(|l| l.src() == pair[0] && l.dst() == pair[1])
-                            .map(LinkId)
+                            .map(LinkId::from_index)
                             .unwrap_or_else(|| {
                                 panic!(
                                     "flow {id}: no link from {} ({}) to {} ({})",
@@ -197,15 +210,15 @@ impl TopologyBuilder {
                             })
                     })
                     .collect();
-                FlowInfo {
+                FlowInfo::new(
                     id,
-                    weight: spec.weight,
-                    packet_size: spec.packet_size,
-                    min_rate: spec.min_rate,
-                    path: spec.path,
+                    spec.weight,
+                    spec.packet_size,
+                    spec.min_rate,
+                    spec.path,
                     hops,
-                    activations: spec.activations,
-                }
+                    spec.activations,
+                )
             })
             .collect();
 
@@ -235,6 +248,7 @@ impl TopologyBuilder {
             notify_losses,
             tracer,
             faults,
+            queue_backend,
         )
     }
 }

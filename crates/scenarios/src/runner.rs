@@ -167,6 +167,17 @@ impl Scenario {
         self.run_with_link(discipline, paper_link())
     }
 
+    /// Runs the scenario on a specific event-queue backend. Results are
+    /// byte-identical across backends (both deliver events in the same
+    /// order); the knob exists for differential testing of the engine.
+    pub fn run_with_queue(
+        &self,
+        discipline: &dyn Discipline,
+        backend: sim_core::event::QueueBackend,
+    ) -> ExperimentResult {
+        self.run_configured(discipline, paper_link(), backend)
+    }
+
     /// Runs the scenario with every link using `link` instead of the
     /// paper's parameters — the knob behind the latency/capacity
     /// sensitivity ablations (§4.4 mentions "channels with large
@@ -176,7 +187,17 @@ impl Scenario {
         discipline: &dyn Discipline,
         link: netsim::link::LinkSpec,
     ) -> ExperimentResult {
+        self.run_configured(discipline, link, sim_core::event::QueueBackend::Wheel)
+    }
+
+    fn run_configured(
+        &self,
+        discipline: &dyn Discipline,
+        link: netsim::link::LinkSpec,
+        backend: sim_core::event::QueueBackend,
+    ) -> ExperimentResult {
         let mut b = TopologyBuilder::new(self.seed);
+        b.queue_backend(backend);
         // The shared core network.
         let cores: Vec<_> = (0..self.topology.core_count)
             .map(|i| b.node(&format!("C{}", i + 1), |s| discipline.core_logic(s)))

@@ -1,0 +1,22 @@
+//! Deliberate `hot-alloc` violations: fresh heap allocations inside
+//! per-event hot functions. The `hot_alloc_` filename prefix classifies
+//! this fixture as a hot-path module (see `rules::classify`).
+
+struct Logic {
+    out: Vec<u64>,
+}
+
+impl Logic {
+    fn on_packet(&mut self, x: u64) {
+        let actions = vec![x, x + 1]; // flagged: a vec! per packet
+        let mut scratch = Vec::new(); // flagged: a fresh Vec per packet
+        scratch.push(actions.len() as u64);
+        let boxed = Box::new(x); // flagged: a Box per packet
+        self.out = scratch.to_vec(); // flagged: a full copy per packet
+        let _ = boxed;
+    }
+}
+
+fn build() -> Vec<u64> {
+    Vec::new() // not flagged: `build` is not a per-event function
+}

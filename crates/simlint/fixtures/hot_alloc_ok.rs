@@ -1,0 +1,26 @@
+//! The idiomatic hot path: allocations happen once in constructors,
+//! per-event callbacks reuse preallocated buffers, and the rare
+//! justified site carries an inline allow.
+
+struct Logic {
+    scratch: Vec<u64>,
+}
+
+impl Logic {
+    fn new() -> Self {
+        // Setup-time allocation is fine: `new` is not a hot function.
+        Logic {
+            scratch: Vec::with_capacity(8),
+        }
+    }
+
+    fn on_packet(&mut self, x: u64) {
+        self.scratch.clear();
+        self.scratch.push(x);
+    }
+
+    fn on_control(&mut self, xs: &[u64]) {
+        // simlint: allow(hot-alloc) reconfiguration runs once per experiment
+        self.scratch = xs.to_vec();
+    }
+}

@@ -11,8 +11,10 @@
 //!   nondeterminism sources that would silently break this out of the
 //!   simulation crates.
 //!
-//! Two hygiene rules ride along: `float-eq` (exact `==`/`!=` on floats)
-//! and `panic-path` (bare `unwrap()` in the netsim event loop).
+//! Three hygiene rules ride along: `float-eq` (exact `==`/`!=` on
+//! floats), `panic-path` (bare `unwrap()` in the netsim event loop) and
+//! `hot-alloc` (fresh heap allocations in per-event hot functions,
+//! guarding the engine's zero-alloc dispatch contract).
 //!
 //! Violations print as `file:line: rule — message` and any violation
 //! makes the process exit nonzero. Suppress per-site with an inline

@@ -57,6 +57,10 @@ pub const RULES: &[(&str, &str)] = &[
         "panic-path",
         "bare unwrap() in the netsim event loop; expect() must name the violated invariant",
     ),
+    (
+        "hot-alloc",
+        "heap allocation (vec!/Vec::new/Box::new/.to_vec) in per-event hot functions; reuse buffers",
+    ),
 ];
 
 /// True when `rule` is a known rule name.
@@ -85,6 +89,55 @@ const EVENT_LOOP_MODULES: &[&str] = &[
     "crates/netsim/src/network.rs",
     "crates/netsim/src/logic.rs",
     "crates/netsim/src/link.rs",
+];
+
+/// Dispatch/discipline modules whose per-event functions must not
+/// allocate: the engine's zero-alloc contract (DESIGN.md §"Engine
+/// performance", pinned by `crates/netsim/tests/zero_alloc.rs`) only
+/// holds if steady-state dispatch never touches the heap.
+const HOT_PATH_MODULES: &[&str] = &[
+    "crates/netsim/src/network.rs",
+    "crates/netsim/src/logic.rs",
+    "crates/netsim/src/link.rs",
+    "crates/corelite/src/edge.rs",
+    "crates/corelite/src/router.rs",
+    "crates/csfq/src/core.rs",
+    "crates/csfq/src/edge.rs",
+    "crates/baselines/src/red.rs",
+    "crates/baselines/src/fred.rs",
+    "crates/baselines/src/greedy.rs",
+];
+
+/// Function names that run per event (or per epoch) in a hot-path
+/// module. The `hot-alloc` rule applies only inside these bodies, so
+/// constructors and report/setup code may allocate freely.
+const HOT_FNS: &[&str] = &[
+    // netsim dispatch internals.
+    "run_until",
+    "dispatch",
+    "handle_arrive",
+    "handle_tx_done",
+    "with_logic",
+    "apply_action",
+    "push_control",
+    "record_drop",
+    // Per-packet link operations.
+    "enqueue",
+    "complete_transmission",
+    // RouterLogic callbacks (on_start included: helpers reached from it
+    // are usually shared with the per-packet path).
+    "on_start",
+    "on_packet",
+    "on_timer",
+    "on_control",
+    "on_flow_start",
+    "on_flow_stop",
+    // Discipline helpers on the emit/adapt path.
+    "handle_emit",
+    "ensure_emission",
+    "schedule_next",
+    "run_epoch",
+    "adapt_all",
 ];
 
 /// Collection types whose `<FlowId, …>` instantiation is per-flow state.
@@ -127,6 +180,9 @@ pub struct FileClass {
     pub core_module: bool,
     /// netsim event-loop module: the `panic-path` rule applies.
     pub event_loop: bool,
+    /// Dispatch/discipline module: the `hot-alloc` rule applies inside
+    /// its per-event functions.
+    pub hot_path: bool,
     /// Test code (integration test file): `float-eq` does not apply.
     pub is_test: bool,
 }
@@ -135,8 +191,8 @@ pub struct FileClass {
 ///
 /// Lint fixtures under `simlint/fixtures/` classify by filename prefix
 /// (`core_state_*` as a core module, `panic_path_*` as an event-loop
-/// module) so the fixtures exercise the path-scoped rules without
-/// masquerading as real tree paths.
+/// module, `hot_alloc_*` as a hot-path module) so the fixtures exercise
+/// the path-scoped rules without masquerading as real tree paths.
 pub fn classify(rel: &str) -> FileClass {
     if let Some(name) = rel
         .contains("simlint/fixtures/")
@@ -145,12 +201,14 @@ pub fn classify(rel: &str) -> FileClass {
         return FileClass {
             core_module: name.starts_with("core_state"),
             event_loop: name.starts_with("panic_path"),
+            hot_path: name.starts_with("hot_alloc"),
             is_test: false,
         };
     }
     FileClass {
         core_module: CORE_MODULES.contains(&rel),
         event_loop: EVENT_LOOP_MODULES.contains(&rel),
+        hot_path: HOT_PATH_MODULES.contains(&rel),
         is_test: rel.starts_with("tests/") || rel.contains("/tests/"),
     }
 }
@@ -160,6 +218,11 @@ pub fn classify(rel: &str) -> FileClass {
 pub fn scan_source(rel: &str, src: &str, class: FileClass, allow: &Allowlist) -> Vec<Violation> {
     let lexed = lex(src);
     let test_ranges = cfg_test_ranges(&lexed.tokens);
+    let hot_ranges = if class.hot_path {
+        hot_fn_ranges(&lexed.tokens)
+    } else {
+        Vec::new()
+    };
     let mut found = Vec::new();
     let toks = &lexed.tokens;
 
@@ -273,6 +336,46 @@ pub fn scan_source(rel: &str, src: &str, class: FileClass, allow: &Allowlist) ->
                                   diagnosable"
                             .to_owned(),
                     });
+                }
+                // hot-alloc: a fresh heap allocation inside a per-event
+                // function of a dispatch/discipline module. `Vec::<` is
+                // the turbofish constructor form; `Vec` as a plain type
+                // annotation has no `::` and is not flagged.
+                if class.hot_path
+                    && !class.is_test
+                    && !in_ranges(&test_ranges, line)
+                    && in_ranges(&hot_ranges, line)
+                {
+                    let alloc = if name == "vec" && op(i + 1, "!") {
+                        Some("vec![…]")
+                    } else if name == "Vec"
+                        && op(i + 1, "::")
+                        && (ident(i + 2) == Some("new") || op(i + 2, "<"))
+                    {
+                        Some("Vec::new()")
+                    } else if name == "Box"
+                        && op(i + 1, "::")
+                        && (ident(i + 2) == Some("new") || op(i + 2, "<"))
+                    {
+                        Some("Box::new(…)")
+                    } else if name == "to_vec" && i > 0 && op(i - 1, ".") && op(i + 1, "(") {
+                        Some(".to_vec()")
+                    } else {
+                        None
+                    };
+                    if let Some(what) = alloc {
+                        found.push(Violation {
+                            file: rel.to_owned(),
+                            line,
+                            rule: "hot-alloc",
+                            message: format!(
+                                "`{what}` allocates on the per-event hot path, breaking the \
+                                 engine's zero-alloc dispatch contract; reuse a preallocated \
+                                 buffer (ActionBuf-style, DESIGN.md §\"Engine performance\") or \
+                                 justify with `simlint: allow(hot-alloc)`"
+                            ),
+                        });
+                    }
                 }
             }
             // float-eq: `==`/`!=` with a float-literal operand or a
@@ -389,6 +492,48 @@ fn cfg_test_ranges(toks: &[Token]) -> Vec<(u32, u32)> {
     ranges
 }
 
+/// Line ranges covered by the bodies of [`HOT_FNS`] functions, found by
+/// brace-matching from each `fn <name>` to its closing brace. Trait
+/// declarations without a body (`fn on_packet(…);`) contribute nothing.
+fn hot_fn_ranges(toks: &[Token]) -> Vec<(u32, u32)> {
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let is_hot_fn = matches!(&toks[i].tok, Tok::Ident(s) if s == "fn")
+            && matches!(
+                toks.get(i + 1).map(|t| &t.tok),
+                Some(Tok::Ident(s)) if HOT_FNS.contains(&s.as_str())
+            );
+        if !is_hot_fn {
+            i += 1;
+            continue;
+        }
+        let start = toks[i].line;
+        // Scan past the signature to the body's opening brace; a `;`
+        // first means a bodiless trait-method declaration.
+        let mut j = i + 2;
+        while j < toks.len() && toks[j].tok != Tok::Op("{") && toks[j].tok != Tok::Op(";") {
+            j += 1;
+        }
+        if toks.get(j).map(|t| &t.tok) == Some(&Tok::Op("{")) {
+            let mut depth = 1usize;
+            j += 1;
+            while j < toks.len() && depth > 0 {
+                match &toks[j].tok {
+                    Tok::Op("{") => depth += 1,
+                    Tok::Op("}") => depth -= 1,
+                    _ => {}
+                }
+                j += 1;
+            }
+            let end = toks.get(j.saturating_sub(1)).map_or(u32::MAX, |t| t.line);
+            ranges.push((start, end));
+        }
+        i = j;
+    }
+    ranges
+}
+
 fn in_ranges(ranges: &[(u32, u32)], line: u32) -> bool {
     ranges.iter().any(|&(a, b)| line >= a && line <= b)
 }
@@ -423,8 +568,11 @@ mod tests {
         assert!(classify("tests/paper_topology.rs").is_test);
         assert!(classify("crates/netsim/tests/properties.rs").is_test);
         assert!(!classify("crates/netsim/src/flow.rs").core_module);
+        assert!(classify("crates/corelite/src/edge.rs").hot_path);
+        assert!(!classify("crates/netsim/src/flow.rs").hot_path);
         assert!(classify("crates/simlint/fixtures/core_state_bad.rs").core_module);
         assert!(classify("crates/simlint/fixtures/panic_path_bad.rs").event_loop);
+        assert!(classify("crates/simlint/fixtures/hot_alloc_bad.rs").hot_path);
     }
 
     #[test]
@@ -530,6 +678,43 @@ mod tests {
         // expect() with a message and unwrap_or_else are fine.
         let ok = "q.pop().expect(\"queue invariant\"); v.unwrap_or_else(|| 0);";
         assert!(scan("crates/netsim/src/network.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn hot_alloc_flagged_only_in_hot_fns_of_hot_modules() {
+        // Ranges are line-granular, so keep the fns on separate lines.
+        let src = "impl L {\nfn on_packet(&mut self) { let v = vec![1]; }\n\
+                   fn report(&self) { let v = vec![1]; }\n}";
+        let v = scan("crates/netsim/src/network.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "hot-alloc");
+        // Same source in a non-hot module is fine.
+        assert!(scan("crates/netsim/src/flow.rs", src).is_empty());
+    }
+
+    #[test]
+    fn hot_alloc_catches_every_pattern() {
+        let src = "fn on_timer() { let a = Vec::new(); let b = Box::new(1); \
+                   let c = s.to_vec(); let d = Vec::<u8>::new(); }";
+        let v = scan("crates/corelite/src/edge.rs", src);
+        assert_eq!(v.len(), 4, "{v:?}");
+        assert!(v.iter().all(|v| v.rule == "hot-alloc"));
+    }
+
+    #[test]
+    fn hot_alloc_ignores_types_setup_and_tests() {
+        // A `Vec<…>` type annotation in a hot fn is not an allocation.
+        let ty = "fn on_packet(&mut self, xs: &Vec<u64>) -> Vec<u64> { xs.clone() }";
+        assert!(scan("crates/netsim/src/network.rs", ty).is_empty());
+        // Constructors and cfg(test) code may allocate.
+        let setup = "fn new() -> Self { L { buf: Vec::new() } }\n\
+                     #[cfg(test)]\nmod tests { fn on_packet() { let v = vec![1]; } }";
+        assert!(scan("crates/netsim/src/network.rs", setup).is_empty());
+        // Inline allow suppresses a justified site.
+        let allowed =
+            "fn on_control(&mut self) {\n// simlint: allow(hot-alloc) rare reconfiguration\n\
+             let v = Vec::new();\n}";
+        assert!(scan("crates/netsim/src/network.rs", allowed).is_empty());
     }
 
     #[test]
