@@ -175,9 +175,10 @@ impl RouterLogic for AggregatingEdge {
 
     fn on_control(&mut self, ctx: &mut Ctx<'_>, msg: ControlMsg) {
         if let ControlMsg::MarkerFeedback { marker, from } = msg {
+            let cfg = &self.cfg;
             if let Some(egress) = self.flow_group.get(&marker.flow) {
                 if let Some(g) = self.groups.get_mut(egress) {
-                    g.controller.on_feedback(from, ctx.now());
+                    g.controller.on_feedback(cfg, from, ctx.now());
                 }
             }
         }

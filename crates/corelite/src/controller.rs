@@ -139,20 +139,46 @@ impl RateController {
     /// (§4) and is consumed by the halving; later notifications
     /// accumulate for the epoch update. Returns `true` if this feedback
     /// ended slow-start.
-    pub fn on_feedback(&mut self, from: NodeId, now: SimTime) -> bool {
+    ///
+    /// The halving follows `cfg.adaptation`: under `RateLimd` the rate is
+    /// the control variable and `cwnd` must be left alone (halving it
+    /// would plant stale window state that corrupts the derived rate if
+    /// the scenario later switches to `WindowAimd`); under `WindowAimd`
+    /// the window halves and the rate is re-derived from it.
+    pub fn on_feedback(&mut self, cfg: &CoreliteConfig, from: NodeId, now: SimTime) -> bool {
         if !self.active {
             return false;
         }
         if self.phase == Phase::SlowStart {
             self.phase = Phase::Linear;
-            self.cwnd = (self.cwnd / 2.0).max(1.0);
-            self.rate = (self.rate / 2.0).max(self.min_rate);
+            match cfg.adaptation {
+                AdaptationScheme::RateLimd => {
+                    self.rate = (self.rate / 2.0).max(self.min_rate);
+                }
+                AdaptationScheme::WindowAimd => {
+                    self.cwnd = (self.cwnd / 2.0).max(1.0);
+                    self.rate = (self.cwnd / self.rtt).max(self.min_rate);
+                }
+            }
             self.record(now);
             true
         } else {
             *self.feedback.entry(from).or_insert(0) += 1;
             false
         }
+    }
+
+    /// The highest per-core marker count accumulated since the last epoch
+    /// update — the paper's `m(f)`. Read it *before*
+    /// [`epoch_update`](RateController::epoch_update), which consumes the
+    /// counts.
+    pub fn feedback_max(&self) -> u32 {
+        self.feedback.values().copied().max().unwrap_or(0)
+    }
+
+    /// Whether the controller is still in slow-start.
+    pub fn in_slow_start(&self) -> bool {
+        self.phase == Phase::SlowStart
     }
 
     /// Applies one adaptation epoch at `now` (§2 step 3): `+α` on
@@ -279,11 +305,11 @@ mod tests {
         let mut rc = RateController::new(1, 0.0);
         rc.start(&c, t(0.0), 0.24);
         rc.rate = 20.0;
-        let exited = rc.on_feedback(NodeId::from_index(1), t(1.0));
+        let exited = rc.on_feedback(&c, NodeId::from_index(1), t(1.0));
         assert!(exited);
         assert_eq!(rc.rate(), 10.0);
         // A second notification accumulates for the epoch instead.
-        assert!(!rc.on_feedback(NodeId::from_index(1), t(1.1)));
+        assert!(!rc.on_feedback(&c, NodeId::from_index(1), t(1.1)));
         rc.epoch_update(&c, t(1.5));
         assert_eq!(rc.rate(), 9.0); // −β·1
     }
@@ -296,9 +322,9 @@ mod tests {
         rc.rate = 50.0;
         rc.phase = Phase::Linear;
         for _ in 0..3 {
-            rc.on_feedback(NodeId::from_index(1), t(1.0));
+            rc.on_feedback(&c, NodeId::from_index(1), t(1.0));
         }
-        rc.on_feedback(NodeId::from_index(2), t(1.0));
+        rc.on_feedback(&c, NodeId::from_index(2), t(1.0));
         rc.epoch_update(&c, t(1.5));
         // max(3, 1) = 3 ⇒ −3, not −4.
         assert_eq!(rc.rate(), 47.0);
@@ -313,7 +339,7 @@ mod tests {
         rc.phase = Phase::Linear;
         rc.rate = 103.0;
         for _ in 0..10 {
-            rc.on_feedback(NodeId::from_index(1), t(1.0));
+            rc.on_feedback(&c, NodeId::from_index(1), t(1.0));
         }
         rc.epoch_update(&c, t(1.5));
         assert_eq!(rc.rate(), 100.0);
@@ -338,6 +364,49 @@ mod tests {
     }
 
     #[test]
+    fn slow_start_exit_halving_is_scheme_aware() {
+        // RateLimd (the default): the rate halves, the window is NOT
+        // touched — halving it would leave stale window state behind if
+        // the scheme were later switched per-scenario.
+        let c = cfg();
+        assert_eq!(c.adaptation, AdaptationScheme::RateLimd);
+        let mut rc = RateController::new(1, 0.0);
+        rc.start(&c, t(0.0), 0.24);
+        let cwnd_before = rc.cwnd;
+        rc.rate = 20.0;
+        assert!(rc.on_feedback(&c, NodeId::from_index(1), t(1.0)));
+        assert_eq!(rc.rate(), 10.0);
+        assert_eq!(rc.cwnd, cwnd_before, "RateLimd must not halve cwnd");
+        assert!(!rc.in_slow_start());
+
+        // WindowAimd: the window halves and the rate is re-derived.
+        let mut cw = cfg();
+        cw.adaptation = AdaptationScheme::WindowAimd;
+        let mut rc = RateController::new(1, 0.0);
+        rc.start(&cw, t(0.0), 0.24);
+        rc.cwnd = 16.0;
+        rc.rate = rc.cwnd / rc.rtt;
+        assert!(rc.on_feedback(&cw, NodeId::from_index(1), t(1.0)));
+        assert_eq!(rc.cwnd, 8.0);
+        assert!((rc.rate() - 8.0 / 0.24).abs() < 1e-9);
+    }
+
+    #[test]
+    fn feedback_max_reads_pending_epoch_counts() {
+        let c = cfg();
+        let mut rc = RateController::new(1, 0.0);
+        rc.start(&c, t(0.0), 0.24);
+        rc.phase = Phase::Linear;
+        assert_eq!(rc.feedback_max(), 0);
+        rc.on_feedback(&c, NodeId::from_index(1), t(1.0));
+        rc.on_feedback(&c, NodeId::from_index(1), t(1.1));
+        rc.on_feedback(&c, NodeId::from_index(2), t(1.2));
+        assert_eq!(rc.feedback_max(), 2, "max per core, not the sum");
+        rc.epoch_update(&c, t(1.5));
+        assert_eq!(rc.feedback_max(), 0, "epoch update consumes the counts");
+    }
+
+    #[test]
     fn stop_records_zero_and_blocks_feedback() {
         let c = cfg();
         let mut rc = RateController::new(1, 0.0);
@@ -345,6 +414,6 @@ mod tests {
         rc.stop(t(5.0));
         assert!(!rc.is_active());
         assert_eq!(rc.series().last_value(), Some(0.0));
-        assert!(!rc.on_feedback(NodeId::from_index(1), t(6.0)));
+        assert!(!rc.on_feedback(&c, NodeId::from_index(1), t(6.0)));
     }
 }

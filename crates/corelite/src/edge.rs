@@ -26,6 +26,7 @@ use sim_core::time::{SimDuration, SimTime};
 use netsim::ids::FlowId;
 use netsim::logic::{ControlMsg, Ctx, LogicReport, RouterLogic, TimerKind};
 use netsim::packet::Marker;
+use netsim::telemetry::Sample;
 
 use crate::config::CoreliteConfig;
 use crate::controller::RateController;
@@ -189,7 +190,24 @@ impl RouterLogic for CoreliteEdge {
                     }
                     let flow = FlowId::from_index(i);
                     let s = self.flows[i].as_mut().expect("flow state exists");
+                    if s.controller.is_active() {
+                        // m(f) must be read before the epoch update
+                        // consumes the per-core counts.
+                        ctx.publish(Sample::for_flow(
+                            "m_f",
+                            flow,
+                            s.controller.feedback_max() as f64,
+                        ));
+                    }
                     s.controller.epoch_update(&self.cfg, now);
+                    if s.controller.is_active() {
+                        ctx.publish(Sample::for_flow("b_g", flow, s.controller.rate()));
+                        ctx.publish(Sample::for_flow(
+                            "slow_start",
+                            flow,
+                            f64::from(s.controller.in_slow_start()),
+                        ));
+                    }
                     self.ensure_emission(ctx, flow);
                 }
                 ctx.set_timer(self.cfg.edge_epoch, TimerKind::tagged(TIMER_EPOCH));
@@ -204,8 +222,15 @@ impl RouterLogic for CoreliteEdge {
             ControlMsg::MarkerFeedback { marker, from } => {
                 self.feedback_received += 1;
                 let now = ctx.now();
-                if let Some(s) = self.state_mut(marker.flow) {
-                    s.controller.on_feedback(from, now);
+                // Disjoint field borrows: the config rides alongside the
+                // mutable flow-state access.
+                let cfg = &self.cfg;
+                if let Some(s) = self
+                    .flows
+                    .get_mut(marker.flow.index())
+                    .and_then(Option::as_mut)
+                {
+                    s.controller.on_feedback(cfg, from, now);
                 }
             }
             ControlMsg::Loss { .. } => {

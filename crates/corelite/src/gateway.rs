@@ -30,6 +30,7 @@ use sim_core::time::{SimDuration, SimTime};
 use netsim::ids::FlowId;
 use netsim::logic::{ControlMsg, Ctx, LogicReport, RouterLogic, TimerKind};
 use netsim::packet::{Marker, Packet};
+use netsim::telemetry::Sample;
 
 use crate::config::CoreliteConfig;
 use crate::controller::RateController;
@@ -216,7 +217,24 @@ impl RouterLogic for CoreliteGateway {
                 let flows: Vec<FlowId> = self.flows.keys().copied().collect();
                 for flow in flows {
                     let s = self.flows.get_mut(&flow).expect("gateway flow exists");
+                    if s.controller.is_active() {
+                        // m(f) must be read before the epoch update
+                        // consumes the per-core counts.
+                        ctx.publish(Sample::for_flow(
+                            "m_f",
+                            flow,
+                            s.controller.feedback_max() as f64,
+                        ));
+                    }
                     s.controller.epoch_update(&self.cfg, now);
+                    if s.controller.is_active() {
+                        ctx.publish(Sample::for_flow("b_g", flow, s.controller.rate()));
+                        ctx.publish(Sample::for_flow(
+                            "slow_start",
+                            flow,
+                            f64::from(s.controller.in_slow_start()),
+                        ));
+                    }
                     self.ensure_emission(ctx, flow);
                 }
                 ctx.set_timer(self.cfg.edge_epoch, TimerKind::tagged(TIMER_EPOCH));
@@ -229,8 +247,9 @@ impl RouterLogic for CoreliteGateway {
     fn on_control(&mut self, ctx: &mut Ctx<'_>, msg: ControlMsg) {
         if let ControlMsg::MarkerFeedback { marker, from } = msg {
             self.feedback_received += 1;
+            let cfg = &self.cfg;
             if let Some(s) = self.flows.get_mut(&marker.flow) {
-                s.controller.on_feedback(from, ctx.now());
+                s.controller.on_feedback(cfg, from, ctx.now());
             }
         }
         // Losses: ignored, as at any Corelite edge.

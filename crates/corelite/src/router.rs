@@ -17,6 +17,7 @@ use sim_core::time::SimTime;
 use netsim::ids::LinkId;
 use netsim::logic::{Ctx, LogicReport, RouterLogic, TimerKind};
 use netsim::packet::Packet;
+use netsim::telemetry::Sample;
 
 use crate::cache::MarkerCache;
 use crate::config::{CoreliteConfig, SelectorKind};
@@ -108,6 +109,8 @@ impl CoreliteCore {
             if fn_count > 0.0 {
                 self.congested_epochs += 1;
             }
+            ctx.publish(Sample::for_link("q_avg", link, q_avg));
+            ctx.publish(Sample::for_link("f_n", link, fn_count));
             // Round the fractional count probabilistically, preserving
             // the expectation (e.g. 2.3 → 2 with p 0.7, 3 with p 0.3).
             let floor = fn_count.floor();
@@ -122,11 +125,27 @@ impl CoreliteCore {
                             ctx.send_marker_feedback(marker);
                         }
                     }
+                    ctx.publish(Sample::for_link("cache_len", link, cache.len() as f64));
                 }
                 Selector::Stateless(selector) => {
+                    // The closing epoch's tallies, before `on_epoch`
+                    // resets them for the next epoch.
+                    ctx.publish(Sample::for_link(
+                        "sent_this_epoch",
+                        link,
+                        selector.sent_this_epoch() as f64,
+                    ));
                     // Arm the next epoch: its arriving markers are the
                     // selection candidates (§3.2's epoch-scoped scheme).
                     selector.on_epoch(fn_count);
+                    if let Some(r_av) = selector.r_av() {
+                        ctx.publish(Sample::for_link("r_av", link, r_av));
+                    }
+                    if let Some(w_av) = selector.w_av() {
+                        ctx.publish(Sample::for_link("w_av", link, w_av));
+                    }
+                    ctx.publish(Sample::for_link("p_w", link, selector.p_w()));
+                    ctx.publish(Sample::for_link("deficit", link, selector.deficit() as f64));
                 }
             }
         }

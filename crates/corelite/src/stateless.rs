@@ -173,6 +173,12 @@ impl StatelessSelector {
     pub fn sent_this_epoch(&self) -> u64 {
         self.sent_this_epoch
     }
+
+    /// The carried-over selection deficit (selections owed from past
+    /// epochs whose probabilistic picks came up short).
+    pub fn deficit(&self) -> u64 {
+        self.deficit
+    }
 }
 
 #[cfg(test)]

@@ -20,11 +20,16 @@ use sim_core::rng::DetRng;
 use sim_core::time::{SimDuration, SimTime};
 
 use netsim::ids::LinkId;
-use netsim::logic::{Ctx, LogicReport, RouterLogic};
+use netsim::logic::{Ctx, LogicReport, RouterLogic, TimerKind};
 use netsim::packet::Packet;
+use netsim::telemetry::Sample;
 
 use crate::config::CsfqConfig;
 use crate::estimator::RateEstimator;
+
+/// Telemetry sampling timer, armed only when a probe is installed so a
+/// probe-less run's event stream is untouched.
+const TIMER_SAMPLE: u32 = 1;
 
 /// The per-link fair-share estimation state of a CSFQ core router.
 #[derive(Debug, Clone)]
@@ -187,6 +192,29 @@ impl RouterLogic for CsfqCore {
             self.links
                 .insert(link, FairShareEstimator::new(capacity, self.cfg.k_link));
         }
+        // CSFQ has no epoch timer of its own; fair-share telemetry needs
+        // a sampling clock. Arm it only under a probe: extra events would
+        // otherwise perturb probe-less runs.
+        if ctx.probe_enabled() {
+            ctx.set_timer(self.cfg.k_link, TimerKind::tagged(TIMER_SAMPLE));
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, timer: TimerKind) {
+        if timer.tag != TIMER_SAMPLE {
+            return;
+        }
+        for (&link, est) in &self.links {
+            if let Some(alpha) = est.alpha() {
+                ctx.publish(Sample::for_link("alpha", link, alpha));
+            }
+            ctx.publish(Sample::for_link(
+                "congested",
+                link,
+                f64::from(est.is_congested()),
+            ));
+        }
+        ctx.set_timer(self.cfg.k_link, TimerKind::tagged(TIMER_SAMPLE));
     }
 
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, mut packet: Packet) {

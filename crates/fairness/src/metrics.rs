@@ -181,6 +181,80 @@ pub fn jain_series(
     out
 }
 
+/// Half the peak-to-peak excursion of samples at or after `from`, as a
+/// fraction of `reference` — the residual oscillation amplitude once a
+/// series has settled. Returns 0.0 when fewer than two samples remain.
+///
+/// # Panics
+///
+/// Panics if `reference` is not strictly positive.
+pub fn oscillation_amplitude(series: &TimeSeries, from: SimTime, reference: f64) -> f64 {
+    assert!(
+        reference > 0.0,
+        "oscillation reference must be positive, got {reference}"
+    );
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    let mut n = 0usize;
+    for (t, v) in series.iter() {
+        if t >= from {
+            min = min.min(v);
+            max = max.max(v);
+            n += 1;
+        }
+    }
+    if n < 2 {
+        0.0
+    } else {
+        (max - min) / 2.0 / reference
+    }
+}
+
+/// Convergence diagnostics of one rate series against an analytic
+/// reference (the weighted max-min rate the flow should receive).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SettlingReport {
+    /// First instant from which the series stays within
+    /// `reference·(1 ± tolerance)` for the sustain window, if any.
+    pub settling_time: Option<SimTime>,
+    /// Residual oscillation after settling, as a fraction of the
+    /// reference (half peak-to-peak); `None` when the series never
+    /// settles.
+    pub oscillation: Option<f64>,
+}
+
+/// Measures when `series` settles to within `tolerance` of `reference`
+/// (sustained for `sustain`) and, if it does, how much it still
+/// oscillates afterwards. This is the per-flow row of the telemetry
+/// binary's convergence table.
+///
+/// # Panics
+///
+/// Panics if `reference` is not strictly positive or `tolerance` is
+/// negative.
+pub fn settling_report(
+    series: &TimeSeries,
+    reference: f64,
+    tolerance: f64,
+    sustain: SimDuration,
+) -> SettlingReport {
+    assert!(
+        reference > 0.0,
+        "settling reference must be positive, got {reference}"
+    );
+    let spec = ConvergenceSpec {
+        target: reference,
+        tolerance,
+        sustain,
+    };
+    let settling_time = convergence_time(series, &spec);
+    let oscillation = settling_time.map(|from| oscillation_amplitude(series, from, reference));
+    SettlingReport {
+        settling_time,
+        oscillation,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -300,6 +374,37 @@ mod tests {
         // produce no points.
         assert_eq!(series.len(), 1);
         assert_eq!(series.last_value(), Some(1.0));
+    }
+
+    #[test]
+    fn oscillation_measures_half_peak_to_peak() {
+        let s = step_series(&[(0.0, 10.0), (5.0, 96.0), (6.0, 104.0), (7.0, 100.0)]);
+        // From t=5: min 96, max 104 ⇒ half peak-to-peak 4, /100 = 0.04.
+        assert!((oscillation_amplitude(&s, t(5.0), 100.0) - 0.04).abs() < 1e-12);
+        // The pre-settling transient at t=0 is excluded.
+        assert!(oscillation_amplitude(&s, t(0.0), 100.0) > 0.4);
+        // Fewer than two post-settling samples: amplitude is undefined ⇒ 0.
+        assert_eq!(oscillation_amplitude(&s, t(7.0), 100.0), 0.0);
+    }
+
+    #[test]
+    fn settling_report_combines_time_and_oscillation() {
+        let s = step_series(&[
+            (0.0, 10.0),
+            (2.0, 98.0),
+            (4.0, 103.0),
+            (6.0, 99.0),
+            (10.0, 100.0),
+        ]);
+        let rep = settling_report(&s, 100.0, 0.1, SimDuration::from_secs(5));
+        assert_eq!(rep.settling_time, Some(t(2.0)));
+        // From t=2: min 98, max 103 ⇒ (5/2)/100.
+        assert!((rep.oscillation.unwrap() - 0.025).abs() < 1e-12);
+
+        let never = step_series(&[(0.0, 10.0), (5.0, 10.0)]);
+        let rep = settling_report(&never, 100.0, 0.1, SimDuration::from_secs(5));
+        assert_eq!(rep.settling_time, None);
+        assert_eq!(rep.oscillation, None);
     }
 
     #[test]

@@ -53,6 +53,7 @@ pub mod logic;
 pub mod monitor;
 pub mod network;
 pub mod packet;
+pub mod telemetry;
 pub mod topology;
 pub mod trace;
 
@@ -64,4 +65,5 @@ pub use logic::{Action, ControlMsg, Ctx, RouterLogic, TimerKind};
 pub use monitor::SimReport;
 pub use network::Network;
 pub use packet::{Marker, Packet};
+pub use telemetry::{Probe, ProbeRecord, RingProbe, Sample};
 pub use topology::TopologyBuilder;

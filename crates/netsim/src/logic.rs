@@ -8,6 +8,7 @@
 //! command-buffer design keeps logic implementations free of aliasing
 //! gymnastics and keeps every state change observable by the monitors.
 
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 
 use sim_core::rng::DetRng;
@@ -18,6 +19,7 @@ use crate::flow::FlowInfo;
 use crate::ids::{FlowId, LinkId, NodeId, PacketId};
 use crate::link::{Link, LinkSpec};
 use crate::packet::{Marker, Packet};
+use crate::telemetry::{Probe, Sample};
 
 /// An opaque timer tag interpreted by the logic that scheduled it.
 ///
@@ -225,6 +227,7 @@ pub struct Ctx<'a> {
     next_packet: &'a mut u64,
     outgoing: &'a [LinkId],
     actions: &'a mut ActionBuf,
+    probe: Option<&'a RefCell<dyn Probe>>,
 }
 
 impl<'a> Ctx<'a> {
@@ -238,6 +241,7 @@ impl<'a> Ctx<'a> {
         next_packet: &'a mut u64,
         outgoing: &'a [LinkId],
         actions: &'a mut ActionBuf,
+        probe: Option<&'a RefCell<dyn Probe>>,
     ) -> Self {
         Ctx {
             now,
@@ -248,6 +252,7 @@ impl<'a> Ctx<'a> {
             next_packet,
             outgoing,
             actions,
+            probe,
         }
     }
 
@@ -383,6 +388,28 @@ impl<'a> Ctx<'a> {
     /// Schedules `timer` to fire on this node after `delay`.
     pub fn set_timer(&mut self, delay: SimDuration, timer: TimerKind) {
         self.actions.push(Action::Timer { delay, timer });
+    }
+
+    /// Whether a control-plane [`Probe`] is installed.
+    ///
+    /// Logic that would schedule *extra events* purely to publish
+    /// telemetry (e.g. a sampling timer) must gate them on this, so that
+    /// a probe-less run has an event stream identical to a build without
+    /// telemetry at all.
+    pub fn probe_enabled(&self) -> bool {
+        self.probe.is_some()
+    }
+
+    /// Publishes a control-plane sample to the installed probe, if any.
+    ///
+    /// With no probe installed this is a single branch; with one
+    /// installed it is a `RefCell` borrow and a `Copy` — no allocation
+    /// either way (the zero-alloc contract, see
+    /// [`telemetry`](crate::telemetry)).
+    pub fn publish(&self, sample: Sample) {
+        if let Some(p) = self.probe {
+            p.borrow_mut().record(self.now, self.node, &sample);
+        }
     }
 }
 

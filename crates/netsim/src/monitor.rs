@@ -77,7 +77,15 @@ impl FlowMonitor {
         end: SimTime,
     ) -> (TimeSeries, TimeSeries, LogHistogram, FlowTotals) {
         self.roll_cumulative(end);
-        self.cumulative.push(end, self.delivered_packets as f64);
+        // When `end` lands exactly on a window boundary, `roll_cumulative`
+        // has already emitted the point at `end`; pushing again would
+        // duplicate the final sample (TimeSeries accepts equal timestamps)
+        // and double-weight the last bucket in resampling consumers.
+        // (`WindowedRate::finish` has no analogous hazard: `roll_to` only
+        // closes fully elapsed windows and drops the final partial one.)
+        if self.cumulative.iter().last().map(|(t, _)| t) != Some(end) {
+            self.cumulative.push(end, self.delivered_packets as f64);
+        }
         let goodput = self.goodput.finish(end);
         let totals = FlowTotals {
             delivered_packets: self.delivered_packets,
@@ -259,6 +267,27 @@ mod tests {
         // Cumulative sampled at window ends plus the final instant.
         let c: Vec<(SimTime, f64)> = cumulative.iter().collect();
         assert_eq!(c.last(), Some(&(t(2.0), 2.0)));
+    }
+
+    #[test]
+    fn finish_on_window_boundary_does_not_duplicate_sample() {
+        let mut m = FlowMonitor::new(t(0.0), SimDuration::from_secs(1));
+        m.record_delivery(t(0.2), 1000, SimDuration::from_millis(10));
+        m.record_delivery(t(1.4), 1000, SimDuration::from_millis(10));
+        // `end` falls exactly on a window edge: the rolled point at 2.0
+        // must not be followed by a second sample at the same instant.
+        let (_, cumulative, _, _) = m.finish(t(2.0));
+        let c: Vec<(SimTime, f64)> = cumulative.iter().collect();
+        assert_eq!(c, vec![(t(1.0), 1.0), (t(2.0), 2.0)]);
+    }
+
+    #[test]
+    fn finish_off_boundary_still_emits_final_sample() {
+        let mut m = FlowMonitor::new(t(0.0), SimDuration::from_secs(1));
+        m.record_delivery(t(0.2), 1000, SimDuration::from_millis(10));
+        let (_, cumulative, _, _) = m.finish(t(1.5));
+        let c: Vec<(SimTime, f64)> = cumulative.iter().collect();
+        assert_eq!(c, vec![(t(1.0), 1.0), (t(1.5), 1.0)]);
     }
 
     #[test]

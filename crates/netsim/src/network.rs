@@ -12,6 +12,7 @@ use crate::link::{EnqueueOutcome, Link};
 use crate::logic::{Action, ActionBuf, ControlMsg, Ctx, DropReason, RouterLogic, TimerKind};
 use crate::monitor::{FlowMonitor, FlowReport, LinkReport, SimReport};
 use crate::packet::Packet;
+use crate::telemetry::Probe;
 use crate::trace::{FaultKind, TraceEvent, Tracer};
 
 use std::cell::RefCell;
@@ -52,6 +53,7 @@ pub struct Network {
     notify_losses: bool,
     started: bool,
     tracer: Option<Rc<RefCell<dyn Tracer>>>,
+    probe: Option<Rc<RefCell<dyn Probe>>>,
     faults: Option<FaultState>,
     /// Reusable action buffer threaded through every logic callback;
     /// drained and reset after each event so steady-state dispatch never
@@ -73,6 +75,7 @@ impl Network {
         window: SimDuration,
         notify_losses: bool,
         tracer: Option<Rc<RefCell<dyn Tracer>>>,
+        probe: Option<Rc<RefCell<dyn Probe>>>,
         faults: Option<FaultState>,
         queue_backend: QueueBackend,
     ) -> Self {
@@ -113,6 +116,7 @@ impl Network {
             notify_losses,
             started: false,
             tracer,
+            probe,
             faults,
             // Pre-sized so even per-flow action bursts (epoch timers on
             // an edge carrying many flows) stay allocation-free.
@@ -315,6 +319,7 @@ impl Network {
                 &mut self.next_packet,
                 &self.outgoing_by_node[node.index()],
                 &mut self.scratch,
+                self.probe.as_deref(),
             );
             f(logic.as_mut(), &mut ctx);
         }
@@ -618,6 +623,13 @@ mod tests {
         let report = net.into_report(end);
         let cum: Vec<f64> = report.flow(f).cumulative.iter().map(|(_, v)| v).collect();
         assert!(cum.windows(2).all(|w| w[1] >= w[0]));
+        // The horizon is an exact window boundary: timestamps must still
+        // be strictly increasing (no duplicated final sample).
+        let times: Vec<SimTime> = report.flow(f).cumulative.iter().map(|(t, _)| t).collect();
+        assert!(
+            times.windows(2).all(|w| w[1] > w[0]),
+            "duplicate cumulative sample at a window boundary"
+        );
         assert_eq!(
             *cum.last().expect("cumulative series is never empty"),
             report.flow(f).delivered_packets as f64

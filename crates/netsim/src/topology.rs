@@ -9,6 +9,7 @@ use crate::ids::{FlowId, LinkId, NodeId};
 use crate::link::{Link, LinkSpec};
 use crate::logic::RouterLogic;
 use crate::network::Network;
+use crate::telemetry::Probe;
 use crate::trace::Tracer;
 
 use std::cell::RefCell;
@@ -42,6 +43,7 @@ pub struct TopologyBuilder {
     window: SimDuration,
     notify_losses: bool,
     tracer: Option<Rc<RefCell<dyn Tracer>>>,
+    probe: Option<Rc<RefCell<dyn Probe>>>,
     faults: FaultPlan,
     queue_backend: QueueBackend,
 }
@@ -59,6 +61,7 @@ impl TopologyBuilder {
             window: SimDuration::from_secs(1),
             notify_losses: true,
             tracer: None,
+            probe: None,
             faults: FaultPlan::default(),
             queue_backend: QueueBackend::Wheel,
         }
@@ -137,6 +140,14 @@ impl TopologyBuilder {
         self
     }
 
+    /// Installs a control-plane telemetry probe (see
+    /// [`crate::telemetry`]). Keep a clone of the `Rc` to inspect the
+    /// collected samples after the run.
+    pub fn probe(&mut self, probe: Rc<RefCell<dyn Probe>>) -> &mut Self {
+        self.probe = Some(probe);
+        self
+    }
+
     /// Selects the event-queue backend (default: the timer wheel). The
     /// heap backend is kept for differential testing; both deliver
     /// events in exactly the same order, so simulation results are
@@ -171,6 +182,7 @@ impl TopologyBuilder {
             window,
             notify_losses,
             tracer,
+            probe,
             faults,
             queue_backend,
         } = self;
@@ -247,6 +259,7 @@ impl TopologyBuilder {
             window,
             notify_losses,
             tracer,
+            probe,
             faults,
             queue_backend,
         )

@@ -160,8 +160,27 @@ impl<W: Write> CsvTracer<W> {
         self.rows
     }
 
-    /// Consumes the tracer, returning the underlying writer.
-    pub fn into_inner(self) -> W {
+    /// Flushes buffered rows through to the sink. Call this before
+    /// inspecting the sink mid-run when `W` buffers (e.g. a
+    /// [`std::io::BufWriter`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sink fails.
+    pub fn flush(&mut self) {
+        self.out.flush().expect("flush trace sink");
+    }
+
+    /// Consumes the tracer, flushing and returning the underlying writer.
+    ///
+    /// Without the flush, rows buffered by `W` would be silently lost if
+    /// the caller drops the writer without draining it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sink fails to flush.
+    pub fn into_inner(mut self) -> W {
+        self.flush();
         self.out
     }
 }
@@ -212,6 +231,49 @@ impl<W: Write> Tracer for CsvTracer<W> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// A sink that records what reached it and how often it was flushed.
+    #[derive(Debug, Default)]
+    struct FlushSink {
+        data: Vec<u8>,
+        flushes: usize,
+    }
+
+    impl Write for FlushSink {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.data.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            self.flushes += 1;
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn csv_tracer_flushes_explicitly_and_on_into_inner() {
+        let mut tracer = CsvTracer::new(std::io::BufWriter::new(FlushSink::default()));
+        tracer.record(
+            SimTime::from_secs(1),
+            &TraceEvent::Deliver {
+                node: NodeId::from_index(0),
+                packet: PacketId::from_sequence(1),
+                flow: FlowId::from_index(0),
+            },
+        );
+        tracer.flush();
+        let buf = tracer.into_inner();
+        let sink = buf.into_inner().expect("buffer already flushed");
+        assert!(
+            sink.flushes >= 2,
+            "expected flush() and into_inner() to each reach the sink, saw {}",
+            sink.flushes
+        );
+        let text = String::from_utf8(sink.data).unwrap();
+        assert_eq!(text.lines().count(), 2, "header + one row reached the sink");
+        assert!(text.lines().nth(1).unwrap().contains("deliver"));
+    }
 
     #[test]
     fn counting_tracer_tallies_kinds() {

@@ -12,15 +12,25 @@
 //! does not interfere with other tests.
 
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::RefCell;
+use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use netsim::flow::FlowSpec;
+use netsim::ids::LinkId;
 use netsim::link::LinkSpec;
-use netsim::logic::{CbrSource, ForwardLogic};
+use netsim::logic::{CbrSource, Ctx, ForwardLogic, RouterLogic, TimerKind};
+use netsim::telemetry::{Probe, RingProbe, Sample};
 use netsim::topology::TopologyBuilder;
+use netsim::FlowId;
 use sim_core::time::{SimDuration, SimTime};
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// The allocation counter is process-global; the two tests must not
+/// interleave their measured windows.
+static LOCK: Mutex<()> = Mutex::new(());
 
 /// Counts every allocation and reallocation (frees are irrelevant to
 /// the steady-state contract).
@@ -48,6 +58,7 @@ static ALLOCATOR: CountingAllocator = CountingAllocator;
 
 #[test]
 fn steady_state_dispatch_does_not_allocate() {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
     // src --> mid --> dst chain, CBR at 200 pkt/s under a 500 pkt/s
     // link: forwarding, timers and transmissions but no drops. The
     // measurement window is pushed past the horizon so monitors do not
@@ -90,4 +101,72 @@ fn steady_state_dispatch_does_not_allocate() {
         fr.delivered_packets
     );
     assert_eq!(fr.total_drops(), 0);
+}
+
+const TIMER_TELEMETRY: u32 = 7;
+
+/// A forwarding logic that publishes telemetry samples on a 100 ms
+/// clock — the epoch-grained cadence the Corelite/CSFQ hooks use.
+struct PublishingForward;
+
+impl RouterLogic for PublishingForward {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.set_timer(
+            SimDuration::from_millis(100),
+            TimerKind::tagged(TIMER_TELEMETRY),
+        );
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, timer: TimerKind) {
+        ctx.publish(Sample::scalar("tick", 1.0));
+        ctx.publish(Sample::for_flow("b_g", FlowId::from_index(0), 42.0));
+        ctx.publish(Sample::for_link("q_avg", LinkId::from_index(1), 0.5));
+        ctx.set_timer(SimDuration::from_millis(100), timer);
+    }
+}
+
+#[test]
+fn telemetry_publishing_does_not_allocate() {
+    // Same chain as above, but the mid node publishes three samples per
+    // 100 ms epoch into a RingProbe that wraps long before the measured
+    // window: the telemetry hot path — `Ctx::publish` through
+    // `RingProbe::record`, including the overwrite-oldest branch — must
+    // be as allocation-free as dispatch itself (ISSUE 5).
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let probe = Rc::new(RefCell::new(RingProbe::with_capacity(1024)));
+    let link = LinkSpec::new(4_000_000, SimDuration::from_millis(40), 40);
+    let mut b = TopologyBuilder::new(3);
+    b.measurement_window(SimDuration::from_secs(10_000));
+    b.probe(probe.clone() as Rc<RefCell<dyn Probe>>);
+    let src = b.node("src", |_| Box::new(CbrSource::new(200.0)));
+    let mid = b.node("mid", |_| Box::new(PublishingForward));
+    let dst = b.node("dst", |_| Box::new(ForwardLogic));
+    b.link(src, mid, link);
+    b.link(mid, dst, link);
+    b.flow(FlowSpec::new(vec![src, mid, dst], 1).active(SimTime::ZERO, None));
+    let mut net = b.build();
+
+    // Warm past one full timer-wheel rotation, as above; by then the
+    // ring has wrapped thousands of times.
+    net.run_until(SimTime::from_secs(2_300));
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    net.run_until(SimTime::from_secs(2_400));
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "telemetry-enabled dispatch allocated {} times over 100 simulated seconds",
+        after - before
+    );
+
+    // The probe really was recording the whole time.
+    let p = probe.borrow();
+    assert_eq!(p.len(), 1024, "ring should be full");
+    assert!(
+        p.dropped() > 10_000,
+        "ring should have wrapped: {}",
+        p.dropped()
+    );
+    assert!(p.iter().any(|r| r.sample.name == "b_g"));
 }

@@ -1,6 +1,7 @@
 //! Expected-vs-measured tables, convergence summaries, and CSV export.
 
-use fairness::metrics::{convergence_time, jain_index, ConvergenceSpec};
+use fairness::metrics::{convergence_time, jain_index, settling_report, ConvergenceSpec};
+use sim_core::stats::TimeSeries;
 use sim_core::time::{SimDuration, SimTime};
 
 use crate::runner::ExperimentResult;
@@ -164,6 +165,133 @@ pub fn last_convergence(
     Some(latest)
 }
 
+/// One flow's convergence diagnostics against the analytic weighted
+/// max-min reference (contrast with [`convergence_summary`], which
+/// measures against the flow's own realized operating point).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SettlingRow {
+    /// 1-based paper flow number.
+    pub flow: usize,
+    /// The flow's rate weight.
+    pub weight: u32,
+    /// Analytic weighted max-min share at the probe instant, pkt/s.
+    pub reference: f64,
+    /// First instant from which the smoothed rate stays within the
+    /// tolerance band around `reference` for the sustain window, or
+    /// `None` if the flow never settles.
+    pub settling_time: Option<SimTime>,
+    /// Half the peak-to-peak rate excursion after settling, as a
+    /// fraction of `reference`; `None` while unsettled.
+    pub oscillation: Option<f64>,
+}
+
+/// Per-flow settling time and post-settling oscillation amplitude
+/// against the **analytic** weighted max-min reference at `probe`
+/// (the §4.2 convergence diagnostic). Rates are smoothed over 4 s
+/// buckets, as in [`convergence_summary`]. Flows whose reference share
+/// is 0 (inactive at `probe`) report `None` for both diagnostics.
+pub fn settling_summary(
+    result: &ExperimentResult,
+    probe: SimTime,
+    tolerance: f64,
+    sustain: SimDuration,
+) -> Vec<SettlingRow> {
+    let expected = result.expected_rates_at(probe);
+    (0..result.scenario.flows.len())
+        .map(|i| {
+            let weight = result.scenario.flows[i].weight;
+            if expected[i] <= 0.0 {
+                return SettlingRow {
+                    flow: i + 1,
+                    weight,
+                    reference: expected[i],
+                    settling_time: None,
+                    oscillation: None,
+                };
+            }
+            let smoothed = result
+                .rate_series(i)
+                .resample_mean(SimDuration::from_secs(4));
+            let r = settling_report(&smoothed, expected[i], tolerance, sustain);
+            SettlingRow {
+                flow: i + 1,
+                weight,
+                reference: expected[i],
+                settling_time: r.settling_time,
+                oscillation: r.oscillation,
+            }
+        })
+        .collect()
+}
+
+/// Jain's weighted fairness index sampled every `step` across the run:
+/// at each instant the index is computed over the 4-s-smoothed rates of
+/// the flows whose analytic share at that instant is positive. Empty
+/// active sets contribute no sample, so the series starts at the first
+/// instant with traffic expected.
+pub fn jain_trajectory(result: &ExperimentResult, step: SimDuration) -> TimeSeries {
+    assert!(!step.is_zero(), "trajectory sampling step must be positive");
+    let n = result.scenario.flows.len();
+    let smoothed: Vec<TimeSeries> = (0..n)
+        .map(|i| {
+            result
+                .rate_series(i)
+                .resample_mean(SimDuration::from_secs(4))
+        })
+        .collect();
+    let mut out = TimeSeries::new();
+    let mut t = SimTime::ZERO;
+    while t <= result.scenario.horizon {
+        let expected = result.expected_rates_at(t);
+        let (rates, weights): (Vec<f64>, Vec<f64>) = (0..n)
+            .filter(|&i| expected[i] > 0.0)
+            .map(|i| {
+                (
+                    smoothed[i].value_at(t).unwrap_or(0.0),
+                    result.scenario.flows[i].weight as f64,
+                )
+            })
+            .unzip();
+        if !rates.is_empty() {
+            out.push(t, jain_index(&rates, &weights));
+        }
+        t += step;
+    }
+    out
+}
+
+/// Renders a settling summary as a Markdown table.
+pub fn settling_markdown(rows: &[SettlingRow]) -> String {
+    let mut out =
+        String::from("| flow | weight | reference (pkt/s) | settling (s) | oscillation |\n");
+    out.push_str("|---|---|---|---|---|\n");
+    for r in rows {
+        let settle = match r.settling_time {
+            Some(t) => format!("{:.1}", t.as_secs_f64()),
+            None => "—".to_owned(),
+        };
+        let osc = match r.oscillation {
+            Some(a) => format!("{:.1}%", a * 100.0),
+            None => "—".to_owned(),
+        };
+        out.push_str(&format!(
+            "| {} | {} | {:.2} | {} | {} |\n",
+            r.flow, r.weight, r.reference, settle, osc
+        ));
+    }
+    out
+}
+
+/// Renders a Jain-index trajectory as a Markdown table (one row per
+/// sample).
+pub fn jain_trajectory_markdown(trajectory: &TimeSeries) -> String {
+    let mut out = String::from("| t (s) | Jain index |\n|---|---|\n");
+    for (t, j) in trajectory.iter() {
+        out.push_str(&format!("| {:.0} | {j:.4} |\n", t.as_secs_f64()));
+    }
+    out
+}
+
 /// Renders a steady-state summary as a Markdown table.
 pub fn summary_markdown(summaries: &[FlowSummary]) -> String {
     let mut out =
@@ -321,6 +449,42 @@ mod tests {
             SimDuration::from_secs(10),
         );
         assert!(last.is_some());
+    }
+
+    #[test]
+    fn settling_summary_measures_against_analytic_reference() {
+        let result = small_result();
+        let rows = settling_summary(
+            &result,
+            SimTime::from_secs(250),
+            0.3,
+            SimDuration::from_secs(10),
+        );
+        assert_eq!(rows.len(), 2);
+        assert!((rows[0].reference - 500.0 / 3.0).abs() < 1e-6);
+        assert!((rows[1].reference - 1000.0 / 3.0).abs() < 1e-6);
+        for r in &rows {
+            assert!(r.settling_time.is_some(), "{r:?}");
+            let osc = r.oscillation.expect("settled flows report oscillation");
+            assert!((0.0..0.6).contains(&osc), "{r:?}");
+        }
+        let md = settling_markdown(&rows);
+        assert_eq!(md.lines().count(), 2 + rows.len());
+        assert!(md.contains("| 1 | 1 |"));
+    }
+
+    #[test]
+    fn jain_trajectory_rises_toward_one() {
+        let result = small_result();
+        let traj = jain_trajectory(&result, SimDuration::from_secs(20));
+        assert!(!traj.is_empty());
+        let late = traj
+            .mean_in(SimTime::from_secs(200), SimTime::from_secs(261))
+            .unwrap();
+        assert!(late > 0.9, "late jain {late}");
+        let md = jain_trajectory_markdown(&traj);
+        assert!(md.lines().count() >= 3);
+        assert!(md.starts_with("| t (s) | Jain index |"));
     }
 
     #[test]

@@ -1,8 +1,12 @@
 //! Builds and runs an experiment on a [`TopologySpec`] under any
 //! registered [`Discipline`].
 
+use std::cell::RefCell;
+use std::rc::Rc;
+
 use fairness::maxmin::MaxMinProblem;
 use netsim::flow::FlowSpec;
+use netsim::telemetry::Probe;
 use netsim::topology::TopologyBuilder;
 use netsim::{FlowId, SimReport};
 use sim_core::stats::TimeSeries;
@@ -175,7 +179,21 @@ impl Scenario {
         discipline: &dyn Discipline,
         backend: sim_core::event::QueueBackend,
     ) -> ExperimentResult {
-        self.run_configured(discipline, paper_link(), backend)
+        self.run_configured(discipline, paper_link(), backend, None)
+    }
+
+    /// Runs the scenario with a telemetry [`Probe`] installed on every
+    /// node: disciplines publish their per-epoch internals (detector
+    /// `q_avg`, selector `r_av`/`w_av`/`p_w`, per-flow `b_g`, CSFQ
+    /// `alpha`, …) into it as the run progresses. The probe is shared —
+    /// read it back after the run via the same `Rc`.
+    pub fn run_instrumented(
+        &self,
+        discipline: &dyn Discipline,
+        backend: sim_core::event::QueueBackend,
+        probe: Rc<RefCell<dyn Probe>>,
+    ) -> ExperimentResult {
+        self.run_configured(discipline, paper_link(), backend, Some(probe))
     }
 
     /// Runs the scenario with every link using `link` instead of the
@@ -187,7 +205,7 @@ impl Scenario {
         discipline: &dyn Discipline,
         link: netsim::link::LinkSpec,
     ) -> ExperimentResult {
-        self.run_configured(discipline, link, sim_core::event::QueueBackend::Wheel)
+        self.run_configured(discipline, link, sim_core::event::QueueBackend::Wheel, None)
     }
 
     fn run_configured(
@@ -195,9 +213,13 @@ impl Scenario {
         discipline: &dyn Discipline,
         link: netsim::link::LinkSpec,
         backend: sim_core::event::QueueBackend,
+        probe: Option<Rc<RefCell<dyn Probe>>>,
     ) -> ExperimentResult {
         let mut b = TopologyBuilder::new(self.seed);
         b.queue_backend(backend);
+        if let Some(p) = probe {
+            b.probe(p);
+        }
         // The shared core network.
         let cores: Vec<_> = (0..self.topology.core_count)
             .map(|i| b.node(&format!("C{}", i + 1), |s| discipline.core_logic(s)))

@@ -99,6 +99,7 @@ const HOT_PATH_MODULES: &[&str] = &[
     "crates/netsim/src/network.rs",
     "crates/netsim/src/logic.rs",
     "crates/netsim/src/link.rs",
+    "crates/netsim/src/telemetry.rs",
     "crates/corelite/src/edge.rs",
     "crates/corelite/src/router.rs",
     "crates/csfq/src/core.rs",
@@ -138,6 +139,10 @@ const HOT_FNS: &[&str] = &[
     "schedule_next",
     "run_epoch",
     "adapt_all",
+    // Telemetry: every per-epoch publish lands here; the zero-alloc
+    // contract (ISSUE 5) extends to probe recording.
+    "record",
+    "publish",
 ];
 
 /// Collection types whose `<FlowId, …>` instantiation is per-flow state.

@@ -6,6 +6,10 @@
 //! parallel. The wheel is a pure data-structure substitution; any
 //! divergence is an ordering bug.
 
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use netsim::telemetry::{Probe, RingProbe};
 use scenarios::exec::{run_parallel, run_serial};
 use scenarios::runner::Scenario;
 use scenarios::PaperFigure;
@@ -56,6 +60,39 @@ fn every_figure_agrees_across_backends() {
             scenario.run_with_queue(discipline.as_ref(), QueueBackend::Heap)
         );
         assert_eq!(wheel, heap, "queue backends diverged on {}", figure.name());
+    }
+}
+
+#[test]
+fn probe_streams_agree_across_backends() {
+    // Telemetry must be a pure function of the event stream: the same
+    // scenario probed on the wheel and on the heap yields byte-identical
+    // JSONL. Covers both the Corelite per-epoch hooks and CSFQ's
+    // probe-gated sampling timer (Fig5 = Corelite, Fig6 = CSFQ).
+    for figure in [PaperFigure::Fig5, PaperFigure::Fig6] {
+        let scenario = compressed(figure, 1);
+        let discipline = figure.discipline();
+        let stream = |backend: QueueBackend| {
+            let probe = Rc::new(RefCell::new(RingProbe::with_capacity(1 << 16)));
+            scenario.run_instrumented(
+                discipline.as_ref(),
+                backend,
+                probe.clone() as Rc<RefCell<dyn Probe>>,
+            );
+            let jsonl = probe.borrow().to_jsonl();
+            assert!(
+                !jsonl.is_empty(),
+                "{}: probe recorded nothing",
+                figure.name()
+            );
+            jsonl
+        };
+        assert_eq!(
+            stream(QueueBackend::Wheel),
+            stream(QueueBackend::Heap),
+            "probe streams diverged across backends on {}",
+            figure.name()
+        );
     }
 }
 
