@@ -13,14 +13,13 @@
 //! [`RedCore`](crate::red::RedCore) / [`FredCore`] pair lets the tests
 //! quantify both sides of that §5 trade-off.
 
-use std::collections::BTreeMap;
-
 use sim_core::rng::DetRng;
 use sim_core::time::SimTime;
 
 use netsim::ids::{FlowId, LinkId};
 use netsim::logic::{Ctx, LogicReport, RouterLogic};
 use netsim::packet::Packet;
+use netsim::slab::DenseMap;
 
 use crate::red::RedConfig;
 
@@ -75,7 +74,7 @@ struct FlowAccount {
 struct LinkState {
     avg: f64,
     /// Per-active-flow accounting — exactly the state §5 points at.
-    flows: BTreeMap<FlowId, FlowAccount>,
+    flows: DenseMap<FlowId, FlowAccount>,
 }
 
 /// A FRED core router: RED plus per-active-flow buffer accounting.
@@ -83,7 +82,7 @@ struct LinkState {
 pub struct FredCore {
     cfg: FredConfig,
     rng: DetRng,
-    links: BTreeMap<LinkId, LinkState>,
+    links: DenseMap<LinkId, LinkState>,
     early_drops: u64,
     forwarded: u64,
     /// High-water mark of simultaneously tracked flows (the paper's
@@ -102,7 +101,7 @@ impl FredCore {
         FredCore {
             cfg,
             rng: DetRng::new(seed),
-            links: BTreeMap::new(),
+            links: DenseMap::new(),
             early_drops: 0,
             forwarded: 0,
             peak_tracked_flows: 0,
@@ -121,13 +120,15 @@ impl RouterLogic for FredCore {
             return;
         };
         let q = ctx.link_queue_len(link) as f64;
-        let state = self.links.entry(link).or_default();
+        let state = self.links.entry_or_insert_with(link, LinkState::default);
         state.avg = (1.0 - self.cfg.red.wq) * state.avg + self.cfg.red.wq * q;
 
         // Average per-flow backlog over currently active flows.
         let active = state.flows.values().filter(|a| a.qlen > 0).count().max(1);
         let avgcq = (state.avg / active as f64).max(1.0);
-        let account = state.flows.entry(packet.flow).or_default();
+        let account = state
+            .flows
+            .entry_or_insert_with(packet.flow, FlowAccount::default);
 
         let strike_threshold = (self.cfg.strike_multiplier * avgcq) as usize;
         let over_average = account.qlen + 1 > avgcq.ceil() as usize;

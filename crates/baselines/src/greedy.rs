@@ -19,7 +19,7 @@ const TIMER_EMIT: u32 = 1;
 pub struct GreedySource {
     /// Offered rate per flow id, packets per second; flows not listed use
     /// `default_rate`.
-    rates: std::collections::BTreeMap<FlowId, f64>,
+    rates: netsim::slab::DenseMap<FlowId, f64>,
     default_rate: f64,
     emitted: u64,
 }
@@ -34,7 +34,7 @@ impl GreedySource {
     pub fn new(default_rate: f64) -> Self {
         assert!(default_rate > 0.0, "offered rate must be positive");
         GreedySource {
-            rates: std::collections::BTreeMap::new(),
+            rates: netsim::slab::DenseMap::new(),
             default_rate,
             emitted: 0,
         }

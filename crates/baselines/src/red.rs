@@ -74,7 +74,7 @@ pub struct RedCore {
     cfg: RedConfig,
     rng: DetRng,
     // Indexed lazily; links discovered on first packet.
-    links: std::collections::BTreeMap<LinkId, LinkAvg>,
+    links: netsim::slab::DenseMap<LinkId, LinkAvg>,
     early_drops: u64,
     forwarded: u64,
 }
@@ -90,7 +90,7 @@ impl RedCore {
         RedCore {
             cfg,
             rng: DetRng::new(seed),
-            links: std::collections::BTreeMap::new(),
+            links: netsim::slab::DenseMap::new(),
             early_drops: 0,
             forwarded: 0,
         }
@@ -103,7 +103,7 @@ impl RouterLogic for RedCore {
             return;
         };
         let q = ctx.link_queue_len(link) as f64;
-        let state = self.links.entry(link).or_default();
+        let state = self.links.entry_or_insert_with(link, LinkAvg::default);
         state.avg = (1.0 - self.cfg.wq) * state.avg + self.cfg.wq * q;
         let p_base = if state.avg < self.cfg.min_thresh {
             0.0

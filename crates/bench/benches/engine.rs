@@ -115,6 +115,51 @@ fn bench_paper_chain(runner: &mut Runner) {
     });
 }
 
+/// End-to-end throughput on a k = 8 two-tier fat-tree (8 leaves × 4
+/// spines, 16 cross flows), 20 simulated seconds — the wide-fan-out
+/// counterpart to the chain workload above. The scenario is spelled out
+/// from public primitives (rather than `Scenario::fat_tree_k_mix`, which
+/// it mirrors) so this harness file also compiles at the baseline commit
+/// when capturing the `before` side of a `BENCH_*.json` (EXPERIMENTS.md).
+fn bench_fat_tree(runner: &mut Runner) {
+    use corelite::CoreliteConfig;
+    use scenarios::discipline::Corelite;
+    use scenarios::runner::{Scenario, ScenarioFlow};
+    use scenarios::topology::{CorePath, TopologySpec};
+
+    const LEAVES: usize = 8;
+    const SPINES: usize = 4;
+    let mut links = Vec::new();
+    for leaf in 0..LEAVES {
+        for spine in 0..SPINES {
+            links.push((leaf, LEAVES + spine));
+            links.push((LEAVES + spine, leaf));
+        }
+    }
+    let topo = TopologySpec {
+        name: "fat_tree_k",
+        core_count: LEAVES + SPINES,
+        links,
+    };
+    let flows = (0..2 * LEAVES)
+        .map(|i| {
+            let src = i % LEAVES;
+            let dst = (src + 1 + i / LEAVES) % LEAVES;
+            ScenarioFlow::best_effort(
+                CorePath::new(vec![src, LEAVES + i % SPINES, dst]),
+                (i % 3 + 1) as u32,
+                SimTime::ZERO,
+            )
+        })
+        .collect();
+    let scenario = Scenario::on(topo, "fat_tree_k_mix", flows, SimTime::from_secs(20), 1);
+    let discipline = Corelite::new(CoreliteConfig::default());
+    runner.bench_events("engine/fat_tree_k8_20s", || {
+        let result = scenario.run(&discipline);
+        result.report.events_processed
+    });
+}
+
 fn main() {
     let mut runner = Runner::from_args("engine");
     bench_event_queue(&mut runner);
@@ -122,5 +167,6 @@ fn main() {
     bench_stats(&mut runner);
     bench_simulator_scaling(&mut runner);
     bench_paper_chain(&mut runner);
+    bench_fat_tree(&mut runner);
     std::process::exit(runner.finish());
 }

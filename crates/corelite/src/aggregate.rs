@@ -13,13 +13,12 @@
 //! lives only at the edge, and even there it is per *aggregate*, not per
 //! TCP connection.
 
-use std::collections::BTreeMap;
-
 use sim_core::time::{SimDuration, SimTime};
 
 use netsim::ids::{FlowId, NodeId};
 use netsim::logic::{ControlMsg, Ctx, LogicReport, RouterLogic, TimerKind};
 use netsim::packet::Marker;
+use netsim::slab::DenseMap;
 
 use crate::config::CoreliteConfig;
 use crate::controller::RateController;
@@ -44,8 +43,8 @@ pub struct AggregatingEdge {
     cfg: CoreliteConfig,
     group_weight: u32,
     /// One group per egress edge router.
-    groups: BTreeMap<NodeId, Group>,
-    flow_group: BTreeMap<FlowId, NodeId>,
+    groups: DenseMap<NodeId, Group>,
+    flow_group: DenseMap<FlowId, NodeId>,
     markers_injected: u64,
     #[allow(dead_code)]
     seed: u64,
@@ -66,8 +65,8 @@ impl AggregatingEdge {
         AggregatingEdge {
             cfg,
             group_weight,
-            groups: BTreeMap::new(),
-            flow_group: BTreeMap::new(),
+            groups: DenseMap::new(),
+            flow_group: DenseMap::new(),
             markers_injected: 0,
             seed,
         }
@@ -127,7 +126,7 @@ impl RouterLogic for AggregatingEdge {
         let rtt = 2.0 * ctx.one_way_delay(flow).as_secs_f64();
         let weight = self.group_weight;
         let cfg = &self.cfg;
-        let g = self.groups.entry(egress).or_insert_with(|| Group {
+        let g = self.groups.entry_or_insert_with(egress, || Group {
             controller: RateController::new(weight, 0.0),
             members: Vec::new(),
             next_member: 0,
@@ -160,9 +159,13 @@ impl RouterLogic for AggregatingEdge {
         match timer.tag {
             TIMER_EPOCH => {
                 let now = ctx.now();
-                let egresses: Vec<NodeId> = self.groups.keys().copied().collect();
-                for egress in egresses {
-                    let g = self.groups.get_mut(&egress).expect("group exists");
+                // Index scan in id order; no key-set collection, so the
+                // epoch tick stays allocation-free.
+                for i in 0..self.groups.key_bound() {
+                    let egress = NodeId::from_index(i);
+                    let Some(g) = self.groups.get_mut(&egress) else {
+                        continue;
+                    };
                     g.controller.epoch_update(&self.cfg, now);
                     self.ensure_emission(ctx, egress);
                 }
@@ -188,11 +191,11 @@ impl RouterLogic for AggregatingEdge {
         let mut report = LogicReport::default();
         // The aggregate's allotted-rate series is attributed to every
         // member (each member's share is rate / members).
-        for (flow, egress) in &self.flow_group {
+        for (flow, egress) in self.flow_group.iter() {
             if let Some(g) = self.groups.get(egress) {
                 report
                     .flow_rates
-                    .insert(*flow, g.controller.series().clone());
+                    .insert(flow, g.controller.series().clone());
             }
         }
         report.counters.insert(

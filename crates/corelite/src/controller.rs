@@ -10,12 +10,11 @@
 //! shaped synthetic source at an ingress edge, a store-and-forward buffer
 //! at a gateway); the controller decides *how fast*.
 
-use std::collections::BTreeMap;
-
 use sim_core::stats::TimeSeries;
 use sim_core::time::SimTime;
 
 use netsim::ids::NodeId;
+use netsim::slab::DenseMap;
 
 use crate::config::{AdaptationScheme, CoreliteConfig, DecreasePolicy};
 
@@ -37,7 +36,7 @@ pub struct RateController {
     phase: Phase,
     last_double: SimTime,
     marker_credit: f64,
-    feedback: BTreeMap<NodeId, u32>,
+    feedback: DenseMap<NodeId, u32>,
     series: TimeSeries,
 }
 
@@ -55,7 +54,7 @@ impl RateController {
             phase: Phase::Linear,
             last_double: SimTime::ZERO,
             marker_credit: 0.0,
-            feedback: BTreeMap::new(),
+            feedback: DenseMap::new(),
             series: TimeSeries::new(),
         }
     }
@@ -163,7 +162,7 @@ impl RateController {
             self.record(now);
             true
         } else {
-            *self.feedback.entry(from).or_insert(0) += 1;
+            *self.feedback.entry_or_insert_with(from, || 0) += 1;
             false
         }
     }

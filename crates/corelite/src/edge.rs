@@ -26,6 +26,7 @@ use sim_core::time::{SimDuration, SimTime};
 use netsim::ids::FlowId;
 use netsim::logic::{ControlMsg, Ctx, LogicReport, RouterLogic, TimerKind};
 use netsim::packet::Marker;
+use netsim::slab::DenseMap;
 use netsim::telemetry::Sample;
 
 use crate::config::CoreliteConfig;
@@ -73,10 +74,11 @@ impl FlowState {
 #[derive(Debug)]
 pub struct CoreliteEdge {
     cfg: CoreliteConfig,
-    /// Per-flow state, indexed by `FlowId::index()` (`None` for flows
-    /// not managed by this edge). Flow ids are small dense integers, so
-    /// direct indexing beats a map lookup on the per-packet path.
-    flows: Vec<Option<FlowState>>,
+    /// Per-flow state, slab-indexed by `FlowId::index()` (absent for
+    /// flows not managed by this edge). Flow ids are small dense
+    /// integers, so direct indexing beats a map lookup on the
+    /// per-packet path.
+    flows: DenseMap<FlowId, FlowState>,
     markers_injected: u64,
     feedback_received: u64,
     losses_ignored: u64,
@@ -95,7 +97,7 @@ impl CoreliteEdge {
         cfg.validate();
         CoreliteEdge {
             cfg,
-            flows: Vec::new(),
+            flows: DenseMap::new(),
             markers_injected: 0,
             feedback_received: 0,
             losses_ignored: 0,
@@ -110,11 +112,11 @@ impl CoreliteEdge {
     }
 
     fn state(&self, flow: FlowId) -> Option<&FlowState> {
-        self.flows.get(flow.index()).and_then(|s| s.as_ref())
+        self.flows.get(&flow)
     }
 
     fn state_mut(&mut self, flow: FlowId) -> Option<&mut FlowState> {
-        self.flows.get_mut(flow.index()).and_then(|s| s.as_mut())
+        self.flows.get_mut(&flow)
     }
 
     fn ensure_emission(&mut self, ctx: &mut Ctx<'_>, flow: FlowId) {
@@ -130,7 +132,7 @@ impl CoreliteEdge {
         let node = ctx.node();
         // Split borrow: `s` holds `self.flows` while the counter and
         // config fields stay independently accessible.
-        let Some(s) = self.flows.get_mut(flow.index()).and_then(|s| s.as_mut()) else {
+        let Some(s) = self.flows.get_mut(&flow) else {
             return;
         };
         s.emission_pending = false;
@@ -163,11 +165,9 @@ impl RouterLogic for CoreliteEdge {
         let info = ctx.flow(flow);
         let (weight, min_rate) = (info.weight, info.min_rate);
         let rtt = 2.0 * ctx.one_way_delay(flow).as_secs_f64();
-        if self.flows.len() <= flow.index() {
-            self.flows.resize_with(flow.index() + 1, || None);
-        }
-        let s = self.flows[flow.index()]
-            .get_or_insert_with(|| FlowState::new(RateController::new(weight, min_rate)));
+        let s = self.flows.entry_or_insert_with(flow, || {
+            FlowState::new(RateController::new(weight, min_rate))
+        });
         // A restarting flow begins a fresh slow-start, like a new arrival.
         s.controller.start(&self.cfg, now, rtt);
         self.ensure_emission(ctx, flow);
@@ -184,12 +184,11 @@ impl RouterLogic for CoreliteEdge {
         match timer.tag {
             TIMER_EPOCH => {
                 let now = ctx.now();
-                for i in 0..self.flows.len() {
-                    if self.flows[i].is_none() {
-                        continue;
-                    }
+                for i in 0..self.flows.key_bound() {
                     let flow = FlowId::from_index(i);
-                    let s = self.flows[i].as_mut().expect("flow state exists");
+                    let Some(s) = self.flows.get_mut(&flow) else {
+                        continue;
+                    };
                     if s.controller.is_active() {
                         // m(f) must be read before the epoch update
                         // consumes the per-core counts.
@@ -225,11 +224,7 @@ impl RouterLogic for CoreliteEdge {
                 // Disjoint field borrows: the config rides alongside the
                 // mutable flow-state access.
                 let cfg = &self.cfg;
-                if let Some(s) = self
-                    .flows
-                    .get_mut(marker.flow.index())
-                    .and_then(Option::as_mut)
-                {
+                if let Some(s) = self.flows.get_mut(&marker.flow) {
                     s.controller.on_feedback(cfg, from, now);
                 }
             }
@@ -243,11 +238,10 @@ impl RouterLogic for CoreliteEdge {
 
     fn report(&self, _now: SimTime) -> LogicReport {
         let mut report = LogicReport::default();
-        for (i, s) in self.flows.iter().enumerate() {
-            let Some(s) = s else { continue };
+        for (flow, s) in self.flows.iter() {
             report
                 .flow_rates
-                .insert(FlowId::from_index(i), s.controller.series().clone());
+                .insert(flow, s.controller.series().clone());
         }
         report
             .counters

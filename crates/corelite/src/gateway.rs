@@ -23,13 +23,14 @@
 //! weighted fair shares, with the gateway buffer absorbing transient
 //! mismatch.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
 use sim_core::time::{SimDuration, SimTime};
 
 use netsim::ids::FlowId;
 use netsim::logic::{ControlMsg, Ctx, LogicReport, RouterLogic, TimerKind};
 use netsim::packet::{Marker, Packet};
+use netsim::slab::DenseMap;
 use netsim::telemetry::Sample;
 
 use crate::config::CoreliteConfig;
@@ -61,7 +62,7 @@ pub struct CoreliteGateway {
     cfg: CoreliteConfig,
     /// Per-flow reassembly/shaping buffer capacity, packets.
     buffer_capacity: usize,
-    flows: BTreeMap<FlowId, GatewayFlow>,
+    flows: DenseMap<FlowId, GatewayFlow>,
     markers_injected: u64,
     feedback_received: u64,
     buffer_drops: u64,
@@ -83,7 +84,7 @@ impl CoreliteGateway {
         CoreliteGateway {
             cfg,
             buffer_capacity,
-            flows: BTreeMap::new(),
+            flows: DenseMap::new(),
             markers_injected: 0,
             feedback_received: 0,
             buffer_drops: 0,
@@ -179,7 +180,7 @@ impl RouterLogic for CoreliteGateway {
                 - ctx.reverse_delay_to_ingress(flow).as_secs_f64())
             .max(1e-3);
         let cfg = &self.cfg;
-        let s = self.flows.entry(flow).or_insert_with(|| {
+        let s = self.flows.entry_or_insert_with(flow, || {
             let mut controller = RateController::new(weight, min_rate);
             controller.start(cfg, now, rtt);
             GatewayFlow {
@@ -214,9 +215,13 @@ impl RouterLogic for CoreliteGateway {
         match timer.tag {
             TIMER_EPOCH => {
                 let now = ctx.now();
-                let flows: Vec<FlowId> = self.flows.keys().copied().collect();
-                for flow in flows {
-                    let s = self.flows.get_mut(&flow).expect("gateway flow exists");
+                // Index scan: visits flows in id order without collecting
+                // the key set (the epoch stays allocation-free).
+                for i in 0..self.flows.key_bound() {
+                    let flow = FlowId::from_index(i);
+                    let Some(s) = self.flows.get_mut(&flow) else {
+                        continue;
+                    };
                     if s.controller.is_active() {
                         // m(f) must be read before the epoch update
                         // consumes the per-core counts.
@@ -267,10 +272,10 @@ impl RouterLogic for CoreliteGateway {
 
     fn report(&self, _now: SimTime) -> LogicReport {
         let mut report = LogicReport::default();
-        for (flow, s) in &self.flows {
+        for (flow, s) in self.flows.iter() {
             report
                 .flow_rates
-                .insert(*flow, s.controller.series().clone());
+                .insert(flow, s.controller.series().clone());
         }
         report.counters.insert(
             "gateway_markers_injected".to_owned(),

@@ -17,6 +17,7 @@ use sim_core::time::SimTime;
 use netsim::ids::LinkId;
 use netsim::logic::{Ctx, LogicReport, RouterLogic, TimerKind};
 use netsim::packet::Packet;
+use netsim::slab::DenseMap;
 use netsim::telemetry::Sample;
 
 use crate::cache::MarkerCache;
@@ -47,11 +48,11 @@ struct LinkState {
 pub struct CoreliteCore {
     cfg: CoreliteConfig,
     rng: DetRng,
-    /// Per-outgoing-link state, indexed by `LinkId::index()` (`None`
-    /// for links that do not leave this node). Link ids are small dense
-    /// integers, so direct indexing beats a map lookup on the
-    /// per-packet marker path.
-    links: Vec<Option<LinkState>>,
+    /// Per-outgoing-link state, slab-indexed by `LinkId::index()`
+    /// (absent for links that do not leave this node). Link ids are
+    /// small dense integers, so direct indexing beats a map lookup on
+    /// the per-packet marker path.
+    links: DenseMap<LinkId, LinkState>,
     markers_seen: u64,
     feedback_sent: u64,
     congested_epochs: u64,
@@ -69,7 +70,7 @@ impl CoreliteCore {
         CoreliteCore {
             cfg,
             rng: DetRng::new(seed),
-            links: Vec::new(),
+            links: DenseMap::new(),
             markers_seen: 0,
             feedback_sent: 0,
             congested_epochs: 0,
@@ -90,17 +91,17 @@ impl CoreliteCore {
     }
 
     fn run_epoch(&mut self, ctx: &mut Ctx<'_>) {
-        for i in 0..self.links.len() {
-            if self.links[i].is_none() {
+        for i in 0..self.links.key_bound() {
+            let link = LinkId::from_index(i);
+            if !self.links.contains_key(&link) {
                 continue;
             }
-            let link = LinkId::from_index(i);
             let q_avg = ctx.take_link_queue_average(link);
             let mu_pps = ctx
                 .link_spec(link)
                 .service_rate_pps(self.cfg.reference_packet_size);
             let epoch_secs = self.cfg.core_epoch.as_secs_f64();
-            let state = self.links[i].as_mut().expect("link state exists");
+            let state = self.links.get_mut(&link).expect("link state exists");
             let fn_count = state.detector.feedback_count(q_avg, mu_pps, epoch_secs);
             assert!(
                 fn_count.is_finite() && fn_count >= 0.0,
@@ -115,7 +116,7 @@ impl CoreliteCore {
             // the expectation (e.g. 2.3 → 2 with p 0.7, 3 with p 0.3).
             let floor = fn_count.floor();
             let rounded = floor as usize + usize::from(self.rng.bernoulli(fn_count - floor));
-            let state = self.links[i].as_mut().expect("link state exists");
+            let state = self.links.get_mut(&link).expect("link state exists");
             match &mut state.selector {
                 Selector::Cache(cache) => {
                     if rounded > 0 {
@@ -156,10 +157,7 @@ impl RouterLogic for CoreliteCore {
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         for link in ctx.outgoing_links() {
             let state = self.new_link_state();
-            if self.links.len() <= link.index() {
-                self.links.resize_with(link.index() + 1, || None);
-            }
-            self.links[link.index()] = Some(state);
+            self.links.insert(link, state);
         }
         ctx.set_timer(self.cfg.core_epoch, TimerKind::tagged(TIMER_EPOCH));
     }
@@ -170,8 +168,9 @@ impl RouterLogic for CoreliteCore {
         };
         if let Some(marker) = packet.marker {
             self.markers_seen += 1;
-            match &mut self.links[link.index()]
-                .as_mut()
+            match &mut self
+                .links
+                .get_mut(&link)
                 .expect("link state initialised in on_start")
                 .selector
             {

@@ -14,14 +14,13 @@
 //! tracks, under-estimates drop packets from flows below their fair share
 //! and over-estimates fill the buffer until tail drop (§4.2).
 
-use std::collections::BTreeMap;
-
 use sim_core::rng::DetRng;
 use sim_core::time::{SimDuration, SimTime};
 
 use netsim::ids::LinkId;
 use netsim::logic::{Ctx, LogicReport, RouterLogic, TimerKind};
 use netsim::packet::Packet;
+use netsim::slab::DenseMap;
 use netsim::telemetry::Sample;
 
 use crate::config::CsfqConfig;
@@ -155,7 +154,7 @@ impl FairShareEstimator {
 pub struct CsfqCore {
     cfg: CsfqConfig,
     rng: DetRng,
-    links: BTreeMap<LinkId, FairShareEstimator>,
+    links: DenseMap<LinkId, FairShareEstimator>,
     policy_drops: u64,
     forwarded: u64,
 }
@@ -172,7 +171,7 @@ impl CsfqCore {
         CsfqCore {
             cfg,
             rng: DetRng::new(seed),
-            links: BTreeMap::new(),
+            links: DenseMap::new(),
             policy_drops: 0,
             forwarded: 0,
         }
@@ -204,7 +203,7 @@ impl RouterLogic for CsfqCore {
         if timer.tag != TIMER_SAMPLE {
             return;
         }
-        for (&link, est) in &self.links {
+        for (link, est) in self.links.iter() {
             if let Some(alpha) = est.alpha() {
                 ctx.publish(Sample::for_link("alpha", link, alpha));
             }

@@ -12,13 +12,12 @@
 //!   phase, decrease proportionally to the number of losses observed in
 //!   the epoch, else increase by `α`.
 
-use std::collections::BTreeMap;
-
 use sim_core::stats::TimeSeries;
 use sim_core::time::{SimDuration, SimTime};
 
 use netsim::ids::FlowId;
 use netsim::logic::{ControlMsg, Ctx, LogicReport, RouterLogic, TimerKind};
+use netsim::slab::DenseMap;
 
 use crate::config::CsfqConfig;
 use crate::estimator::RateEstimator;
@@ -67,7 +66,7 @@ impl FlowState {
 #[derive(Debug)]
 pub struct CsfqEdge {
     cfg: CsfqConfig,
-    flows: BTreeMap<FlowId, FlowState>,
+    flows: DenseMap<FlowId, FlowState>,
     losses_seen: u64,
     packets_labelled: u64,
     #[allow(dead_code)]
@@ -85,7 +84,7 @@ impl CsfqEdge {
         cfg.validate();
         CsfqEdge {
             cfg,
-            flows: BTreeMap::new(),
+            flows: DenseMap::new(),
             losses_seen: 0,
             packets_labelled: 0,
             seed,
@@ -138,11 +137,13 @@ impl CsfqEdge {
 
     fn adapt_all(&mut self, ctx: &mut Ctx<'_>) {
         let now = ctx.now();
-        let flows: Vec<FlowId> = self.flows.keys().copied().collect();
-        for flow in flows {
+        for i in 0..self.flows.key_bound() {
+            let flow = FlowId::from_index(i);
             let alpha = self.cfg.alpha;
             let beta = self.cfg.beta;
-            let s = self.flows.get_mut(&flow).expect("flow state exists");
+            let Some(s) = self.flows.get_mut(&flow) else {
+                continue;
+            };
             if !s.active {
                 s.losses_this_epoch = 0;
                 continue;
@@ -194,8 +195,7 @@ impl RouterLogic for CsfqEdge {
         let k_flow = self.cfg.k_flow;
         let s = self
             .flows
-            .entry(flow)
-            .or_insert_with(|| FlowState::new(weight, k_flow));
+            .entry_or_insert_with(flow, || FlowState::new(weight, k_flow));
         s.active = true;
         s.rate = self.cfg.initial_rate;
         s.phase = Phase::SlowStart;
@@ -250,8 +250,8 @@ impl RouterLogic for CsfqEdge {
 
     fn report(&self, _now: SimTime) -> LogicReport {
         let mut report = LogicReport::default();
-        for (flow, s) in &self.flows {
-            report.flow_rates.insert(*flow, s.series.clone());
+        for (flow, s) in self.flows.iter() {
+            report.flow_rates.insert(flow, s.series.clone());
         }
         report
             .counters

@@ -53,6 +53,7 @@ pub mod logic;
 pub mod monitor;
 pub mod network;
 pub mod packet;
+pub mod slab;
 pub mod telemetry;
 pub mod topology;
 pub mod trace;
@@ -63,7 +64,8 @@ pub use ids::{FlowId, LinkId, NodeId, PacketId};
 pub use link::LinkSpec;
 pub use logic::{Action, ControlMsg, Ctx, RouterLogic, TimerKind};
 pub use monitor::SimReport;
-pub use network::Network;
+pub use network::{DispatchMode, Network};
 pub use packet::{Marker, Packet};
+pub use slab::{DenseMap, SlabKey};
 pub use telemetry::{Probe, ProbeRecord, RingProbe, Sample};
 pub use topology::TopologyBuilder;

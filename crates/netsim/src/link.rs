@@ -1,6 +1,16 @@
 //! Directed links with a serialization rate, propagation delay, and a
 //! bounded tail-drop FIFO queue.
 //!
+//! A link does not hold packets: the FIFO discipline makes every
+//! departure time computable at enqueue — `dep = max(now, previous
+//! departure) + tx_time` — so [`Link::offer`] returns the departure time
+//! immediately and the packet rides inside its delivery event. The link
+//! only remembers the pending departure *train* (`(time, size)` pairs),
+//! which [`Link::sync`] drains lazily: counters and the occupancy
+//! integral are updated with the original departure timestamps, in
+//! order, so statistics are identical to an eager per-departure
+//! implementation no matter when `sync` runs (DESIGN.md §13).
+//!
 //! The queue occupancy (waiting packets plus the packet in service) is
 //! integrated continuously with a [`TimeWeightedMean`], which is how a
 //! Corelite core router obtains `q_avg` for incipient congestion detection.
@@ -11,7 +21,6 @@ use sim_core::stats::TimeWeightedMean;
 use sim_core::time::{SimDuration, SimTime};
 
 use crate::ids::NodeId;
-use crate::packet::Packet;
 
 /// Static parameters of a link.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -56,32 +65,19 @@ impl LinkSpec {
     }
 }
 
-/// Outcome of offering a packet to a link queue.
-#[derive(Debug, Clone, PartialEq)]
-pub enum EnqueueOutcome {
-    /// The packet was queued; if `starts_transmission` the caller must
-    /// schedule a [`tx complete`](Link::complete_transmission) event after
-    /// the returned serialization time.
-    Accepted {
-        /// `Some(tx_time)` when the link was idle and transmission of this
-        /// packet begins immediately.
-        starts_transmission: Option<SimDuration>,
-    },
-    /// The queue was full; the packet was tail-dropped and is returned to
-    /// the caller for accounting.
-    Dropped(Packet),
-}
-
 /// Runtime state of a directed link.
 #[derive(Debug)]
 pub struct Link {
     spec: LinkSpec,
     src: NodeId,
     dst: NodeId,
-    /// Waiting packets; the head is the packet currently in service when
-    /// `busy` is true.
-    queue: VecDeque<Packet>,
-    busy: bool,
+    /// Pending departures as `(departure time, size)` in departure order.
+    /// Entries with time ≤ now are *departed but not yet accounted*;
+    /// [`Link::sync`] retires them.
+    departures: VecDeque<(SimTime, u32)>,
+    /// Departure time of the most recently accepted packet; the link is
+    /// serializing until then.
+    last_departure: SimTime,
     occupancy: TimeWeightedMean,
     forwarded_packets: u64,
     forwarded_bytes: u64,
@@ -102,9 +98,9 @@ impl Link {
             src,
             dst,
             // Full capacity up front: a link queue never exceeds its
-            // spec'd capacity, so enqueue never reallocates.
-            queue: VecDeque::with_capacity(spec.queue_capacity),
-            busy: false,
+            // spec'd capacity, so offering never reallocates.
+            departures: VecDeque::with_capacity(spec.queue_capacity),
+            last_departure: SimTime::ZERO,
             occupancy: TimeWeightedMean::new(SimTime::ZERO, 0.0),
             forwarded_packets: 0,
             forwarded_bytes: 0,
@@ -138,83 +134,81 @@ impl Link {
         &self.spec
     }
 
-    /// Instantaneous queue occupancy in packets (waiting + in service).
-    pub fn queue_len(&self) -> usize {
-        self.queue.len()
+    /// Queue occupancy in packets (waiting + in service) as of `now`:
+    /// pending departures strictly after `now`. A packet departing
+    /// exactly at `now` has left the queue (departures precede arrivals
+    /// at the same instant).
+    pub fn queue_len(&self, now: SimTime) -> usize {
+        // Departures are time-ordered, so departed entries form a prefix.
+        let departed = self
+            .departures
+            .iter()
+            .take_while(|&&(dep, _)| dep <= now)
+            .count();
+        self.departures.len() - departed
     }
 
-    /// Offers `packet` to the queue at time `now`.
-    ///
-    /// Tail-drops when the occupancy has reached capacity. On acceptance,
-    /// if the link was idle, the packet enters service immediately and the
-    /// serialization time is returned so the caller can schedule the
-    /// completion event.
-    pub fn enqueue(&mut self, now: SimTime, packet: Packet) -> EnqueueOutcome {
-        if self.queue.len() >= self.spec.queue_capacity {
-            self.dropped_packets += 1;
-            return EnqueueOutcome::Dropped(packet);
-        }
-        let tx = if self.busy {
-            None
-        } else {
-            self.busy = true;
-            Some(self.cached_tx_time(packet.size))
-        };
-        self.queue.push_back(packet);
-        self.peak_occupancy = self.peak_occupancy.max(self.queue.len());
-        self.occupancy.set(now, self.queue.len() as f64);
-        EnqueueOutcome::Accepted {
-            starts_transmission: tx,
-        }
-    }
-
-    /// Completes the in-service packet's serialization at time `now`.
-    ///
-    /// Returns the departed packet and, if another packet is waiting, the
-    /// serialization time of the next packet (which enters service
-    /// immediately).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the link was not transmitting (a scheduling bug).
-    pub fn complete_transmission(&mut self, now: SimTime) -> (Packet, Option<SimDuration>) {
-        assert!(self.busy, "complete_transmission on an idle link");
-        let packet = self
-            .queue
-            .pop_front()
-            .expect("busy link must have a packet in service");
-        self.forwarded_packets += 1;
-        self.forwarded_bytes += packet.size as u64;
-        self.occupancy.set(now, self.queue.len() as f64);
-        let next = match self.queue.front().map(|p| p.size) {
-            Some(size) => Some(self.cached_tx_time(size)),
-            None => {
-                self.busy = false;
-                None
+    /// Retires every departure up to and including `now`, updating the
+    /// forwarded counters and feeding the occupancy integral with the
+    /// original departure timestamps in order. Idempotent; callers may
+    /// invoke it as rarely (lazily) or as often (per packet) as they
+    /// like without changing any statistic.
+    pub fn sync(&mut self, now: SimTime) {
+        while let Some(&(dep, size)) = self.departures.front() {
+            if dep > now {
+                break;
             }
-        };
-        (packet, next)
+            self.departures.pop_front();
+            self.forwarded_packets += 1;
+            self.forwarded_bytes += size as u64;
+            self.occupancy.set(dep, self.departures.len() as f64);
+        }
+    }
+
+    /// Offers a packet of `size` bytes to the queue at time `now`.
+    ///
+    /// Returns the packet's departure time — `max(now, previous
+    /// departure) + tx_time`, the FIFO service curve — or `None` when the
+    /// occupancy has reached capacity and the packet is tail-dropped
+    /// (the caller keeps the packet for drop accounting).
+    pub fn offer(&mut self, now: SimTime, size: u32) -> Option<SimTime> {
+        self.sync(now);
+        if self.departures.len() >= self.spec.queue_capacity {
+            self.dropped_packets += 1;
+            return None;
+        }
+        let start = self.last_departure.max(now);
+        let dep = start + self.cached_tx_time(size);
+        self.departures.push_back((dep, size));
+        self.last_departure = dep;
+        self.peak_occupancy = self.peak_occupancy.max(self.departures.len());
+        self.occupancy.set(now, self.departures.len() as f64);
+        Some(dep)
     }
 
     /// Closes the queue-average window at `now` and returns the
     /// time-weighted mean occupancy since the previous call (the paper's
     /// `q_avg` over one congestion epoch).
     pub fn take_queue_average(&mut self, now: SimTime) -> f64 {
+        self.sync(now);
         self.occupancy.restart(now)
     }
 
     /// Reads the time-weighted mean occupancy of the current window
     /// without restarting it.
-    pub fn queue_average(&self, now: SimTime) -> f64 {
+    pub fn queue_average(&mut self, now: SimTime) -> f64 {
+        self.sync(now);
         self.occupancy.mean(now)
     }
 
-    /// Total packets fully serialized by this link.
+    /// Total packets fully serialized by this link (as of the last
+    /// [`Link::sync`]).
     pub fn forwarded_packets(&self) -> u64 {
         self.forwarded_packets
     }
 
-    /// Total bytes fully serialized by this link.
+    /// Total bytes fully serialized by this link (as of the last
+    /// [`Link::sync`]).
     pub fn forwarded_bytes(&self) -> u64 {
         self.forwarded_bytes
     }
@@ -233,14 +227,13 @@ impl Link {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ids::{FlowId, PacketId};
-
-    fn pkt(id: u64) -> Packet {
-        Packet::data(PacketId(id), FlowId(0), 1000, SimTime::ZERO)
-    }
 
     fn mbps4() -> LinkSpec {
         LinkSpec::new(4_000_000, SimDuration::from_millis(40), 40)
+    }
+
+    fn ms(n: u64) -> SimTime {
+        SimTime::from_millis(n)
     }
 
     #[test]
@@ -252,82 +245,108 @@ mod tests {
     }
 
     #[test]
-    fn idle_link_starts_transmission_immediately() {
+    fn departures_follow_the_fifo_service_curve() {
         let mut l = Link::new(NodeId(0), NodeId(1), mbps4());
-        match l.enqueue(SimTime::ZERO, pkt(0)) {
-            EnqueueOutcome::Accepted {
-                starts_transmission: Some(tx),
-            } => assert_eq!(tx, SimDuration::from_millis(2)),
-            other => panic!("unexpected outcome {other:?}"),
-        }
-        // Second packet queues behind the first.
-        match l.enqueue(SimTime::ZERO, pkt(1)) {
-            EnqueueOutcome::Accepted {
-                starts_transmission: None,
-            } => {}
-            other => panic!("unexpected outcome {other:?}"),
-        }
-        assert_eq!(l.queue_len(), 2);
+        // Idle link: service starts immediately.
+        assert_eq!(l.offer(SimTime::ZERO, 1000), Some(ms(2)));
+        // Busy link: the second packet waits for the first.
+        assert_eq!(l.offer(SimTime::ZERO, 1000), Some(ms(4)));
+        assert_eq!(l.queue_len(SimTime::ZERO), 2);
+        // After the queue drains, service is arrival-limited again.
+        assert_eq!(l.offer(ms(10), 1000), Some(ms(12)));
     }
 
     #[test]
-    fn completion_promotes_next_packet() {
+    fn sync_retires_departed_packets_in_order() {
         let mut l = Link::new(NodeId(0), NodeId(1), mbps4());
-        l.enqueue(SimTime::ZERO, pkt(0));
-        l.enqueue(SimTime::ZERO, pkt(1));
-        let (done, next) = l.complete_transmission(SimTime::from_millis(2));
-        assert_eq!(done.id, PacketId(0));
-        assert_eq!(next, Some(SimDuration::from_millis(2)));
-        let (done, next) = l.complete_transmission(SimTime::from_millis(4));
-        assert_eq!(done.id, PacketId(1));
-        assert_eq!(next, None);
-        assert_eq!(l.queue_len(), 0);
+        l.offer(SimTime::ZERO, 1000);
+        l.offer(SimTime::ZERO, 1000);
+        l.sync(ms(2));
+        assert_eq!(l.forwarded_packets(), 1);
+        assert_eq!(l.queue_len(ms(2)), 1);
+        l.sync(ms(4));
         assert_eq!(l.forwarded_packets(), 2);
         assert_eq!(l.forwarded_bytes(), 2000);
+        assert_eq!(l.queue_len(ms(4)), 0);
+        // Idempotent.
+        l.sync(ms(4));
+        assert_eq!(l.forwarded_packets(), 2);
+    }
+
+    #[test]
+    fn queue_len_is_exact_without_sync() {
+        let mut l = Link::new(NodeId(0), NodeId(1), mbps4());
+        l.offer(SimTime::ZERO, 1000);
+        l.offer(SimTime::ZERO, 1000);
+        // No sync calls: queue_len still reflects the service curve.
+        assert_eq!(l.queue_len(ms(1)), 2);
+        assert_eq!(l.queue_len(ms(2)), 1);
+        assert_eq!(l.queue_len(ms(3)), 1);
+        assert_eq!(l.queue_len(ms(4)), 0);
+        assert_eq!(l.forwarded_packets(), 0, "accounting stays lazy");
+    }
+
+    #[test]
+    fn departure_precedes_arrival_at_the_same_instant() {
+        let spec = LinkSpec::new(4_000_000, SimDuration::ZERO, 1);
+        let mut l = Link::new(NodeId(0), NodeId(1), spec);
+        assert_eq!(l.offer(SimTime::ZERO, 1000), Some(ms(2)));
+        // At exactly t = 2 ms the in-service packet has departed, so a
+        // capacity-1 queue accepts the newcomer back-to-back.
+        assert_eq!(l.offer(ms(2), 1000), Some(ms(4)));
+        assert_eq!(l.dropped_packets(), 0);
     }
 
     #[test]
     fn tail_drop_at_capacity() {
         let spec = LinkSpec::new(4_000_000, SimDuration::ZERO, 2);
         let mut l = Link::new(NodeId(0), NodeId(1), spec);
-        l.enqueue(SimTime::ZERO, pkt(0));
-        l.enqueue(SimTime::ZERO, pkt(1));
-        match l.enqueue(SimTime::ZERO, pkt(2)) {
-            EnqueueOutcome::Dropped(p) => assert_eq!(p.id, PacketId(2)),
-            other => panic!("expected drop, got {other:?}"),
-        }
+        assert!(l.offer(SimTime::ZERO, 1000).is_some());
+        assert!(l.offer(SimTime::ZERO, 1000).is_some());
+        assert_eq!(l.offer(SimTime::ZERO, 1000), None);
         assert_eq!(l.dropped_packets(), 1);
-        assert_eq!(l.queue_len(), 2);
+        assert_eq!(l.queue_len(SimTime::ZERO), 2);
     }
 
     #[test]
     fn queue_average_integrates_occupancy() {
         let mut l = Link::new(NodeId(0), NodeId(1), mbps4());
         // Occupancy 1 during [0, 2ms) then 0 during [2ms, 4ms).
-        l.enqueue(SimTime::ZERO, pkt(0));
-        l.complete_transmission(SimTime::from_millis(2));
-        let avg = l.take_queue_average(SimTime::from_millis(4));
+        l.offer(SimTime::ZERO, 1000);
+        let avg = l.take_queue_average(ms(4));
         assert!((avg - 0.5).abs() < 1e-9, "avg {avg}");
         // New window starts empty.
-        let avg2 = l.take_queue_average(SimTime::from_millis(8));
+        let avg2 = l.take_queue_average(ms(8));
         assert_eq!(avg2, 0.0);
+    }
+
+    #[test]
+    fn queue_average_is_lazy_sync_invariant() {
+        // Two links fed identically, one synced eagerly at every
+        // departure, one only at the end: identical statistics.
+        let mut eager = Link::new(NodeId(0), NodeId(1), mbps4());
+        let mut lazy = Link::new(NodeId(0), NodeId(1), mbps4());
+        for t in [0u64, 0, 1, 5, 5, 5, 9, 14] {
+            eager.offer(ms(t), 1000);
+            lazy.offer(ms(t), 1000);
+            eager.sync(ms(t));
+        }
+        assert_eq!(
+            eager.take_queue_average(ms(20)),
+            lazy.take_queue_average(ms(20))
+        );
+        assert_eq!(eager.forwarded_packets(), lazy.forwarded_packets());
+        assert_eq!(eager.forwarded_bytes(), lazy.forwarded_bytes());
     }
 
     #[test]
     fn peak_occupancy_tracks_high_water_mark() {
         let mut l = Link::new(NodeId(0), NodeId(1), mbps4());
-        for i in 0..5 {
-            l.enqueue(SimTime::ZERO, pkt(i));
+        for _ in 0..5 {
+            l.offer(SimTime::ZERO, 1000);
         }
-        l.complete_transmission(SimTime::from_millis(2));
+        l.sync(ms(2));
         assert_eq!(l.peak_occupancy(), 5);
-    }
-
-    #[test]
-    #[should_panic(expected = "idle link")]
-    fn completing_idle_link_panics() {
-        let mut l = Link::new(NodeId(0), NodeId(1), mbps4());
-        l.complete_transmission(SimTime::ZERO);
     }
 
     #[test]

@@ -19,6 +19,7 @@ use crate::flow::FlowInfo;
 use crate::ids::{FlowId, LinkId, NodeId, PacketId};
 use crate::link::{Link, LinkSpec};
 use crate::packet::{Marker, Packet};
+use crate::slab::DenseMap;
 use crate::telemetry::{Probe, Sample};
 
 /// An opaque timer tag interpreted by the logic that scheduled it.
@@ -209,7 +210,7 @@ impl ActionBuf {
 pub struct LogicReport {
     /// Per-flow time series of the logic's principal rate variable
     /// (allotted rate for Corelite/CSFQ edges), in packets per second.
-    pub flow_rates: BTreeMap<FlowId, TimeSeries>,
+    pub flow_rates: DenseMap<FlowId, TimeSeries>,
     /// Named scalar counters (markers injected, feedback sent, ...).
     pub counters: BTreeMap<String, f64>,
 }
@@ -298,9 +299,10 @@ impl<'a> Ctx<'a> {
         self.links[link.index()].spec()
     }
 
-    /// Instantaneous queue occupancy of `link` in packets.
+    /// Instantaneous queue occupancy of `link` in packets (as of the
+    /// current event's timestamp).
     pub fn link_queue_len(&self, link: LinkId) -> usize {
-        self.links[link.index()].queue_len()
+        self.links[link.index()].queue_len(self.now)
     }
 
     /// Closes and returns the time-weighted average queue occupancy of
@@ -526,7 +528,7 @@ impl RouterLogic for PoissonSource {
         let mut counters = BTreeMap::new();
         counters.insert("emitted_packets".to_owned(), self.emitted as f64);
         LogicReport {
-            flow_rates: BTreeMap::new(),
+            flow_rates: DenseMap::new(),
             counters,
         }
     }
@@ -589,7 +591,7 @@ impl RouterLogic for CbrSource {
         let mut counters = BTreeMap::new();
         counters.insert("emitted_packets".to_owned(), self.emitted as f64);
         LogicReport {
-            flow_rates: BTreeMap::new(),
+            flow_rates: DenseMap::new(),
             counters,
         }
     }

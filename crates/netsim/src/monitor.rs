@@ -6,13 +6,12 @@
 //! service (Figure 4) come from the per-flow monitors behind
 //! [`FlowReport`].
 
-use std::collections::BTreeMap;
-
 use sim_core::stats::{LogHistogram, TimeSeries, WindowedRate};
 use sim_core::time::{SimDuration, SimTime};
 
 use crate::ids::{FlowId, LinkId, NodeId};
 use crate::logic::{DropReason, LogicReport};
+use crate::slab::DenseMap;
 
 /// Per-flow measurement state, updated by the network on deliveries and
 /// drops.
@@ -201,7 +200,7 @@ pub struct SimReport {
     pub links: Vec<LinkReport>,
     /// Logic-exported measurements per node (allotted-rate series live
     /// here, under the node hosting the flow's ingress edge logic).
-    pub logic: BTreeMap<NodeId, LogicReport>,
+    pub logic: DenseMap<NodeId, LogicReport>,
     /// Total events processed.
     pub events_processed: u64,
 }

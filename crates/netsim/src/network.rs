@@ -1,14 +1,12 @@
 //! The event loop tying links, flows, logic and monitors together.
 
-use std::collections::BTreeMap;
-
 use sim_core::event::{EventQueue, QueueBackend};
 use sim_core::time::{SimDuration, SimTime};
 
 use crate::fault::FaultState;
 use crate::flow::FlowInfo;
 use crate::ids::{FlowId, LinkId, NodeId};
-use crate::link::{EnqueueOutcome, Link};
+use crate::link::Link;
 use crate::logic::{Action, ActionBuf, ControlMsg, Ctx, DropReason, RouterLogic, TimerKind};
 use crate::monitor::{FlowMonitor, FlowReport, LinkReport, SimReport};
 use crate::packet::Packet;
@@ -18,11 +16,33 @@ use crate::trace::{FaultKind, TraceEvent, Tracer};
 use std::cell::RefCell;
 use std::rc::Rc;
 
+/// How link serializations are turned into queue events.
+///
+/// Both modes produce byte-identical reports, traces and telemetry (see
+/// `tests/train_batching.rs`): departure times are computed at enqueue
+/// either way, so the per-packet checkpoints of [`PerPacket`] only add
+/// no-op sync work.
+///
+/// [`PerPacket`]: DispatchMode::PerPacket
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DispatchMode {
+    /// Coalesce back-to-back serializations into a train: a packet's
+    /// delivery event is scheduled directly at `departure + propagation`
+    /// and link accounting is synced lazily (the default).
+    #[default]
+    Train,
+    /// Additionally schedule one `TxDone` checkpoint per packet at its
+    /// departure instant — the pre-train engine's event shape — kept for
+    /// differential testing of the batching path.
+    PerPacket,
+}
+
 #[derive(Debug)]
 enum Event {
-    /// `packet` arrives at `node` (after link propagation).
+    /// `packet` arrives at `node` (after serialization and propagation).
     Arrive { node: NodeId, packet: Packet },
-    /// The in-service packet on `link` finished serialization.
+    /// Per-packet sync checkpoint on `link` ([`DispatchMode::PerPacket`]
+    /// only).
     TxDone { link: LinkId },
     /// A logic-scheduled timer on `node` expired.
     Timer { node: NodeId, timer: TimerKind },
@@ -55,6 +75,14 @@ pub struct Network {
     tracer: Option<Rc<RefCell<dyn Tracer>>>,
     probe: Option<Rc<RefCell<dyn Probe>>>,
     faults: Option<FaultState>,
+    dispatch: DispatchMode,
+    /// Logical events dispatched, excluding `TxDone` checkpoints (which
+    /// exist only under [`DispatchMode::PerPacket`]). Reported as
+    /// `events_processed` together with the per-link forwarded counts, so
+    /// the total is identical across dispatch modes — and identical to
+    /// the event count of the pre-train engine, which popped one `TxDone`
+    /// per forwarded packet.
+    logical_events: u64,
     /// Reusable action buffer threaded through every logic callback;
     /// drained and reset after each event so steady-state dispatch never
     /// allocates.
@@ -78,6 +106,7 @@ impl Network {
         probe: Option<Rc<RefCell<dyn Probe>>>,
         faults: Option<FaultState>,
         queue_backend: QueueBackend,
+        dispatch: DispatchMode,
     ) -> Self {
         let mut queue = EventQueue::with_backend(queue_backend, 1024);
         for flow in &flows {
@@ -118,6 +147,8 @@ impl Network {
             tracer,
             probe,
             faults,
+            dispatch,
+            logical_events: 0,
             // Pre-sized so even per-flow action bursts (epoch timers on
             // an edge carrying many flows) stay allocation-free.
             scratch: ActionBuf::with_capacity(64),
@@ -193,9 +224,15 @@ impl Network {
     }
 
     fn dispatch(&mut self, event: Event) {
+        if !matches!(event, Event::TxDone { .. }) {
+            self.logical_events += 1;
+        }
         match event {
             Event::Arrive { node, packet } => self.handle_arrive(node, packet),
-            Event::TxDone { link } => self.handle_tx_done(link),
+            // A checkpoint: retire the link's departures up to now. The
+            // train path does the same lazily, so this changes nothing
+            // observable — it only restores per-packet event granularity.
+            Event::TxDone { link } => self.links[link.index()].sync(self.now),
             Event::Timer { node, timer } => {
                 if let Some(until) = self.pause_end(node) {
                     // Defer to the pause's end so self-rescheduling timer
@@ -288,18 +325,6 @@ impl Network {
         }
     }
 
-    fn handle_tx_done(&mut self, link: LinkId) {
-        let l = &mut self.links[link.index()];
-        let (packet, next_tx) = l.complete_transmission(self.now);
-        let dst = l.dst();
-        let prop = l.spec().delay;
-        if let Some(tx) = next_tx {
-            self.queue.push(self.now + tx, Event::TxDone { link });
-        }
-        self.queue
-            .push(self.now + prop, Event::Arrive { node: dst, packet });
-    }
-
     fn with_logic<F>(&mut self, node: NodeId, f: F)
     where
         F: FnOnce(&mut dyn RouterLogic, &mut Ctx<'_>),
@@ -363,31 +388,37 @@ impl Network {
                         });
                     }
                 }
-                let l = &mut self.links[link.index()];
-                assert_eq!(
-                    l.src(),
-                    node,
-                    "node {node} forwarded on link {link} it does not own"
-                );
-                let (pkt_id, pkt_flow) = (packet.id, packet.flow);
-                match l.enqueue(self.now, packet) {
-                    EnqueueOutcome::Accepted {
-                        starts_transmission,
-                    } => {
-                        let queue_len = self.links[link.index()].queue_len();
+                // The whole transmission is resolved at enqueue: `offer`
+                // computes the FIFO departure time, so the delivery event
+                // can be scheduled immediately and no per-packet TxDone
+                // is needed (a burst becomes one train of Arrives).
+                let accepted = {
+                    let l = &mut self.links[link.index()];
+                    assert_eq!(
+                        l.src(),
+                        node,
+                        "node {node} forwarded on link {link} it does not own"
+                    );
+                    l.offer(self.now, packet.size)
+                        .map(|dep| (dep, l.queue_len(self.now), l.dst(), l.spec().delay))
+                };
+                match accepted {
+                    Some((dep, queue_len, dst, prop)) => {
                         self.trace(TraceEvent::Enqueue {
                             link,
-                            packet: pkt_id,
-                            flow: pkt_flow,
+                            packet: packet.id,
+                            flow: packet.flow,
                             queue_len,
                         });
-                        if let Some(tx) = starts_transmission {
-                            self.queue.push(self.now + tx, Event::TxDone { link });
+                        if self.dispatch == DispatchMode::PerPacket {
+                            self.queue.push(dep, Event::TxDone { link });
                         }
+                        self.queue
+                            .push(dep + prop, Event::Arrive { node: dst, packet });
                     }
-                    EnqueueOutcome::Dropped(p) => {
-                        self.record_drop(node, &p, DropReason::Tail);
-                    }
+                    // `offer` already counted the tail drop on the link;
+                    // the packet stays with us for flow-level accounting.
+                    None => self.record_drop(node, &packet, DropReason::Tail),
                 }
             }
             Action::Drop { packet, reason } => {
@@ -470,8 +501,18 @@ impl Network {
     /// `end` should be the time passed to the final
     /// [`run_until`](Network::run_until) call; series are closed at that
     /// instant.
-    pub fn into_report(self, end: SimTime) -> SimReport {
-        let events_processed = self.queue.delivered();
+    pub fn into_report(mut self, end: SimTime) -> SimReport {
+        // Retire every departure up to the horizon so the forwarded
+        // counters and the occupancy integrals are final. (Under lazy
+        // train dispatch this is where the last trains are accounted.)
+        for l in &mut self.links {
+            l.sync(end);
+        }
+        // Logical events plus one serialization per forwarded packet:
+        // identical across dispatch modes, and numerically equal to the
+        // popped-event count of the per-TxDone engine.
+        let events_processed =
+            self.logical_events + self.links.iter().map(Link::forwarded_packets).sum::<u64>();
         let flows = self
             .monitors
             .into_iter()
@@ -513,7 +554,7 @@ impl Network {
                 },
             })
             .collect();
-        let logic: BTreeMap<NodeId, _> = self
+        let logic: crate::slab::DenseMap<NodeId, _> = self
             .nodes
             .iter()
             .enumerate()

@@ -1,0 +1,361 @@
+//! Dense, id-indexed state storage for the hot path.
+//!
+//! The simulator's entity ids ([`FlowId`], [`NodeId`], [`LinkId`]) are
+//! small contiguous `u32` indices handed out by the topology builder, so
+//! per-entity state never needs an ordered tree: a flat slab indexed by
+//! [`SlabKey::index`] gives O(1) access with no pointer chasing, and
+//! iterating the slab in index order reproduces exactly the ascending-key
+//! order a `BTreeMap` would give — which is what keeps report rendering
+//! and epoch scans deterministic (DESIGN.md §13).
+//!
+//! [`DenseMap`] is deliberately map-shaped (`insert`/`get`/`remove`/
+//! `iter` and a map-style `Debug`) so converting a `BTreeMap<Id, V>` site
+//! is mechanical and the `Debug`-rendered reports used by the
+//! byte-identity oracles are unchanged. [`DenseMap::clear`] keeps the
+//! backing allocation, so per-epoch state resets stay allocation-free
+//! (see `crates/netsim/tests/zero_alloc.rs`).
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::Index;
+
+use crate::ids::{FlowId, LinkId, NodeId};
+
+/// A key type usable as a dense slab index.
+///
+/// Implementations must be a bijection between keys and small
+/// non-negative integers: `from_index(k.index()) == k`, and indices
+/// should be contiguous from zero for the slab to stay dense.
+pub trait SlabKey: Copy + Eq {
+    /// Returns the raw slab index of this key.
+    fn index(self) -> usize;
+    /// Reconstructs the key from a raw slab index.
+    fn from_index(index: usize) -> Self;
+}
+
+macro_rules! slab_key {
+    ($($ty:ty),*) => {
+        $(impl SlabKey for $ty {
+            fn index(self) -> usize {
+                <$ty>::index(self)
+            }
+            fn from_index(index: usize) -> Self {
+                <$ty>::from_index(index)
+            }
+        })*
+    };
+}
+
+slab_key!(FlowId, NodeId, LinkId);
+
+/// A map from a [`SlabKey`] to `V`, stored as a flat slab.
+///
+/// Lookup, insertion and removal are O(1); iteration visits entries in
+/// ascending key order (the `BTreeMap` order) and is O(capacity), where
+/// capacity is one past the largest index ever inserted.
+pub struct DenseMap<K: SlabKey, V> {
+    slots: Vec<Option<V>>,
+    len: usize,
+    _key: PhantomData<K>,
+}
+
+impl<K: SlabKey, V> DenseMap<K, V> {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        DenseMap {
+            slots: Vec::new(),
+            len: 0,
+            _key: PhantomData,
+        }
+    }
+
+    /// Creates an empty map with room for keys `0..capacity` without
+    /// reallocating.
+    pub fn with_capacity(capacity: usize) -> Self {
+        DenseMap {
+            slots: Vec::with_capacity(capacity),
+            len: 0,
+            _key: PhantomData,
+        }
+    }
+
+    /// Number of entries in the map.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the map holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns a reference to the value for `key`, if present.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        self.slots.get(key.index()).and_then(Option::as_ref)
+    }
+
+    /// Returns a mutable reference to the value for `key`, if present.
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        self.slots.get_mut(key.index()).and_then(Option::as_mut)
+    }
+
+    /// Whether the map holds an entry for `key`.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Inserts `value` for `key`, returning the previous value if any.
+    /// Grows the slab if `key` indexes past the current end.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        let i = key.index();
+        if i >= self.slots.len() {
+            self.slots.resize_with(i + 1, || None);
+        }
+        let old = self.slots[i].replace(value);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// Removes and returns the value for `key`, if present. The slot (and
+    /// the slab's allocation) is retained for reuse.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let old = self.slots.get_mut(key.index()).and_then(Option::take);
+        if old.is_some() {
+            self.len -= 1;
+        }
+        old
+    }
+
+    /// Returns a mutable reference to the value for `key`, inserting
+    /// `default()` first if absent. The dense replacement for
+    /// `entry(key).or_insert_with(default)`.
+    pub fn entry_or_insert_with(&mut self, key: K, default: impl FnOnce() -> V) -> &mut V {
+        let i = key.index();
+        if i >= self.slots.len() {
+            self.slots.resize_with(i + 1, || None);
+        }
+        let slot = &mut self.slots[i];
+        if slot.is_none() {
+            *slot = Some(default());
+            self.len += 1;
+        }
+        slot.as_mut().expect("slot was just filled")
+    }
+
+    /// Removes every entry, keeping the backing allocation so refilling
+    /// up to the previous capacity never allocates.
+    pub fn clear(&mut self) {
+        for slot in &mut self.slots {
+            *slot = None;
+        }
+        self.len = 0;
+    }
+
+    /// Keeps only the entries for which `keep` returns true.
+    pub fn retain(&mut self, mut keep: impl FnMut(K, &mut V) -> bool) {
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            if let Some(v) = slot {
+                if !keep(K::from_index(i), v) {
+                    *slot = None;
+                    self.len -= 1;
+                }
+            }
+        }
+    }
+
+    /// One past the largest key index ever occupied — the exclusive
+    /// bound for an index loop `for i in 0..map.key_bound()`. Such a
+    /// loop visits entries in key order without borrowing the map
+    /// across iterations (the allocation-free epoch-scan idiom).
+    pub fn key_bound(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Iterates `(key, &value)` pairs in ascending key order.
+    pub fn iter(&self) -> impl Iterator<Item = (K, &V)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| slot.as_ref().map(|v| (K::from_index(i), v)))
+    }
+
+    /// Iterates `(key, &mut value)` pairs in ascending key order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (K, &mut V)> {
+        self.slots
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(i, slot)| slot.as_mut().map(|v| (K::from_index(i), v)))
+    }
+
+    /// Iterates keys in ascending order.
+    pub fn keys(&self) -> impl Iterator<Item = K> + '_ {
+        self.iter().map(|(k, _)| k)
+    }
+
+    /// Iterates values in ascending key order.
+    pub fn values(&self) -> impl Iterator<Item = &V> {
+        self.slots.iter().filter_map(Option::as_ref)
+    }
+
+    /// Iterates mutable values in ascending key order.
+    pub fn values_mut(&mut self) -> impl Iterator<Item = &mut V> {
+        self.slots.iter_mut().filter_map(Option::as_mut)
+    }
+}
+
+impl<K: SlabKey, V> Default for DenseMap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: SlabKey, V: Clone> Clone for DenseMap<K, V> {
+    fn clone(&self) -> Self {
+        DenseMap {
+            slots: self.slots.clone(),
+            len: self.len,
+            _key: PhantomData,
+        }
+    }
+}
+
+impl<K: SlabKey, V: PartialEq> PartialEq for DenseMap<K, V> {
+    fn eq(&self, other: &Self) -> bool {
+        // Trailing empty slots are not observable; compare entries.
+        self.len == other.len
+            && self
+                .iter()
+                .zip(other.iter())
+                .all(|((ka, va), (kb, vb))| ka == kb && va == vb)
+    }
+}
+
+impl<K: SlabKey + fmt::Debug, V: fmt::Debug> fmt::Debug for DenseMap<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Map-shaped, in key order: byte-identical to the rendering of
+        // the BTreeMap this type replaces, which is what the full-report
+        // byte-identity oracles compare.
+        f.debug_map().entries(self.iter()).finish()
+    }
+}
+
+impl<K: SlabKey, V> Index<&K> for DenseMap<K, V> {
+    type Output = V;
+
+    fn index(&self, key: &K) -> &V {
+        self.get(key).expect("no entry for key in DenseMap")
+    }
+}
+
+impl<K: SlabKey, V> FromIterator<(K, V)> for DenseMap<K, V> {
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
+        let mut map = DenseMap::new();
+        for (k, v) in iter {
+            map.insert(k, v);
+        }
+        map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(i: usize) -> FlowId {
+        FlowId::from_index(i)
+    }
+
+    #[test]
+    fn insert_get_remove_round_trip() {
+        let mut m: DenseMap<FlowId, u32> = DenseMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.insert(f(3), 30), None);
+        assert_eq!(m.insert(f(1), 10), None);
+        assert_eq!(m.insert(f(3), 31), Some(30));
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get(&f(3)), Some(&31));
+        assert_eq!(m.get(&f(0)), None);
+        assert_eq!(m.remove(&f(3)), Some(31));
+        assert_eq!(m.remove(&f(3)), None);
+        assert_eq!(m.len(), 1);
+        assert!(m.contains_key(&f(1)));
+    }
+
+    #[test]
+    fn iteration_is_in_key_order() {
+        let mut m: DenseMap<FlowId, &str> = DenseMap::new();
+        m.insert(f(5), "e");
+        m.insert(f(0), "a");
+        m.insert(f(2), "c");
+        let keys: Vec<usize> = m.keys().map(|k| k.index()).collect();
+        assert_eq!(keys, vec![0, 2, 5]);
+        let values: Vec<&str> = m.values().copied().collect();
+        assert_eq!(values, vec!["a", "c", "e"]);
+    }
+
+    #[test]
+    fn debug_matches_btreemap_rendering() {
+        use std::collections::BTreeMap;
+        let mut dense: DenseMap<FlowId, u32> = DenseMap::new();
+        let mut tree: BTreeMap<FlowId, u32> = BTreeMap::new();
+        for (i, v) in [(4, 44), (1, 11), (9, 99)] {
+            dense.insert(f(i), v);
+            tree.insert(f(i), v);
+        }
+        assert_eq!(format!("{dense:?}"), format!("{tree:?}"));
+        assert_eq!(format!("{:#?}", dense), format!("{:#?}", tree));
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut m: DenseMap<FlowId, u64> = DenseMap::new();
+        for i in 0..64 {
+            m.insert(f(i), i as u64);
+        }
+        let cap = m.slots.capacity();
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.slots.capacity(), cap);
+        // Slots are retained, so refilling does not grow the Vec.
+        for i in 0..64 {
+            m.insert(f(i), i as u64);
+        }
+        assert_eq!(m.slots.capacity(), cap);
+    }
+
+    #[test]
+    fn entry_or_insert_with_inserts_once() {
+        let mut m: DenseMap<NodeId, Vec<u32>> = DenseMap::new();
+        m.entry_or_insert_with(NodeId::from_index(2), Vec::new)
+            .push(7);
+        m.entry_or_insert_with(NodeId::from_index(2), Vec::new)
+            .push(8);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[&NodeId::from_index(2)], vec![7, 8]);
+    }
+
+    #[test]
+    fn retain_filters_entries() {
+        let mut m: DenseMap<LinkId, u32> = DenseMap::new();
+        for i in 0..6 {
+            m.insert(LinkId::from_index(i), i as u32);
+        }
+        m.retain(|k, v| k.index() % 2 == 0 && *v < 4);
+        let kept: Vec<u32> = m.values().copied().collect();
+        assert_eq!(kept, vec![0, 2]);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn equality_ignores_trailing_capacity() {
+        let mut a: DenseMap<FlowId, u32> = DenseMap::new();
+        let mut b: DenseMap<FlowId, u32> = DenseMap::new();
+        a.insert(f(1), 1);
+        b.insert(f(9), 9);
+        b.insert(f(1), 1);
+        b.remove(&f(9));
+        assert_eq!(a, b);
+    }
+}

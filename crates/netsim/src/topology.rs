@@ -8,7 +8,7 @@ use crate::flow::{FlowInfo, FlowSpec};
 use crate::ids::{FlowId, LinkId, NodeId};
 use crate::link::{Link, LinkSpec};
 use crate::logic::RouterLogic;
-use crate::network::Network;
+use crate::network::{DispatchMode, Network};
 use crate::telemetry::Probe;
 use crate::trace::Tracer;
 
@@ -46,6 +46,7 @@ pub struct TopologyBuilder {
     probe: Option<Rc<RefCell<dyn Probe>>>,
     faults: FaultPlan,
     queue_backend: QueueBackend,
+    dispatch: DispatchMode,
 }
 
 impl TopologyBuilder {
@@ -64,6 +65,7 @@ impl TopologyBuilder {
             probe: None,
             faults: FaultPlan::default(),
             queue_backend: QueueBackend::Wheel,
+            dispatch: DispatchMode::Train,
         }
     }
 
@@ -157,6 +159,14 @@ impl TopologyBuilder {
         self
     }
 
+    /// Selects the link dispatch mode (default: train batching). The
+    /// per-packet mode is kept for differential testing; both modes
+    /// produce byte-identical simulation results.
+    pub fn dispatch_mode(&mut self, mode: DispatchMode) -> &mut Self {
+        self.dispatch = mode;
+        self
+    }
+
     /// Installs a fault-injection plan (see [`crate::fault`]). The plan's
     /// random streams are derived from the experiment seed under
     /// dedicated labels, so installing faults never perturbs the draws of
@@ -185,6 +195,7 @@ impl TopologyBuilder {
             probe,
             faults,
             queue_backend,
+            dispatch,
         } = self;
         let faults = if faults.is_empty() {
             None
@@ -262,6 +273,7 @@ impl TopologyBuilder {
             probe,
             faults,
             queue_backend,
+            dispatch,
         )
     }
 }

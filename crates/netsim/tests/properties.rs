@@ -1,28 +1,23 @@
-//! Randomized property tests for the link/queue substrate: FIFO order,
-//! bounded occupancy, conservation of packets, and serialization timing.
+//! Randomized property tests for the link/queue substrate — FIFO order,
+//! bounded occupancy, conservation of packets, serialization timing —
+//! and for the slab state plane (`DenseMap` against a `BTreeMap`
+//! model).
 
-use netsim::ids::{FlowId, NodeId, PacketId};
-use netsim::link::{EnqueueOutcome, Link, LinkSpec};
-use netsim::packet::Packet;
+use std::collections::BTreeMap;
+
+use netsim::ids::{FlowId, NodeId};
+use netsim::link::{Link, LinkSpec};
+use netsim::slab::DenseMap;
 use sim_core::check;
 use sim_core::time::{SimDuration, SimTime};
-
-fn pkt(id: u64, size: u32) -> Packet {
-    Packet::data(
-        PacketId::from_sequence(id),
-        FlowId::from_index(0),
-        size,
-        SimTime::ZERO,
-    )
-}
 
 fn spec(capacity: usize) -> LinkSpec {
     LinkSpec::new(8_000_000, SimDuration::from_millis(1), capacity)
 }
 
 /// Whatever the arrival pattern: occupancy never exceeds capacity,
-/// packets depart in FIFO order, and accepted = departed + queued +
-/// dropped at all times.
+/// departures come out in FIFO order along the service curve, and
+/// accepted = forwarded + queued + dropped at all times.
 #[test]
 fn queue_invariants_hold() {
     check::cases(64, 0x4E_01, |g| {
@@ -30,48 +25,40 @@ fn queue_invariants_hold() {
         let ops = g.vec_with(1, 300, |g| (g.bool(), g.u64_in(100, 2000) as u32));
         let mut link = Link::new(NodeId::from_index(0), NodeId::from_index(1), spec(capacity));
         let mut now = SimTime::ZERO;
-        let mut next_id = 0u64;
         let mut accepted = 0u64;
-        let mut departed = Vec::new();
         let mut dropped = 0u64;
-        let mut in_service = false;
+        let mut last_dep = SimTime::ZERO;
 
         for (enqueue, size) in ops {
             now += SimDuration::from_micros(50);
             if enqueue {
-                match link.enqueue(now, pkt(next_id, size)) {
-                    EnqueueOutcome::Accepted {
-                        starts_transmission,
-                    } => {
+                match link.offer(now, size) {
+                    Some(dep) => {
                         accepted += 1;
-                        if starts_transmission.is_some() {
-                            assert!(!in_service, "tx started while busy");
-                            in_service = true;
-                        }
+                        // FIFO service curve: departures are strictly
+                        // increasing and never precede the arrival.
+                        assert!(dep > last_dep, "departure {dep:?} out of order");
+                        assert!(dep > now, "departure before arrival");
+                        last_dep = dep;
                     }
-                    EnqueueOutcome::Dropped(p) => {
-                        assert_eq!(p.id.sequence(), next_id);
-                        dropped += 1;
-                    }
+                    None => dropped += 1,
                 }
-                next_id += 1;
-            } else if in_service {
-                let (p, next_tx) = link.complete_transmission(now);
-                departed.push(p.id.sequence());
-                in_service = next_tx.is_some();
+            } else {
+                // Exercise an accounting checkpoint at a random instant.
+                link.sync(now);
             }
-            assert!(link.queue_len() <= capacity, "occupancy over capacity");
+            assert!(link.queue_len(now) <= capacity, "occupancy over capacity");
             assert_eq!(
                 accepted,
-                departed.len() as u64 + link.queue_len() as u64,
-                "packet conservation violated"
+                link.forwarded_packets() + link.queue_len(now) as u64,
+                "packet conservation violated (synced part)"
             );
             assert_eq!(link.dropped_packets(), dropped);
         }
-        // FIFO: departures are the accepted ids in order.
-        let mut sorted = departed.clone();
-        sorted.sort();
-        assert_eq!(departed, sorted, "departures out of order");
+        // Drain everything: every accepted packet eventually departs.
+        link.sync(last_dep);
+        assert_eq!(link.forwarded_packets(), accepted);
+        assert_eq!(link.queue_len(last_dep), 0);
     });
 }
 
@@ -95,6 +82,91 @@ fn tx_time_scales() {
     });
 }
 
+/// Lazy and eager sync schedules produce identical statistics: the
+/// departure train carries its own timestamps, so when accounting runs
+/// cannot matter.
+#[test]
+fn sync_schedule_is_unobservable() {
+    check::cases(64, 0x4E_04, |g| {
+        let capacity = g.usize_in(1, 20);
+        let ops = g.vec_with(1, 200, |g| (g.u64_in(1, 5_000), g.u64_in(100, 2000) as u32));
+        let mut eager = Link::new(NodeId::from_index(0), NodeId::from_index(1), spec(capacity));
+        let mut lazy = Link::new(NodeId::from_index(0), NodeId::from_index(1), spec(capacity));
+        let mut now = SimTime::ZERO;
+        for (gap, size) in ops {
+            now += SimDuration::from_micros(gap);
+            assert_eq!(eager.offer(now, size), lazy.offer(now, size));
+            eager.sync(now);
+        }
+        let end = now + SimDuration::from_secs(1);
+        assert_eq!(eager.queue_len(end), lazy.queue_len(end));
+        assert_eq!(
+            eager.take_queue_average(end),
+            lazy.take_queue_average(end),
+            "occupancy integral depends on sync schedule"
+        );
+        assert_eq!(eager.forwarded_packets(), lazy.forwarded_packets());
+        assert_eq!(eager.forwarded_bytes(), lazy.forwarded_bytes());
+        assert_eq!(eager.dropped_packets(), lazy.dropped_packets());
+        assert_eq!(eager.peak_occupancy(), lazy.peak_occupancy());
+    });
+}
+
+/// `DenseMap` is observationally equivalent to the `BTreeMap` it
+/// replaced: after any interleaving of inserts, overwrites, removes and
+/// clears, lookups, length, iteration order and the `Debug` rendering
+/// all match the model exactly.
+#[test]
+fn dense_map_matches_btreemap_model() {
+    check::cases(128, 0x4E_05, |g| {
+        let ops = g.vec_with(1, 200, |g| {
+            let key = g.usize_in(0, 24);
+            match g.u64_in(0, 9) {
+                // Insert-or-overwrite dominates; removal and clear are
+                // rarer, mirroring real flow churn.
+                0..=5 => (0u8, key, g.u64_in(0, 1000)),
+                6..=7 => (1, key, 0),
+                8 => (2, key, 0),
+                _ => (3, key, g.u64_in(0, 1000)),
+            }
+        });
+        let mut dense: DenseMap<FlowId, u64> = DenseMap::new();
+        let mut model: BTreeMap<FlowId, u64> = BTreeMap::new();
+        for (op, key, value) in ops {
+            let key = FlowId::from_index(key);
+            match op {
+                0 => {
+                    assert_eq!(dense.insert(key, value), model.insert(key, value));
+                }
+                1 => {
+                    assert_eq!(dense.remove(&key), model.remove(&key));
+                }
+                2 => {
+                    dense.clear();
+                    model.clear();
+                }
+                _ => {
+                    *dense.entry_or_insert_with(key, || value) += 1;
+                    *model.entry(key).or_insert(value) += 1;
+                }
+            }
+            assert_eq!(dense.len(), model.len());
+            assert_eq!(dense.is_empty(), model.is_empty());
+            assert_eq!(dense.get(&key), model.get(&key));
+            assert_eq!(dense.contains_key(&key), model.contains_key(&key));
+            // Iteration yields the model's ascending key order.
+            assert!(dense
+                .iter()
+                .map(|(k, &v)| (k, v))
+                .eq(model.iter().map(|(&k, &v)| (k, v))));
+            assert!(dense.keys().eq(model.keys().copied()));
+            assert!(dense.values().eq(model.values()));
+            // Report rendering byte-matches the map it replaced.
+            assert_eq!(format!("{dense:?}"), format!("{model:?}"));
+        }
+    });
+}
+
 /// The time-weighted queue average is bounded by the peak occupancy.
 #[test]
 fn queue_average_bounded_by_peak() {
@@ -102,20 +174,12 @@ fn queue_average_bounded_by_peak() {
         let arrivals = g.vec_with(1, 100, |g| g.u64_in(1, 5_000));
         let mut link = Link::new(NodeId::from_index(0), NodeId::from_index(1), spec(40));
         let mut now = SimTime::ZERO;
-        let mut busy = false;
         for (i, gap) in arrivals.iter().enumerate() {
             now += SimDuration::from_micros(*gap);
-            // Alternate arrivals and departures pseudo-randomly.
-            if i % 3 == 2 && busy {
-                let (_, next) = link.complete_transmission(now);
-                busy = next.is_some();
-            } else if let EnqueueOutcome::Accepted {
-                starts_transmission,
-            } = link.enqueue(now, pkt(i as u64, 1000))
-            {
-                if starts_transmission.is_some() {
-                    busy = true;
-                }
+            if i % 3 == 2 {
+                link.sync(now);
+            } else {
+                link.offer(now, 1000);
             }
         }
         let avg = link.queue_average(now + SimDuration::from_millis(1));

@@ -103,6 +103,88 @@ fn steady_state_dispatch_does_not_allocate() {
     assert_eq!(fr.total_drops(), 0);
 }
 
+const TIMER_SCAN: u32 = 9;
+
+/// A forwarding logic that keeps slab-backed per-flow and per-link
+/// state on the packet path — one `DenseMap` counter bumped per packet
+/// plus an epoch-grained `key_bound` index scan, the access pattern the
+/// corelite gateway/aggregate logics use after the flat-state
+/// refactor.
+struct SlabCountingForward {
+    per_flow: netsim::slab::DenseMap<FlowId, u64>,
+    per_link: netsim::slab::DenseMap<LinkId, u64>,
+    scanned: u64,
+}
+
+impl RouterLogic for SlabCountingForward {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.set_timer(SimDuration::from_millis(100), TimerKind::tagged(TIMER_SCAN));
+    }
+
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, packet: netsim::packet::Packet) {
+        let Some(link) = ctx.next_hop(packet.flow) else {
+            return;
+        };
+        *self.per_flow.entry_or_insert_with(packet.flow, || 0) += 1;
+        *self.per_link.entry_or_insert_with(link, || 0) += 1;
+        ctx.forward(link, packet);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, timer: TimerKind) {
+        // Allocation-free iteration: index scan over the slab's key
+        // bound, skipping empty slots.
+        for i in 0..self.per_flow.key_bound() {
+            let flow = FlowId::from_index(i);
+            if self.per_flow.get(&flow).is_some() {
+                self.scanned += 1;
+            }
+        }
+        ctx.set_timer(SimDuration::from_millis(100), timer);
+    }
+}
+
+#[test]
+fn slab_backed_dispatch_does_not_allocate() {
+    // Same chain, but the mid node now updates DenseMap-held per-flow
+    // and per-link state on every packet and walks the slab each epoch:
+    // the state plane introduced by the flat-state refactor must be as
+    // allocation-free in steady state as the event plane (slots are
+    // grown once at first insert, then reused forever).
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let link = LinkSpec::new(4_000_000, SimDuration::from_millis(40), 40);
+    let mut b = TopologyBuilder::new(3);
+    b.measurement_window(SimDuration::from_secs(10_000));
+    let src = b.node("src", |_| Box::new(CbrSource::new(200.0)));
+    let mid = b.node("mid", |_| {
+        Box::new(SlabCountingForward {
+            per_flow: netsim::slab::DenseMap::new(),
+            per_link: netsim::slab::DenseMap::new(),
+            scanned: 0,
+        })
+    });
+    let dst = b.node("dst", |_| Box::new(ForwardLogic));
+    b.link(src, mid, link);
+    b.link(mid, dst, link);
+    let f = b.flow(FlowSpec::new(vec![src, mid, dst], 1).active(SimTime::ZERO, None));
+    let mut net = b.build();
+
+    // Warm past one full timer-wheel rotation, as above.
+    net.run_until(SimTime::from_secs(2_300));
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    net.run_until(SimTime::from_secs(2_400));
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "slab-backed dispatch allocated {} times over 100 simulated seconds",
+        after - before
+    );
+
+    let report = net.into_report(SimTime::from_secs(2_400));
+    assert!(report.flow(f).delivered_packets > 470_000);
+}
+
 const TIMER_TELEMETRY: u32 = 7;
 
 /// A forwarding logic that publishes telemetry samples on a 100 ms

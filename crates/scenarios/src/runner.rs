@@ -165,6 +165,39 @@ impl Scenario {
         )
     }
 
+    /// The cross-traffic mix generalized to a
+    /// [`TopologySpec::fat_tree_k`] of arbitrary width: two flows per
+    /// leaf (to the next leaf and the one after), spines alternating by
+    /// flow index, weights cycling 1, 2, 3. At `leaves = 8, spines = 4`
+    /// this is the k≥8 scaling workload the engine benches record in
+    /// `BENCH_6.json`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `leaves >= 3` (two distinct destinations per leaf)
+    /// and `spines >= 1`.
+    pub fn fat_tree_k_mix(leaves: usize, spines: usize, horizon: SimTime, seed: u64) -> Self {
+        assert!(leaves >= 3, "fat_tree_k_mix needs at least three leaves");
+        let flows = (0..2 * leaves)
+            .map(|i| {
+                let src = i % leaves;
+                let dst = (src + 1 + i / leaves) % leaves;
+                ScenarioFlow::best_effort(
+                    TopologySpec::fat_tree_k_path(leaves, spines, src, dst, i % spines),
+                    (i % 3 + 1) as u32,
+                    SimTime::ZERO,
+                )
+            })
+            .collect();
+        Self::on(
+            TopologySpec::fat_tree_k(leaves, spines),
+            "fat_tree_k_mix",
+            flows,
+            horizon,
+            seed,
+        )
+    }
+
     /// Runs the scenario under `discipline` and collects the results,
     /// using the paper's 4 Mbps / 40 ms / 40-packet links.
     pub fn run(&self, discipline: &dyn Discipline) -> ExperimentResult {
@@ -179,7 +212,33 @@ impl Scenario {
         discipline: &dyn Discipline,
         backend: sim_core::event::QueueBackend,
     ) -> ExperimentResult {
-        self.run_configured(discipline, paper_link(), backend, None)
+        self.run_configured(
+            discipline,
+            paper_link(),
+            backend,
+            netsim::DispatchMode::Train,
+            None,
+        )
+    }
+
+    /// Runs the scenario under a specific transmission-dispatch mode.
+    /// [`DispatchMode::Train`](netsim::DispatchMode::Train) (the default
+    /// everywhere else) coalesces back-to-back transmissions into the
+    /// link's departure train; `PerPacket` re-enacts the one-TxDone-per-
+    /// packet schedule. Reports are byte-identical across modes; the
+    /// knob exists for the batched-vs-unbatched differential oracles.
+    pub fn run_with_dispatch(
+        &self,
+        discipline: &dyn Discipline,
+        dispatch: netsim::DispatchMode,
+    ) -> ExperimentResult {
+        self.run_configured(
+            discipline,
+            paper_link(),
+            sim_core::event::QueueBackend::Wheel,
+            dispatch,
+            None,
+        )
     }
 
     /// Runs the scenario with a telemetry [`Probe`] installed on every
@@ -193,7 +252,32 @@ impl Scenario {
         backend: sim_core::event::QueueBackend,
         probe: Rc<RefCell<dyn Probe>>,
     ) -> ExperimentResult {
-        self.run_configured(discipline, paper_link(), backend, Some(probe))
+        self.run_configured(
+            discipline,
+            paper_link(),
+            backend,
+            netsim::DispatchMode::Train,
+            Some(probe),
+        )
+    }
+
+    /// Runs the scenario probed like
+    /// [`run_instrumented`](Scenario::run_instrumented), but under a
+    /// specific transmission-dispatch mode — the telemetry half of the
+    /// batched-vs-unbatched differential oracles.
+    pub fn run_instrumented_dispatch(
+        &self,
+        discipline: &dyn Discipline,
+        dispatch: netsim::DispatchMode,
+        probe: Rc<RefCell<dyn Probe>>,
+    ) -> ExperimentResult {
+        self.run_configured(
+            discipline,
+            paper_link(),
+            sim_core::event::QueueBackend::Wheel,
+            dispatch,
+            Some(probe),
+        )
     }
 
     /// Runs the scenario with every link using `link` instead of the
@@ -205,7 +289,13 @@ impl Scenario {
         discipline: &dyn Discipline,
         link: netsim::link::LinkSpec,
     ) -> ExperimentResult {
-        self.run_configured(discipline, link, sim_core::event::QueueBackend::Wheel, None)
+        self.run_configured(
+            discipline,
+            link,
+            sim_core::event::QueueBackend::Wheel,
+            netsim::DispatchMode::Train,
+            None,
+        )
     }
 
     fn run_configured(
@@ -213,10 +303,12 @@ impl Scenario {
         discipline: &dyn Discipline,
         link: netsim::link::LinkSpec,
         backend: sim_core::event::QueueBackend,
+        dispatch: netsim::DispatchMode,
         probe: Option<Rc<RefCell<dyn Probe>>>,
     ) -> ExperimentResult {
         let mut b = TopologyBuilder::new(self.seed);
         b.queue_backend(backend);
+        b.dispatch_mode(dispatch);
         if let Some(p) = probe {
             b.probe(p);
         }

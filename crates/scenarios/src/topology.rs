@@ -219,17 +219,35 @@ impl TopologySpec {
     /// the spine chosen determines which links a flow loads — the
     /// genuinely non-chain case for the max-min solver.
     pub fn fat_tree() -> Self {
+        TopologySpec {
+            name: "fat_tree",
+            ..Self::fat_tree_k(Self::FAT_TREE_LEAVES, Self::FAT_TREE_SPINES)
+        }
+    }
+
+    /// A two-tier leaf–spine fat-tree of arbitrary size: `leaves` leaf
+    /// cores (`0..leaves`) each joined to `spines` spine cores
+    /// (`leaves..leaves + spines`) by a link in each direction. The k≥8
+    /// scaling benchmarks use this to stress wide fan-out; the fixed
+    /// [`fat_tree`](Self::fat_tree) is the `4 × 2` instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `leaves >= 2` and `spines >= 1`.
+    pub fn fat_tree_k(leaves: usize, spines: usize) -> Self {
+        assert!(leaves >= 2, "a fat-tree needs at least two leaves");
+        assert!(spines >= 1, "a fat-tree needs at least one spine");
         let mut links = Vec::new();
-        for leaf in 0..Self::FAT_TREE_LEAVES {
-            for spine in 0..Self::FAT_TREE_SPINES {
-                let s = Self::FAT_TREE_LEAVES + spine;
+        for leaf in 0..leaves {
+            for spine in 0..spines {
+                let s = leaves + spine;
                 links.push((leaf, s));
                 links.push((s, leaf));
             }
         }
         TopologySpec {
-            name: "fat_tree",
-            core_count: Self::FAT_TREE_LEAVES + Self::FAT_TREE_SPINES,
+            name: "fat_tree_k",
+            core_count: leaves + spines,
             links,
         }
     }
@@ -258,6 +276,32 @@ impl TopologySpec {
             Self::FAT_TREE_SPINES
         );
         CorePath::new(vec![src_leaf, Self::FAT_TREE_LEAVES + spine, dst_leaf])
+    }
+
+    /// The leaf–spine–leaf path from `src_leaf` to `dst_leaf` through the
+    /// given spine on a [`fat_tree_k`](Self::fat_tree_k) with `leaves`
+    /// leaves and `spines` spines.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range leaves, equal leaves, or spine index.
+    pub fn fat_tree_k_path(
+        leaves: usize,
+        spines: usize,
+        src_leaf: usize,
+        dst_leaf: usize,
+        spine: usize,
+    ) -> CorePath {
+        assert!(
+            src_leaf < leaves && dst_leaf < leaves,
+            "fat-tree leaves are 0..{leaves}, got {src_leaf}->{dst_leaf}"
+        );
+        assert!(src_leaf != dst_leaf, "fat-tree path needs distinct leaves");
+        assert!(
+            spine < spines,
+            "fat-tree spines are 0..{spines}, got {spine}"
+        );
+        CorePath::new(vec![src_leaf, leaves + spine, dst_leaf])
     }
 
     /// Number of core-to-core links.

@@ -325,13 +325,21 @@ impl<E> Default for HeapEventQueue<E> {
 /// top level (≥ 2^24 ticks ahead) wait in `overflow`, a min-heap, and
 /// migrate into the wheel when the clock enters their 2^24-tick window.
 ///
-/// `cur` holds the current tick's events sorted *descending* by
-/// `(time, seq)` (i.e. ascending in `Entry`'s inverted `Ord`), so the
-/// next event to deliver is `cur.pop()` from the back. Because pushes
-/// are never earlier than the current tick, the pending minimum is
-/// always: back of `cur`, else the lowest occupied slot of the lowest
-/// occupied level, else the overflow top — which makes `peek_time`
-/// cheap and `pop` lazy: the wheel only advances when `cur` runs dry.
+/// `cur` holds the current tick's events sorted ascending in `Entry`'s
+/// inverted order (earliest at the back), so delivery is an O(1)
+/// comparison-free `Vec::pop`. Events pushed *into the current tick
+/// after it started* — a running transmission train scheduling within
+/// its own tick, or the adversarial all-one-tick microbench — go to
+/// `late`, a small max-heap in the same inverted order, instead of an
+/// O(n) sorted insert into `cur`; `pop` merges the two sources by
+/// comparing `cur.last()` against `late.peek()`. Since `(time, seq)` is
+/// a total order (seqs are unique), the merged sequence is exactly the
+/// globally sorted one, and slot events all carry later ticks than
+/// anything in `cur`/`late`, so the pending minimum is always: best of
+/// `cur`/`late`, else the lowest occupied slot of the lowest occupied
+/// level, else the overflow top — which makes `peek_time` cheap and
+/// `pop` lazy: the wheel only advances when both same-tick sources run
+/// dry.
 #[derive(Debug, Clone)]
 struct TimerWheel<E> {
     /// Current tick's events, sorted ascending by `Entry`'s (inverted)
@@ -350,14 +358,19 @@ struct TimerWheel<E> {
     now_tick: u64,
     /// Timestamp of the most recent delivery — the true monotonic floor
     /// for pushes. Events between `floor` and `now_tick` are still
-    /// ordered exactly: they join `cur`, which sorts by real
+    /// ordered exactly: they join `late`, which orders by real
     /// `(time, seq)`, ahead of every slot entry (whose ticks are all
     /// `>= now_tick`).
     floor: SimTime,
-    /// Pending-event count across `cur`, `slots` and `overflow`.
+    /// Pending-event count across `cur`, `late`, `slots` and `overflow`.
     pending: usize,
     next_seq: u64,
     popped: u64,
+    /// Same-tick late arrivals, max-first in `Entry`'s inverted order
+    /// (top = earliest). Usually empty: most pushes land a full
+    /// serialization time ahead, beyond the current tick. Declared last
+    /// to keep the hot fields' layout unchanged.
+    late: BinaryHeap<Entry<E>>,
 }
 
 impl<E> TimerWheel<E> {
@@ -376,6 +389,7 @@ impl<E> TimerWheel<E> {
             pending: 0,
             next_seq: 0,
             popped: 0,
+            late: BinaryHeap::new(),
         }
     }
 
@@ -397,9 +411,9 @@ impl<E> TimerWheel<E> {
                 e.time,
                 self.floor,
             );
-            // Sorted insert keeps `cur` ascending in Entry order.
-            let idx = self.cur.partition_point(|c| c < &e);
-            self.cur.insert(idx, e);
+            // O(log n) heap push, not an O(n) sorted insert into `cur`;
+            // `pop` merges the two sources in exact (time, seq) order.
+            self.late.push(e);
             return;
         }
         let diff = tick ^ self.now_tick;
@@ -413,11 +427,44 @@ impl<E> TimerWheel<E> {
         self.slots[level * SLOTS + slot].push(e);
     }
 
-    fn pop(&mut self) -> Option<(SimTime, E)> {
-        if self.cur.is_empty() && !self.advance() {
-            return None;
+    /// The earliest pending same-tick entry: the better of `cur`'s back
+    /// and `late`'s top (the larger in `Entry`'s inverted order).
+    fn peek_same_tick(&self) -> Option<&Entry<E>> {
+        match (self.cur.last(), self.late.peek()) {
+            (Some(c), Some(l)) => Some(if c > l { c } else { l }),
+            (c, l) => c.or(l),
         }
-        let e = self.cur.pop().expect("advance leaves cur non-empty");
+    }
+
+    /// Removes the earliest same-tick entry when `late` is non-empty —
+    /// out of the hot path so the common all-in-`cur` case stays a
+    /// comparison-free `Vec::pop`.
+    #[cold]
+    fn pop_merged(&mut self) -> Entry<E> {
+        debug_assert!(!self.late.is_empty());
+        match self.cur.last() {
+            Some(c) if c > self.late.peek().expect("checked non-empty") => {
+                self.cur.pop().expect("checked non-empty")
+            }
+            _ => self.late.pop().expect("checked non-empty"),
+        }
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        let e = loop {
+            if self.late.is_empty() {
+                // Fast path: the current tick's events all sit in `cur`,
+                // earliest at the back.
+                if let Some(e) = self.cur.pop() {
+                    break e;
+                }
+            } else {
+                break self.pop_merged();
+            }
+            if !self.advance() {
+                return None;
+            }
+        };
         self.pending -= 1;
         self.popped += 1;
         self.floor = e.time;
@@ -425,22 +472,35 @@ impl<E> TimerWheel<E> {
     }
 
     fn pop_at_or_before(&mut self, end: SimTime) -> Option<(SimTime, E)> {
-        if self.cur.is_empty() && !self.advance() {
-            return None;
+        loop {
+            let next = if self.late.is_empty() {
+                match self.cur.last() {
+                    Some(c) => c.time,
+                    None => {
+                        // The advance may carry `now_tick` past `end`'s
+                        // tick; that is harmless (see the `now_tick`
+                        // field docs) and the event stays pending for a
+                        // later pop.
+                        if !self.advance() {
+                            return None;
+                        }
+                        continue;
+                    }
+                }
+            } else {
+                self.peek_same_tick().expect("late is non-empty").time
+            };
+            if next > end {
+                return None;
+            }
+            return self.pop();
         }
-        // The advance may have carried `now_tick` past `end`'s tick;
-        // that is harmless (see the `now_tick` field docs) and the
-        // event stays pending in `cur` for a later pop.
-        if self.cur.last().expect("advance leaves cur non-empty").time > end {
-            return None;
-        }
-        self.pop()
     }
 
-    /// Advances the wheel until `cur` holds the next tick's events.
-    /// Returns `false` if nothing is pending.
+    /// Advances the wheel until `cur` or `late` holds the next tick's
+    /// events. Returns `false` if nothing is pending.
     fn advance(&mut self) -> bool {
-        debug_assert!(self.cur.is_empty());
+        debug_assert!(self.cur.is_empty() && self.late.is_empty());
         loop {
             let Some(level) = self.occupied.iter().position(|&bits| bits != 0) else {
                 // Wheel empty: enter the overflow's next 2^24-tick
@@ -458,7 +518,9 @@ impl<E> TimerWheel<E> {
                     let e = self.overflow.pop().expect("peeked entry pops");
                     self.place(e);
                 }
-                if !self.cur.is_empty() {
+                // `place` routes events at the new current tick to
+                // `late` (there is no slot for them).
+                if !self.late.is_empty() {
                     return true; // window base == an event's tick
                 }
                 continue;
@@ -492,14 +554,16 @@ impl<E> TimerWheel<E> {
                 self.place(e);
             }
             self.slots[level * SLOTS + slot] = moved; // recycle capacity
-            if !self.cur.is_empty() {
+                                                      // Events landing exactly on the new current tick were
+                                                      // routed to `late` by `place`.
+            if !self.late.is_empty() {
                 return true;
             }
         }
     }
 
     fn peek_time(&self) -> Option<SimTime> {
-        if let Some(e) = self.cur.last() {
+        if let Some(e) = self.peek_same_tick() {
             return Some(e.time);
         }
         if let Some(level) = self.occupied.iter().position(|&bits| bits != 0) {
@@ -524,6 +588,7 @@ impl<E> TimerWheel<E> {
 
     fn clear(&mut self) {
         self.cur.clear();
+        self.late.clear();
         for slot in &mut self.slots {
             slot.clear();
         }

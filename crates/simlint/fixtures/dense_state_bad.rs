@@ -1,0 +1,13 @@
+//! Positive fixture: a fresh id-keyed tree map in a hot-path state
+//! module — per-event lookups pay O(log n) pointer chasing and every
+//! insert allocates a node, where the slab gives O(1) indexed access.
+use std::collections::BTreeMap;
+
+pub struct EdgeState {
+    per_flow: BTreeMap<FlowId, f64>,
+    per_link: BTreeMap<LinkId, u64>,
+}
+
+pub fn fresh() -> BTreeMap<NodeId, u32> {
+    BTreeMap::<NodeId, u32>::new()
+}

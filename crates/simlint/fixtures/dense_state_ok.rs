@@ -1,0 +1,11 @@
+//! Negative fixture: slab-backed id-keyed state, string-keyed maps, and
+//! a justified id-keyed map are all fine in a hot-path state module.
+use std::collections::BTreeMap;
+
+pub struct EdgeState {
+    per_flow: netsim::slab::DenseMap<FlowId, f64>,
+    // Counter names are strings, not dense ids: no slab to point at.
+    counters: BTreeMap<String, f64>,
+    // simlint: allow(dense-state) cold path, populated once at setup
+    routes: BTreeMap<FlowId, Route>,
+}

@@ -61,6 +61,10 @@ pub const RULES: &[(&str, &str)] = &[
         "hot-alloc",
         "heap allocation (vec!/Vec::new/Box::new/.to_vec) in per-event hot functions; reuse buffers",
     ),
+    (
+        "dense-state",
+        "BTreeMap/HashMap keyed by FlowId/NodeId/LinkId in hot-path state modules; use netsim::slab::DenseMap",
+    ),
 ];
 
 /// True when `rule` is a known rule name.
@@ -99,6 +103,7 @@ const HOT_PATH_MODULES: &[&str] = &[
     "crates/netsim/src/network.rs",
     "crates/netsim/src/logic.rs",
     "crates/netsim/src/link.rs",
+    "crates/netsim/src/slab.rs",
     "crates/netsim/src/telemetry.rs",
     "crates/corelite/src/edge.rs",
     "crates/corelite/src/router.rs",
@@ -108,6 +113,33 @@ const HOT_PATH_MODULES: &[&str] = &[
     "crates/baselines/src/fred.rs",
     "crates/baselines/src/greedy.rs",
 ];
+
+/// Modules holding per-id state that the dispatch loop reads or writes
+/// per event (or per epoch): a tree/hash map keyed by one of the dense
+/// id types here trades O(1) slab access for pointer chasing and
+/// per-insert allocation, so the `dense-state` rule steers these to
+/// `netsim::slab::DenseMap`. FRED's deliberate per-flow table is
+/// allowlisted in `simlint.toml`, not exempted here.
+const DENSE_STATE_MODULES: &[&str] = &[
+    "crates/netsim/src/network.rs",
+    "crates/netsim/src/logic.rs",
+    "crates/netsim/src/link.rs",
+    "crates/netsim/src/monitor.rs",
+    "crates/netsim/src/slab.rs",
+    "crates/corelite/src/edge.rs",
+    "crates/corelite/src/router.rs",
+    "crates/corelite/src/gateway.rs",
+    "crates/corelite/src/aggregate.rs",
+    "crates/corelite/src/controller.rs",
+    "crates/csfq/src/core.rs",
+    "crates/csfq/src/edge.rs",
+    "crates/baselines/src/red.rs",
+    "crates/baselines/src/fred.rs",
+    "crates/baselines/src/greedy.rs",
+];
+
+/// The dense id types whose keyed maps belong in the slab.
+const DENSE_ID_TYPES: &[&str] = &["FlowId", "NodeId", "LinkId"];
 
 /// Function names that run per event (or per epoch) in a hot-path
 /// module. The `hot-alloc` rule applies only inside these bodies, so
@@ -123,8 +155,16 @@ const HOT_FNS: &[&str] = &[
     "push_control",
     "record_drop",
     // Per-packet link operations.
-    "enqueue",
-    "complete_transmission",
+    "offer",
+    "sync",
+    "queue_len",
+    // Per-event slab accessors (netsim::slab): growth is amortized via
+    // resize_with, everything else must stay allocation-free.
+    "insert",
+    "remove",
+    "entry_or_insert_with",
+    "clear",
+    "retain",
     // RouterLogic callbacks (on_start included: helpers reached from it
     // are usually shared with the per-packet path).
     "on_start",
@@ -188,6 +228,8 @@ pub struct FileClass {
     /// Dispatch/discipline module: the `hot-alloc` rule applies inside
     /// its per-event functions.
     pub hot_path: bool,
+    /// Per-id state module: the `dense-state` rule applies.
+    pub dense_state: bool,
     /// Test code (integration test file): `float-eq` does not apply.
     pub is_test: bool,
 }
@@ -196,8 +238,9 @@ pub struct FileClass {
 ///
 /// Lint fixtures under `simlint/fixtures/` classify by filename prefix
 /// (`core_state_*` as a core module, `panic_path_*` as an event-loop
-/// module, `hot_alloc_*` as a hot-path module) so the fixtures exercise
-/// the path-scoped rules without masquerading as real tree paths.
+/// module, `hot_alloc_*` as a hot-path module, `dense_state_*` as a
+/// per-id state module) so the fixtures exercise the path-scoped rules
+/// without masquerading as real tree paths.
 pub fn classify(rel: &str) -> FileClass {
     if let Some(name) = rel
         .contains("simlint/fixtures/")
@@ -207,6 +250,7 @@ pub fn classify(rel: &str) -> FileClass {
             core_module: name.starts_with("core_state"),
             event_loop: name.starts_with("panic_path"),
             hot_path: name.starts_with("hot_alloc"),
+            dense_state: name.starts_with("dense_state"),
             is_test: false,
         };
     }
@@ -214,6 +258,7 @@ pub fn classify(rel: &str) -> FileClass {
         core_module: CORE_MODULES.contains(&rel),
         event_loop: EVENT_LOOP_MODULES.contains(&rel),
         hot_path: HOT_PATH_MODULES.contains(&rel),
+        dense_state: DENSE_STATE_MODULES.contains(&rel),
         is_test: rel.starts_with("tests/") || rel.contains("/tests/"),
     }
 }
@@ -263,6 +308,33 @@ pub fn scan_source(rel: &str, src: &str, class: FileClass, allow: &Allowlist) ->
                                 message: format!(
                                     "per-flow state `{name}<FlowId, …>` in a core-router module; \
                                      cores must stay stateless (paper §2–3)"
+                                ),
+                            });
+                        }
+                    }
+                }
+                // dense-state: a tree/hash map keyed by a dense id type
+                // in a hot-path state module. Tests may model with maps
+                // (the DenseMap property tests deliberately do).
+                if class.dense_state
+                    && !class.is_test
+                    && !in_ranges(&test_ranges, line)
+                    && matches!(name.as_str(), "BTreeMap" | "HashMap")
+                {
+                    let mut j = i + 1;
+                    if op(j, "::") {
+                        j += 1; // turbofish `BTreeMap::<FlowId, _>`
+                    }
+                    if op(j, "<") {
+                        if let Some(key) = ident(j + 1).filter(|k| DENSE_ID_TYPES.contains(k)) {
+                            found.push(Violation {
+                                file: rel.to_owned(),
+                                line,
+                                rule: "dense-state",
+                                message: format!(
+                                    "`{name}<{key}, …>` in a hot-path module; id-keyed state \
+                                     belongs in `netsim::slab::DenseMap` (O(1) index access, \
+                                     id-ordered iteration, allocation-free reuse)"
                                 ),
                             });
                         }
@@ -582,12 +654,17 @@ mod tests {
 
     #[test]
     fn flowid_map_flagged_only_in_core_modules() {
+        // Core modules are also dense-state modules, so filter by rule:
+        // this test pins the *core-state* scoping.
         let src = "struct S { m: BTreeMap<FlowId, f64> }";
         let core = scan("crates/csfq/src/core.rs", src);
-        assert_eq!(core.len(), 1, "{core:?}");
-        assert_eq!(core[0].rule, "core-state");
+        assert_eq!(
+            core.iter().filter(|v| v.rule == "core-state").count(),
+            1,
+            "{core:?}"
+        );
         let edge = scan("crates/csfq/src/edge.rs", src);
-        assert!(edge.is_empty(), "{edge:?}");
+        assert!(edge.iter().all(|v| v.rule != "core-state"), "{edge:?}");
     }
 
     #[test]
@@ -596,15 +673,53 @@ mod tests {
             "crates/corelite/src/router.rs",
             "let v: Vec<(FlowId, f64)> = Vec::new(); let m = BTreeMap::<FlowId, u8>::new();",
         );
-        assert_eq!(v.len(), 2, "{v:?}");
+        assert_eq!(
+            v.iter().filter(|v| v.rule == "core-state").count(),
+            2,
+            "{v:?}"
+        );
     }
 
     #[test]
     fn linkid_map_in_core_is_fine() {
+        // Per-link state does not violate core-statelessness (it does
+        // trip dense-state, which wants it slab-backed — a separate
+        // concern).
         let v = scan(
             "crates/corelite/src/router.rs",
             "struct S { m: BTreeMap<LinkId, LinkState> }",
         );
+        assert!(v.iter().all(|v| v.rule != "core-state"), "{v:?}");
+    }
+
+    #[test]
+    fn id_keyed_map_flagged_in_dense_state_modules() {
+        let src = "struct S { m: BTreeMap<NodeId, u32> }";
+        let hot = scan("crates/corelite/src/controller.rs", src);
+        assert_eq!(hot.len(), 1, "{hot:?}");
+        assert_eq!(hot[0].rule, "dense-state");
+        // Turbofish constructor form and every dense id type.
+        let v = scan(
+            "crates/csfq/src/edge.rs",
+            "let m = BTreeMap::<LinkId, u8>::new();",
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        // Outside the module list the rule is silent.
+        let cold = scan("crates/netsim/src/flow.rs", src);
+        assert!(cold.is_empty(), "{cold:?}");
+        // Non-id keys are not the slab's business.
+        let strings = scan(
+            "crates/corelite/src/controller.rs",
+            "struct S { counters: BTreeMap<String, f64> }",
+        );
+        assert!(strings.is_empty(), "{strings:?}");
+    }
+
+    #[test]
+    fn id_keyed_map_in_cfg_test_mod_is_fine() {
+        // The DenseMap property tests model against BTreeMap on purpose.
+        let src = "#[cfg(test)]\nmod tests {\n struct M { m: BTreeMap<FlowId, u32> }\n}";
+        let v = scan("crates/netsim/src/slab.rs", src);
         assert!(v.is_empty(), "{v:?}");
     }
 
