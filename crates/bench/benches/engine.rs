@@ -160,6 +160,43 @@ fn bench_fat_tree(runner: &mut Runner) {
     });
 }
 
+/// Flow-lifecycle throughput: 100 k Poisson arrivals with Pareto
+/// lifetimes through the recycled flow table. ForwardLogic ingresses
+/// emit nothing, so every event is churn machinery — arrival scheduling,
+/// slot allocation and recycling, lifecycle timers, linger retirement —
+/// the same shape as the million-arrival acceptance test in
+/// `netsim/tests/churn.rs`, scaled to a bench iteration.
+fn bench_churn(runner: &mut Runner) {
+    use netsim::link::LinkSpec;
+    use netsim::logic::ForwardLogic;
+    use netsim::topology::TopologyBuilder;
+    use netsim::ChurnSpec;
+
+    runner.bench_events("engine/churn_100k", || {
+        let mut b = TopologyBuilder::new(7);
+        let e = b.node("ingress", |_| Box::new(ForwardLogic));
+        let x = b.node("egress", |_| Box::new(ForwardLogic));
+        b.link(
+            e,
+            x,
+            LinkSpec::new(40_000_000, SimDuration::from_millis(5), 400),
+        );
+        // The cap ends the process: exactly 100 k arrivals (~5 s at
+        // 20 k/s), then the horizon covers the Pareto tail's drain.
+        b.churn(
+            ChurnSpec::new(20_000.0, 10.0, 1_000.0)
+                .route(vec![e, x])
+                .window(SimTime::ZERO, SimTime::from_secs(20))
+                .linger(SimDuration::from_millis(100))
+                .max_arrivals(100_000),
+        );
+        let end = SimTime::from_secs(10);
+        let mut net = b.build();
+        net.run_until(end);
+        net.into_report(end).events_processed
+    });
+}
+
 fn main() {
     let mut runner = Runner::from_args("engine");
     bench_event_queue(&mut runner);
@@ -168,5 +205,6 @@ fn main() {
     bench_simulator_scaling(&mut runner);
     bench_paper_chain(&mut runner);
     bench_fat_tree(&mut runner);
+    bench_churn(&mut runner);
     std::process::exit(runner.finish());
 }

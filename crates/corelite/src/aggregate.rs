@@ -18,7 +18,7 @@ use sim_core::time::{SimDuration, SimTime};
 use netsim::ids::{FlowId, NodeId};
 use netsim::logic::{ControlMsg, Ctx, LogicReport, RouterLogic, TimerKind};
 use netsim::packet::Marker;
-use netsim::slab::DenseMap;
+use netsim::slab::{ActiveSet, DenseMap};
 
 use crate::config::CoreliteConfig;
 use crate::controller::RateController;
@@ -44,6 +44,10 @@ pub struct AggregatingEdge {
     group_weight: u32,
     /// One group per egress edge router.
     groups: DenseMap<NodeId, Group>,
+    /// Groups that currently have members; the epoch scan walks this
+    /// instead of every group slot ever created, so churn across many
+    /// egresses keeps the tick O(populated groups).
+    populated: ActiveSet<NodeId>,
     flow_group: DenseMap<FlowId, NodeId>,
     markers_injected: u64,
     #[allow(dead_code)]
@@ -66,6 +70,7 @@ impl AggregatingEdge {
             cfg,
             group_weight,
             groups: DenseMap::new(),
+            populated: ActiveSet::new(),
             flow_group: DenseMap::new(),
             markers_injected: 0,
             seed,
@@ -139,6 +144,7 @@ impl RouterLogic for AggregatingEdge {
         if !g.members.contains(&flow) {
             g.members.push(flow);
         }
+        self.populated.insert(egress);
         self.flow_group.insert(flow, egress);
         self.ensure_emission(ctx, egress);
     }
@@ -147,10 +153,19 @@ impl RouterLogic for AggregatingEdge {
         let Some(&egress) = self.flow_group.get(&flow) else {
             return;
         };
+        if ctx.flow(flow).is_transient() {
+            // A departed churn flow never restarts; forget its group
+            // mapping so a recycled slot's next occupant cannot inherit
+            // it (its own start will re-map the slot).
+            self.flow_group.remove(&flow);
+        }
         let g = self.groups.get_mut(&egress).expect("group exists");
         g.members.retain(|&f| f != flow);
         if g.members.is_empty() {
-            // Last member gone: the aggregate itself stops.
+            // Last member gone: the aggregate itself stops. It stays in
+            // `populated` deliberately: the controller records its stop
+            // sample on the next epoch tick exactly as the full scan
+            // did, and the set is bounded by the number of egresses.
             g.controller.stop(ctx.now());
         }
     }
@@ -159,10 +174,12 @@ impl RouterLogic for AggregatingEdge {
         match timer.tag {
             TIMER_EPOCH => {
                 let now = ctx.now();
-                // Index scan in id order; no key-set collection, so the
-                // epoch tick stays allocation-free.
-                for i in 0..self.groups.key_bound() {
-                    let egress = NodeId::from_index(i);
+                // Populated-group scan in ascending slot order (the
+                // same visit order as the full scan this replaces);
+                // member-less groups' controllers are inactive, so
+                // `epoch_update` was a no-op for them anyway.
+                for pos in 0..self.populated.len() {
+                    let egress = self.populated.get(pos);
                     let Some(g) = self.groups.get_mut(&egress) else {
                         continue;
                     };

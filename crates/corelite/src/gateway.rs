@@ -30,7 +30,7 @@ use sim_core::time::{SimDuration, SimTime};
 use netsim::ids::FlowId;
 use netsim::logic::{ControlMsg, Ctx, LogicReport, RouterLogic, TimerKind};
 use netsim::packet::{Marker, Packet};
-use netsim::slab::DenseMap;
+use netsim::slab::{ActiveSet, DenseMap};
 use netsim::telemetry::Sample;
 
 use crate::config::CoreliteConfig;
@@ -41,6 +41,11 @@ const TIMER_EMIT: u32 = 2;
 
 #[derive(Debug)]
 struct GatewayFlow {
+    /// The flow this state belongs to, generation included. A packet
+    /// whose id shares the slot but not the generation announces that
+    /// the slot was recycled: the state must be rebuilt from scratch
+    /// rather than inherited by the new occupant.
+    occupant: FlowId,
     controller: RateController,
     buffer: VecDeque<Packet>,
     emission_pending: bool,
@@ -63,6 +68,15 @@ pub struct CoreliteGateway {
     /// Per-flow reassembly/shaping buffer capacity, packets.
     buffer_capacity: usize,
     flows: DenseMap<FlowId, GatewayFlow>,
+    /// Slots holding gateway state; the adaptation epoch walks this
+    /// instead of `0..key_bound()`, so under churn its cost tracks the
+    /// peak slot count rather than total arrivals.
+    occupied: ActiveSet<FlowId>,
+    /// Per-slot emission-chain epoch (see `CoreliteEdge`): bumped when
+    /// a slot changes occupant or its flow stops, so a pending pacing
+    /// timer from the previous occupant dies instead of draining the
+    /// new occupant's buffer.
+    emission_epochs: Vec<u32>,
     markers_injected: u64,
     feedback_received: u64,
     buffer_drops: u64,
@@ -85,6 +99,8 @@ impl CoreliteGateway {
             cfg,
             buffer_capacity,
             flows: DenseMap::new(),
+            occupied: ActiveSet::new(),
+            emission_epochs: Vec::new(),
             markers_injected: 0,
             feedback_received: 0,
             buffer_drops: 0,
@@ -92,7 +108,28 @@ impl CoreliteGateway {
         }
     }
 
+    /// The emission-chain epoch of `idx` (0 until first bumped).
+    fn epoch_of(&self, idx: usize) -> u32 {
+        self.emission_epochs.get(idx).copied().unwrap_or(0)
+    }
+
+    /// Invalidates any outstanding emission chain for `flow`'s slot.
+    fn bump_epoch(&mut self, flow: FlowId) {
+        let idx = flow.index();
+        if idx >= self.emission_epochs.len() {
+            self.emission_epochs.resize(idx + 1, 0);
+        }
+        self.emission_epochs[idx] = self.emission_epochs[idx].wrapping_add(1);
+    }
+
+    /// Timer parameter for `flow`'s current emission chain: epoch high,
+    /// slot index low.
+    fn emit_param(&self, flow: FlowId) -> u64 {
+        ((self.epoch_of(flow.index()) as u64) << 32) | flow.index() as u64
+    }
+
     fn ensure_emission(&mut self, ctx: &mut Ctx<'_>, flow: FlowId) {
+        let param = self.emit_param(flow);
         let s = self.flows.get_mut(&flow).expect("gateway flow exists");
         if s.emission_pending
             || s.buffer.is_empty()
@@ -110,18 +147,24 @@ impl CoreliteGateway {
             None => SimDuration::ZERO,
         };
         s.emission_pending = true;
-        ctx.set_timer(
-            delay,
-            TimerKind::with_param(TIMER_EMIT, flow.index() as u64),
-        );
+        ctx.set_timer(delay, TimerKind::with_param(TIMER_EMIT, param));
     }
 
-    fn handle_emit(&mut self, ctx: &mut Ctx<'_>, flow: FlowId) {
+    fn handle_emit(&mut self, ctx: &mut Ctx<'_>, param: u64) {
+        let idx = param as u32 as usize;
+        let epoch = (param >> 32) as u32;
+        // A chain armed for a previous occupant (or a stopped
+        // activation) of this slot is stale.
+        if self.epoch_of(idx) != epoch {
+            return;
+        }
         let node = ctx.node();
         let now = ctx.now();
-        let Some(s) = self.flows.get_mut(&flow) else {
+        let slot = FlowId::from_index(idx);
+        let Some(s) = self.flows.get_mut(&slot) else {
             return;
         };
+        let flow = s.occupant;
         s.emission_pending = false;
         // The timer was armed at the rate current when it was set; an
         // epoch may have changed the rate (or stopped the flow) since.
@@ -138,7 +181,7 @@ impl CoreliteGateway {
                 s.emission_pending = true;
                 ctx.set_timer(
                     due.saturating_since(now),
-                    TimerKind::with_param(TIMER_EMIT, flow.index() as u64),
+                    TimerKind::with_param(TIMER_EMIT, param),
                 );
                 return;
             }
@@ -179,11 +222,19 @@ impl RouterLogic for CoreliteGateway {
             * (ctx.one_way_delay(flow).as_secs_f64()
                 - ctx.reverse_delay_to_ingress(flow).as_secs_f64())
             .max(1e-3);
+        // A recycled slot's new occupant must not inherit the previous
+        // occupant's controller or buffered packets.
+        if self.flows.get(&flow).is_some_and(|s| s.occupant != flow) {
+            self.flows.remove(&flow);
+            self.bump_epoch(flow);
+        }
+        self.occupied.insert(flow);
         let cfg = &self.cfg;
         let s = self.flows.entry_or_insert_with(flow, || {
             let mut controller = RateController::new(weight, min_rate);
             controller.start(cfg, now, rtt);
             GatewayFlow {
+                occupant: flow,
                 controller,
                 buffer: VecDeque::new(),
                 emission_pending: false,
@@ -215,13 +266,18 @@ impl RouterLogic for CoreliteGateway {
         match timer.tag {
             TIMER_EPOCH => {
                 let now = ctx.now();
-                // Index scan: visits flows in id order without collecting
-                // the key set (the epoch stays allocation-free).
-                for i in 0..self.flows.key_bound() {
-                    let flow = FlowId::from_index(i);
-                    let Some(s) = self.flows.get_mut(&flow) else {
+                // Occupied-slot scan in ascending slot order — the same
+                // visit order as the full `0..key_bound()` scan, but
+                // O(occupied slots) under churn. Samples are labelled
+                // with the stored occupant id, which is who the state
+                // belongs to (the network-side slot may already hold a
+                // newer occupant whose packets have not reached us yet).
+                for pos in 0..self.occupied.len() {
+                    let slot = self.occupied.get(pos);
+                    let Some(s) = self.flows.get_mut(&slot) else {
                         continue;
                     };
+                    let flow = s.occupant;
                     if s.controller.is_active() {
                         // m(f) must be read before the epoch update
                         // consumes the per-core counts.
@@ -244,7 +300,7 @@ impl RouterLogic for CoreliteGateway {
                 }
                 ctx.set_timer(self.cfg.edge_epoch, TimerKind::tagged(TIMER_EPOCH));
             }
-            TIMER_EMIT => self.handle_emit(ctx, FlowId::from_index(timer.param as usize)),
+            TIMER_EMIT => self.handle_emit(ctx, timer.param),
             _ => {}
         }
     }
@@ -264,18 +320,26 @@ impl RouterLogic for CoreliteGateway {
         // Delivered when the gateway itself is the flow's ingress; for
         // mid-path gateways the idle-gap check in `on_packet` infers the
         // stop instead. Buffered packets are kept: they drain once the
-        // flow reactivates.
+        // flow reactivates. The epoch bump kills the pending pacing
+        // chain either way.
+        self.bump_epoch(flow);
+        if ctx.flow(flow).is_transient() {
+            self.flows.remove(&flow);
+            self.occupied.remove(flow);
+            return;
+        }
         if let Some(s) = self.flows.get_mut(&flow) {
             s.controller.stop(ctx.now());
+            s.emission_pending = false;
         }
     }
 
     fn report(&self, _now: SimTime) -> LogicReport {
         let mut report = LogicReport::default();
-        for (flow, s) in self.flows.iter() {
+        for (_, s) in self.flows.iter() {
             report
                 .flow_rates
-                .insert(flow, s.controller.series().clone());
+                .insert(s.occupant, s.controller.series().clone());
         }
         report.counters.insert(
             "gateway_markers_injected".to_owned(),

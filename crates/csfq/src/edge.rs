@@ -17,7 +17,7 @@ use sim_core::time::{SimDuration, SimTime};
 
 use netsim::ids::FlowId;
 use netsim::logic::{ControlMsg, Ctx, LogicReport, RouterLogic, TimerKind};
-use netsim::slab::DenseMap;
+use netsim::slab::{ActiveSet, DenseMap};
 
 use crate::config::CsfqConfig;
 use crate::estimator::RateEstimator;
@@ -67,6 +67,14 @@ impl FlowState {
 pub struct CsfqEdge {
     cfg: CsfqConfig,
     flows: DenseMap<FlowId, FlowState>,
+    /// Flows currently started here; the adaptation epoch walks this
+    /// instead of every slot ever occupied (O(active) under churn).
+    active: ActiveSet<FlowId>,
+    /// Per-slot emission-chain epoch; see `CoreliteEdge::emission_epochs`.
+    /// Start and stop both bump it, so a pending `TIMER_EMIT` from a
+    /// finished activation (or a recycled slot's previous occupant)
+    /// can never feed the current one.
+    emission_epochs: Vec<u32>,
     losses_seen: u64,
     packets_labelled: u64,
     #[allow(dead_code)]
@@ -85,6 +93,8 @@ impl CsfqEdge {
         CsfqEdge {
             cfg,
             flows: DenseMap::new(),
+            active: ActiveSet::new(),
+            emission_epochs: Vec::new(),
             losses_seen: 0,
             packets_labelled: 0,
             seed,
@@ -102,18 +112,47 @@ impl CsfqEdge {
         s.series.push(now, value);
     }
 
+    /// Invalidates any outstanding emission chain for `flow`'s slot and
+    /// returns the new epoch for arming a fresh one.
+    fn bump_epoch(&mut self, flow: FlowId) -> u32 {
+        let idx = flow.index();
+        if idx >= self.emission_epochs.len() {
+            self.emission_epochs.resize(idx + 1, 0);
+        }
+        self.emission_epochs[idx] = self.emission_epochs[idx].wrapping_add(1);
+        self.emission_epochs[idx]
+    }
+
+    /// The timer parameter for `flow`'s current emission chain: epoch in
+    /// the high 32 bits, slot index in the low 32.
+    fn emit_param(&self, flow: FlowId) -> u64 {
+        let epoch = self.emission_epochs[flow.index()];
+        ((epoch as u64) << 32) | flow.index() as u64
+    }
+
     fn ensure_emission(&mut self, ctx: &mut Ctx<'_>, flow: FlowId) {
+        let param = self.emit_param(flow);
         let s = self.flows.get_mut(&flow).expect("flow state exists");
         if s.active && s.rate > 0.0 && !s.emission_pending {
             s.emission_pending = true;
             ctx.set_timer(
                 SimDuration::from_secs_f64(1.0 / s.rate),
-                TimerKind::with_param(TIMER_EMIT, flow.index() as u64),
+                TimerKind::with_param(TIMER_EMIT, param),
             );
         }
     }
 
-    fn handle_emit(&mut self, ctx: &mut Ctx<'_>, flow: FlowId) {
+    fn handle_emit(&mut self, ctx: &mut Ctx<'_>, param: u64) {
+        let idx = param as u32 as usize;
+        let epoch = (param >> 32) as u32;
+        // A chain armed under an older epoch belongs to a finished
+        // activation (or a recycled slot's previous occupant).
+        if self.emission_epochs.get(idx) != Some(&epoch) {
+            return;
+        }
+        // Epoch matched: the slot's current occupant armed this chain;
+        // resolve its full id so the packet is attributed to it.
+        let flow = ctx.flow(FlowId::from_index(idx)).id;
         let Some(s) = self.flows.get_mut(&flow) else {
             return;
         };
@@ -131,14 +170,19 @@ impl CsfqEdge {
         s.emission_pending = true;
         ctx.set_timer(
             SimDuration::from_secs_f64(1.0 / s.rate),
-            TimerKind::with_param(TIMER_EMIT, flow.index() as u64),
+            TimerKind::with_param(TIMER_EMIT, param),
         );
     }
 
     fn adapt_all(&mut self, ctx: &mut Ctx<'_>) {
         let now = ctx.now();
-        for i in 0..self.flows.key_bound() {
-            let flow = FlowId::from_index(i);
+        // Only started flows adapt. Skipped flows are observably
+        // identical to the full scan this replaces: `on_flow_stop`
+        // clears `losses_this_epoch`, losses cannot accumulate while a
+        // flow is inactive, and inactive flows neither record samples
+        // nor arm emission.
+        for pos in 0..self.active.len() {
+            let flow = ctx.flow(self.active.get(pos)).id;
             let alpha = self.cfg.alpha;
             let beta = self.cfg.beta;
             let Some(s) = self.flows.get_mut(&flow) else {
@@ -191,8 +235,18 @@ impl RouterLogic for CsfqEdge {
 
     fn on_flow_start(&mut self, ctx: &mut Ctx<'_>, flow: FlowId) {
         let now = ctx.now();
-        let weight = ctx.flow(flow).weight;
+        let info = ctx.flow(flow);
+        let (weight, transient) = (info.weight, info.is_transient());
         let k_flow = self.cfg.k_flow;
+        // Invalidate any chain left over from a previous activation or
+        // a recycled slot's previous occupant.
+        self.bump_epoch(flow);
+        self.active.insert(flow);
+        if transient {
+            // Churn flows always begin from scratch, even if the slot's
+            // previous occupant's stop was swallowed by a pause.
+            self.flows.insert(flow, FlowState::new(weight, k_flow));
+        }
         let s = self
             .flows
             .entry_or_insert_with(flow, || FlowState::new(weight, k_flow));
@@ -202,15 +256,27 @@ impl RouterLogic for CsfqEdge {
         s.last_double = now;
         s.losses_this_epoch = 0;
         s.estimator = RateEstimator::new(k_flow);
+        s.emission_pending = false;
         self.record(flow, now);
         self.ensure_emission(ctx, flow);
     }
 
     fn on_flow_stop(&mut self, ctx: &mut Ctx<'_>, flow: FlowId) {
         let now = ctx.now();
+        // Kill the outstanding emission chain: a pending `TIMER_EMIT`
+        // must not survive the stop and leak into a later activation.
+        self.bump_epoch(flow);
+        self.active.remove(flow);
+        if ctx.flow(flow).is_transient() {
+            // Departed churn flows never restart; drop their state so
+            // edge memory tracks the active set, not total arrivals.
+            self.flows.remove(&flow);
+            return;
+        }
         if let Some(s) = self.flows.get_mut(&flow) {
             s.active = false;
             s.losses_this_epoch = 0;
+            s.emission_pending = false;
         }
         self.record(flow, now);
     }
@@ -221,7 +287,7 @@ impl RouterLogic for CsfqEdge {
                 self.adapt_all(ctx);
                 ctx.set_timer(self.cfg.edge_epoch, TimerKind::tagged(TIMER_EPOCH));
             }
-            TIMER_EMIT => self.handle_emit(ctx, FlowId::from_index(timer.param as usize)),
+            TIMER_EMIT => self.handle_emit(ctx, timer.param),
             _ => {}
         }
     }

@@ -99,16 +99,50 @@ pub struct FlowInfo {
     pub path: Vec<NodeId>,
     /// `hops[i]` is the link from `path[i]` to `path[i+1]`.
     pub hops: Vec<LinkId>,
-    /// Activation periods.
+    /// Activation periods, normalized: sorted by start, with adjacent or
+    /// overlapping windows coalesced (see [`normalize_activations`]).
     pub activations: Vec<(SimTime, Option<SimTime>)>,
     /// `next_hops[node]` is the outgoing link at that node (O(1) lookup
     /// on the per-packet forwarding path; derived from `path`/`hops`).
     next_hops: Vec<Option<LinkId>>,
+    /// A churn-created flow: it runs exactly one activation window and
+    /// is then retired, its table slot recycled. Edge logic drops its
+    /// per-flow state on stop instead of keeping it for a restart.
+    transient: bool,
+}
+
+/// Sorts activation windows by start time and coalesces overlapping or
+/// back-to-back windows (`next.start <= prev.stop` merges into one).
+///
+/// This is the **lifecycle-ordering invariant** (DESIGN.md §14): after
+/// normalization no flow ever has a stop and a start scheduled at the
+/// same instant, so the engine never has to referee the order of a
+/// `FlowStop`/`FlowStart` pair at equal timestamps — the pair simply
+/// does not exist. A schedule like `(0, 5), (5, 10)` becomes `(0, 10)`.
+pub fn normalize_activations(
+    mut activations: Vec<(SimTime, Option<SimTime>)>,
+) -> Vec<(SimTime, Option<SimTime>)> {
+    activations.sort_by_key(|&(start, stop)| (start, stop.is_none(), stop));
+    let mut out: Vec<(SimTime, Option<SimTime>)> = Vec::with_capacity(activations.len());
+    for (start, stop) in activations {
+        match out.last_mut() {
+            Some((_, prev_stop)) if prev_stop.is_none_or(|s| start <= s) => {
+                // Overlaps or abuts the previous window: extend it.
+                *prev_stop = match (*prev_stop, stop) {
+                    (None, _) | (_, None) => None,
+                    (Some(a), Some(b)) => Some(a.max(b)),
+                };
+            }
+            _ => out.push((start, stop)),
+        }
+    }
+    out
 }
 
 impl FlowInfo {
     /// Resolves a flow from its path and hop links. `hops[i]` must be
-    /// the link from `path[i]` to `path[i+1]`.
+    /// the link from `path[i]` to `path[i+1]`. Activation windows are
+    /// normalized (sorted and coalesced).
     pub fn new(
         id: FlowId,
         weight: u32,
@@ -131,9 +165,26 @@ impl FlowInfo {
             min_rate,
             path,
             hops,
-            activations,
+            activations: normalize_activations(activations),
             next_hops,
+            transient: false,
         }
+    }
+
+    /// Marks the flow as churn-created (builder-style; see
+    /// [`FlowInfo::is_transient`]).
+    pub(crate) fn transient(mut self) -> Self {
+        self.transient = true;
+        self
+    }
+
+    /// Whether this flow was created by the churn generator: it has a
+    /// single activation window, will never restart, and its slot is
+    /// recycled after a drain period. Edge logic uses this to drop the
+    /// flow's state on stop (keeping resident state O(active flows))
+    /// instead of retaining it for a possible reactivation.
+    pub fn is_transient(&self) -> bool {
+        self.transient
     }
 
     /// The ingress edge router (first node of the path).
@@ -154,9 +205,19 @@ impl FlowInfo {
 
     /// Returns `true` if the flow is scheduled to be active at `t`.
     pub fn is_active_at(&self, t: SimTime) -> bool {
+        self.activation_index_at(t).is_some()
+    }
+
+    /// Returns the index of the activation window covering `t`, if any.
+    ///
+    /// Windows are normalized (sorted, coalesced), so at most one covers
+    /// any instant. The dispatcher uses this to tell a *fresh* start (a
+    /// later window whose predecessor's stop was swallowed by a pause)
+    /// from a *duplicate* start inside the same window.
+    pub fn activation_index_at(&self, t: SimTime) -> Option<usize> {
         self.activations
             .iter()
-            .any(|&(start, stop)| t >= start && stop.is_none_or(|s| t < s))
+            .position(|&(start, stop)| t >= start && stop.is_none_or(|s| t < s))
     }
 }
 
@@ -212,7 +273,7 @@ mod tests {
 
     fn info() -> FlowInfo {
         FlowInfo::new(
-            FlowId(0),
+            FlowId::from_index(0),
             1,
             1000,
             0.0,
@@ -244,5 +305,51 @@ mod tests {
         assert!(!f.is_active_at(SimTime::from_secs(5)));
         assert!(!f.is_active_at(SimTime::from_secs(7)));
         assert!(f.is_active_at(SimTime::from_secs(100)));
+    }
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn back_to_back_windows_coalesce() {
+        // `stop == next start` used to schedule a FlowStop and a
+        // FlowStart at the same instant, and push order decided which
+        // won. Normalization removes the pair entirely.
+        let norm = normalize_activations(vec![(t(0), Some(t(5))), (t(5), Some(t(10)))]);
+        assert_eq!(norm, vec![(t(0), Some(t(10)))]);
+    }
+
+    #[test]
+    fn overlapping_and_unsorted_windows_coalesce() {
+        let norm = normalize_activations(vec![
+            (t(20), None),
+            (t(0), Some(t(4))),
+            (t(3), Some(t(8))),
+            (t(12), Some(t(15))),
+            (t(22), Some(t(30))),
+        ]);
+        assert_eq!(
+            norm,
+            vec![(t(0), Some(t(8))), (t(12), Some(t(15))), (t(20), None)]
+        );
+    }
+
+    #[test]
+    fn disjoint_windows_survive_normalization() {
+        let windows = vec![(t(0), Some(t(1))), (t(3), Some(t(4)))];
+        assert_eq!(normalize_activations(windows.clone()), windows);
+    }
+
+    #[test]
+    fn open_window_absorbs_everything_after_it() {
+        let norm = normalize_activations(vec![(t(0), None), (t(50), Some(t(60)))]);
+        assert_eq!(norm, vec![(t(0), None)]);
+    }
+
+    #[test]
+    fn flows_are_not_transient_by_default() {
+        assert!(!info().is_transient());
+        assert!(info().transient().is_transient());
     }
 }

@@ -45,6 +45,7 @@
 //!
 //! [Corelite]: https://doi.org/10.1109/ICDCS.2000.840934
 
+pub mod churn;
 pub mod fault;
 pub mod flow;
 pub mod ids;
@@ -58,14 +59,15 @@ pub mod telemetry;
 pub mod topology;
 pub mod trace;
 
+pub use churn::{ChurnReport, ChurnSpec, CohortStats};
 pub use fault::{FaultPlan, FaultWindow};
-pub use flow::{FlowInfo, FlowSpec};
+pub use flow::{normalize_activations, FlowInfo, FlowSpec};
 pub use ids::{FlowId, LinkId, NodeId, PacketId};
 pub use link::LinkSpec;
 pub use logic::{Action, ControlMsg, Ctx, RouterLogic, TimerKind};
 pub use monitor::SimReport;
 pub use network::{DispatchMode, Network};
 pub use packet::{Marker, Packet};
-pub use slab::{DenseMap, SlabKey};
+pub use slab::{ActiveSet, DenseMap, SlabKey};
 pub use telemetry::{Probe, ProbeRecord, RingProbe, Sample};
 pub use topology::TopologyBuilder;

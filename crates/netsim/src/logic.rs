@@ -500,7 +500,7 @@ impl PoissonSource {
         let gap = self.rng.exp(self.rate_pps);
         ctx.set_timer(
             SimDuration::from_secs_f64(gap),
-            TimerKind::with_param(POISSON_EMIT, flow.index() as u64),
+            TimerKind::with_param(POISSON_EMIT, flow.pack()),
         );
     }
 }
@@ -514,9 +514,11 @@ impl RouterLogic for PoissonSource {
         if timer.tag != POISSON_EMIT {
             return;
         }
-        let flow = FlowId::from_index(timer.param as usize);
-        if !ctx.flow(flow).is_active_at(ctx.now()) {
-            return; // flow stopped; emission chain ends here
+        let flow = FlowId::unpack(timer.param);
+        // The chain ends when the flow stops — or when its slot has been
+        // recycled to a new generation (the id no longer matches).
+        if ctx.flow(flow).id != flow || !ctx.flow(flow).is_active_at(ctx.now()) {
+            return;
         }
         let packet = ctx.new_packet(flow);
         ctx.emit(packet);
@@ -566,7 +568,7 @@ impl RouterLogic for CbrSource {
     fn on_flow_start(&mut self, ctx: &mut Ctx<'_>, flow: FlowId) {
         ctx.set_timer(
             SimDuration::ZERO,
-            TimerKind::with_param(CBR_EMIT, flow.index() as u64),
+            TimerKind::with_param(CBR_EMIT, flow.pack()),
         );
     }
 
@@ -574,17 +576,15 @@ impl RouterLogic for CbrSource {
         if timer.tag != CBR_EMIT {
             return;
         }
-        let flow = FlowId::from_index(timer.param as usize);
-        if !ctx.flow(flow).is_active_at(ctx.now()) {
+        let flow = FlowId::unpack(timer.param);
+        // See `PoissonSource`: a recycled slot ends stale chains too.
+        if ctx.flow(flow).id != flow || !ctx.flow(flow).is_active_at(ctx.now()) {
             return;
         }
         let packet = ctx.new_packet(flow);
         ctx.emit(packet);
         self.emitted += 1;
-        ctx.set_timer(
-            self.gap,
-            TimerKind::with_param(CBR_EMIT, flow.index() as u64),
-        );
+        ctx.set_timer(self.gap, TimerKind::with_param(CBR_EMIT, flow.pack()));
     }
 
     fn report(&self, _now: SimTime) -> LogicReport {

@@ -9,6 +9,7 @@
 use sim_core::stats::{LogHistogram, TimeSeries, WindowedRate};
 use sim_core::time::{SimDuration, SimTime};
 
+use crate::churn::ChurnReport;
 use crate::ids::{FlowId, LinkId, NodeId};
 use crate::logic::{DropReason, LogicReport};
 use crate::slab::DenseMap;
@@ -27,6 +28,8 @@ pub(crate) struct FlowMonitor {
     delay: LogHistogram,
     last_cumulative_window: SimTime,
     window: SimDuration,
+    first_delivery: Option<SimTime>,
+    last_delivery: Option<SimTime>,
 }
 
 impl FlowMonitor {
@@ -42,6 +45,8 @@ impl FlowMonitor {
             delay: LogHistogram::new(),
             last_cumulative_window: start,
             window,
+            first_delivery: None,
+            last_delivery: None,
         }
     }
 
@@ -51,6 +56,26 @@ impl FlowMonitor {
         self.delivered_packets += 1;
         self.delivered_bytes += bytes as u64;
         self.delay.record(delay.as_secs_f64());
+        if self.first_delivery.is_none() {
+            self.first_delivery = Some(now);
+        }
+        self.last_delivery = Some(now);
+    }
+
+    /// Time of the first delivered packet, if any (churn settling).
+    pub(crate) fn first_delivery(&self) -> Option<SimTime> {
+        self.first_delivery
+    }
+
+    /// Time of the most recent delivered packet, if any (churn FCT).
+    pub(crate) fn last_delivery(&self) -> Option<SimTime> {
+        self.last_delivery
+    }
+
+    /// Packets delivered so far (read at churn retirement, before the
+    /// monitor is replaced by the slot's next occupant).
+    pub(crate) fn delivered_packets(&self) -> u64 {
+        self.delivered_packets
     }
 
     pub(crate) fn record_drop(&mut self, reason: DropReason) {
@@ -203,6 +228,9 @@ pub struct SimReport {
     pub logic: DenseMap<NodeId, LogicReport>,
     /// Total events processed.
     pub events_processed: u64,
+    /// Churn-process measurements, when a churn generator was installed
+    /// (flow slots then cover static flows plus the churn peak).
+    pub churn: Option<ChurnReport>,
 }
 
 impl SimReport {

@@ -3,6 +3,7 @@
 use sim_core::event::{EventQueue, QueueBackend};
 use sim_core::time::{SimDuration, SimTime};
 
+use crate::churn::ChurnState;
 use crate::fault::FaultState;
 use crate::flow::FlowInfo;
 use crate::ids::{FlowId, LinkId, NodeId};
@@ -52,6 +53,10 @@ enum Event {
     FlowStart { flow: FlowId },
     /// `flow` stops (delivered to its ingress logic).
     FlowStop { flow: FlowId },
+    /// The churn process creates its next flow.
+    ChurnArrival,
+    /// A churn flow's drain period ended; recycle its table slot.
+    ChurnRetire { flow: FlowId },
 }
 
 struct NodeSlot {
@@ -69,12 +74,28 @@ pub struct Network {
     flows: Vec<FlowInfo>,
     reverse_delays: Vec<Vec<SimDuration>>,
     monitors: Vec<FlowMonitor>,
+    /// Which activation window slot `i`'s flow last received an
+    /// `on_flow_start` for, with no `on_flow_stop` delivered since
+    /// (`None` when the slot is stopped). A second start for the *same*
+    /// window (two pause-deferred starts colliding) is stale and
+    /// discarded; a start for a *later* window is legitimate even if the
+    /// previous window's stop was swallowed by a pause. A stop with no
+    /// live start is stale.
+    lifecycle_started: Vec<Option<u32>>,
     next_packet: u64,
     notify_losses: bool,
     started: bool,
     tracer: Option<Rc<RefCell<dyn Tracer>>>,
     probe: Option<Rc<RefCell<dyn Probe>>>,
     faults: Option<FaultState>,
+    churn: Option<ChurnState>,
+    /// Measurement window, kept for monitors created at runtime by churn
+    /// arrivals.
+    window: SimDuration,
+    /// Events addressed to a recycled slot's previous occupant (stale
+    /// packets, control messages, or flow lifecycle events) that the
+    /// dispatcher discarded.
+    stale_events: u64,
     dispatch: DispatchMode,
     /// Logical events dispatched, excluding `TxDone` checkpoints (which
     /// exist only under [`DispatchMode::PerPacket`]). Reported as
@@ -105,10 +126,17 @@ impl Network {
         tracer: Option<Rc<RefCell<dyn Tracer>>>,
         probe: Option<Rc<RefCell<dyn Probe>>>,
         faults: Option<FaultState>,
+        churn: Option<ChurnState>,
         queue_backend: QueueBackend,
         dispatch: DispatchMode,
     ) -> Self {
         let mut queue = EventQueue::with_backend(queue_backend, 1024);
+        let mut churn = churn;
+        if let Some(churn) = &mut churn {
+            if let Some(t) = churn.first_arrival() {
+                queue.push(t, Event::ChurnArrival);
+            }
+        }
         for flow in &flows {
             for &(start, stop) in &flow.activations {
                 queue.push(start, Event::FlowStart { flow: flow.id });
@@ -121,6 +149,7 @@ impl Network {
             .iter()
             .map(|_| FlowMonitor::new(SimTime::ZERO, window))
             .collect();
+        let lifecycle_started = vec![None; flows.len()];
         let mut outgoing_by_node: Vec<Vec<LinkId>> = vec![Vec::new(); names.len()];
         for (i, link) in links.iter().enumerate() {
             outgoing_by_node[link.src().index()].push(LinkId::from_index(i));
@@ -141,12 +170,16 @@ impl Network {
             flows,
             reverse_delays,
             monitors,
+            lifecycle_started,
             next_packet: 0,
             notify_losses,
             started: false,
             tracer,
             probe,
             faults,
+            churn,
+            window,
+            stale_events: 0,
             dispatch,
             logical_events: 0,
             // Pre-sized so even per-flow action bursts (epoch timers on
@@ -252,6 +285,13 @@ impl Network {
                     ControlMsg::MarkerFeedback { marker, .. } => (marker.flow, true),
                     ControlMsg::Loss { flow, .. } => (flow, false),
                 };
+                // A control message that outlived its flow's slot (the
+                // slot was recycled to a new generation) must not be
+                // delivered as if it concerned the new occupant.
+                if self.flows[flow.index()].id != flow {
+                    self.stale_events += 1;
+                    return;
+                }
                 if self.pause_end(node).is_some() {
                     // A paused control plane cannot receive signalling.
                     self.trace(TraceEvent::Fault {
@@ -269,6 +309,10 @@ impl Network {
                 self.with_logic(node, |logic, ctx| logic.on_control(ctx, msg));
             }
             Event::FlowStart { flow } => {
+                if self.flows[flow.index()].id != flow {
+                    self.stale_events += 1;
+                    return;
+                }
                 let ingress = self.flows[flow.index()].ingress();
                 if let Some(until) = self.pause_end(ingress) {
                     self.trace(TraceEvent::Fault {
@@ -279,9 +323,32 @@ impl Network {
                     self.queue.push(until, Event::FlowStart { flow });
                     return;
                 }
+                // A start that slid (via pause deferral) outside its
+                // activation window is stale: the flow is not scheduled
+                // to run now, so starting it would contradict the
+                // schedule the monitors and reference solvers see. A
+                // start for a window the slot is already started in (two
+                // deferred starts landing in the same window) is equally
+                // stale — but a start for a *later* window goes through
+                // even when the previous window's stop was swallowed by
+                // a pause, so a restart is never lost.
+                let window = self.flows[flow.index()].activation_index_at(self.now);
+                let Some(window) = window else {
+                    self.stale_events += 1;
+                    return;
+                };
+                if self.lifecycle_started[flow.index()] == Some(window as u32) {
+                    self.stale_events += 1;
+                    return;
+                }
+                self.lifecycle_started[flow.index()] = Some(window as u32);
                 self.with_logic(ingress, |logic, ctx| logic.on_flow_start(ctx, flow));
             }
             Event::FlowStop { flow } => {
+                if self.flows[flow.index()].id != flow {
+                    self.stale_events += 1;
+                    return;
+                }
                 let ingress = self.flows[flow.index()].ingress();
                 if let Some(until) = self.pause_end(ingress) {
                     self.trace(TraceEvent::Fault {
@@ -292,13 +359,113 @@ impl Network {
                     self.queue.push(until, Event::FlowStop { flow });
                     return;
                 }
+                // A deferred stop landing inside a *later* activation
+                // window is stale: delivering it would kill the new
+                // activation (the stop's own window already ended, or it
+                // would not have been deferred past its instant). A stop
+                // for a slot that never (or no longer) counts as started
+                // is stale too — its start was itself discarded.
+                if self.flows[flow.index()].is_active_at(self.now)
+                    || self.lifecycle_started[flow.index()].is_none()
+                {
+                    self.stale_events += 1;
+                    return;
+                }
+                self.lifecycle_started[flow.index()] = None;
+                let transient = self.flows[flow.index()].is_transient();
                 self.with_logic(ingress, |logic, ctx| logic.on_flow_stop(ctx, flow));
+                if transient {
+                    if let Some(churn) = self.churn.as_mut() {
+                        churn.note_stop(self.now, flow.index());
+                    }
+                }
             }
+            Event::ChurnArrival => self.handle_churn_arrival(),
+            Event::ChurnRetire { flow } => self.handle_churn_retire(flow),
         }
+    }
+
+    /// Creates the next churn flow: draws its route, weight and size,
+    /// installs it in a (possibly recycled) table slot, and schedules its
+    /// lifecycle events.
+    fn handle_churn_arrival(&mut self) {
+        let now = self.now;
+        let churn = self.churn.as_mut().expect("ChurnArrival without churn");
+        let plan = churn.plan_arrival(now);
+        let packet_size = churn.packet_size();
+        let linger = churn.linger();
+        let route = churn.route(plan.route);
+        let (path, hops, rds) = (
+            route.path.clone(),
+            route.hops.clone(),
+            route.reverse_delays.clone(),
+        );
+        if let Some(next) = plan.next_arrival {
+            self.queue.push(next, Event::ChurnArrival);
+        }
+        let id = FlowId::with_generation(plan.slot, plan.generation);
+        let info = FlowInfo::new(
+            id,
+            plan.weight,
+            packet_size,
+            0.0,
+            path,
+            hops,
+            vec![(now, Some(plan.stop))],
+        )
+        .transient();
+        if plan.fresh {
+            debug_assert_eq!(plan.slot, self.flows.len(), "fresh slot extends the table");
+            self.flows.push(info);
+            self.monitors.push(FlowMonitor::new(now, self.window));
+            self.lifecycle_started.push(None);
+            self.reverse_delays.push(rds);
+        } else {
+            self.flows[plan.slot] = info;
+            self.monitors[plan.slot] = FlowMonitor::new(now, self.window);
+            // The previous occupant's stop may still sit deferred behind
+            // a pause; its delivery is blocked by the generation guard,
+            // so the new occupant starts from a clean lifecycle state.
+            self.lifecycle_started[plan.slot] = None;
+            let slot_rds = &mut self.reverse_delays[plan.slot];
+            slot_rds.clear();
+            slot_rds.extend_from_slice(&rds);
+        }
+        // Deliver the start through the regular (pause-aware) path, and
+        // schedule the stop and the slot's retirement after the drain.
+        self.queue.push(now, Event::FlowStart { flow: id });
+        self.queue.push(plan.stop, Event::FlowStop { flow: id });
+        self.queue
+            .push(plan.stop + linger, Event::ChurnRetire { flow: id });
+    }
+
+    /// Finalizes a drained churn flow: records its completion metrics and
+    /// returns its slot to the free list.
+    fn handle_churn_retire(&mut self, flow: FlowId) {
+        let idx = flow.index();
+        debug_assert_eq!(
+            self.flows[idx].id, flow,
+            "slot recycled before its retire event"
+        );
+        let monitor = &self.monitors[idx];
+        let first = monitor.first_delivery();
+        let last = monitor.last_delivery();
+        let delivered = monitor.delivered_packets();
+        self.churn
+            .as_mut()
+            .expect("ChurnRetire without churn")
+            .retire(self.now, idx, first, last, delivered);
     }
 
     fn handle_arrive(&mut self, node: NodeId, packet: Packet) {
         let flow = &self.flows[packet.flow.index()];
+        // A packet still in flight when its slot was recycled belongs to
+        // the previous generation; it must not be forwarded along (or
+        // accounted to) the new occupant's flow.
+        if flow.id != packet.flow {
+            self.stale_events += 1;
+            return;
+        }
         if flow.egress() == node {
             let delay = self.now.saturating_since(packet.sent_at);
             self.trace(TraceEvent::Deliver {
@@ -473,6 +640,12 @@ impl Network {
     }
 
     fn record_drop(&mut self, at: NodeId, packet: &Packet, reason: DropReason) {
+        // Stale-generation packets are not accounted to the slot's new
+        // occupant (mirrors the delivery-side guard in `handle_arrive`).
+        if self.flows[packet.flow.index()].id != packet.flow {
+            self.stale_events += 1;
+            return;
+        }
         self.trace(TraceEvent::Drop {
             node: at,
             packet: packet.id,
@@ -568,12 +741,14 @@ impl Network {
                 )
             })
             .collect();
+        let stale_events = self.stale_events;
         SimReport {
             end,
             flows,
             links,
             logic,
             events_processed,
+            churn: self.churn.map(|c| c.finish(end, stale_events)),
         }
     }
 }

@@ -79,9 +79,9 @@ mod tests {
 
     #[test]
     fn builders_attach_metadata() {
-        let p = Packet::data(PacketId(1), FlowId(2), 1000, SimTime::ZERO)
+        let p = Packet::data(PacketId(1), FlowId::from_index(2), 1000, SimTime::ZERO)
             .with_marker(Marker {
-                flow: FlowId(2),
+                flow: FlowId::from_index(2),
                 edge: NodeId(0),
                 normalized_rate: 12.5,
             })
@@ -93,7 +93,7 @@ mod tests {
 
     #[test]
     fn data_packet_has_no_metadata() {
-        let p = Packet::data(PacketId(0), FlowId(0), 1000, SimTime::ZERO);
+        let p = Packet::data(PacketId(0), FlowId::from_index(0), 1000, SimTime::ZERO);
         assert!(p.marker.is_none());
         assert!(p.label.is_none());
     }

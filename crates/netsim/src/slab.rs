@@ -259,6 +259,89 @@ impl<K: SlabKey, V> FromIterator<(K, V)> for DenseMap<K, V> {
     }
 }
 
+/// A sorted set of slab keys: the **active subset** of a [`DenseMap`].
+///
+/// Per-epoch loops used to walk `0..map.key_bound()` — O(total keys
+/// ever) per epoch, which under flow churn means every epoch pays for
+/// every flow that ever existed. An `ActiveSet` maintained on
+/// start/stop keeps those loops O(active): membership is a sorted
+/// `Vec<u32>` of slot indices, so iteration still visits keys in
+/// ascending order (the same order as the full scan, preserving
+/// report and telemetry byte-identity) and insert/remove are a binary
+/// search plus a memmove — fine for the arrival/departure rate, and
+/// free of per-epoch allocation.
+///
+/// Position-indexed access ([`len`](ActiveSet::len)/
+/// [`get`](ActiveSet::get)) lets callers loop without borrowing the
+/// set, so the body can call `&mut self` methods.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ActiveSet<K: SlabKey> {
+    indices: Vec<u32>,
+    _key: PhantomData<K>,
+}
+
+impl<K: SlabKey> ActiveSet<K> {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        ActiveSet {
+            indices: Vec::new(),
+            _key: PhantomData,
+        }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// The member at sorted position `pos`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos >= len()`.
+    pub fn get(&self, pos: usize) -> K {
+        K::from_index(self.indices[pos] as usize)
+    }
+
+    /// Whether `key`'s slot is a member.
+    pub fn contains(&self, key: K) -> bool {
+        self.indices.binary_search(&(key.index() as u32)).is_ok()
+    }
+
+    /// Adds `key`'s slot; returns `true` if it was newly added.
+    pub fn insert(&mut self, key: K) -> bool {
+        let idx = key.index() as u32;
+        match self.indices.binary_search(&idx) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.indices.insert(pos, idx);
+                true
+            }
+        }
+    }
+
+    /// Removes `key`'s slot; returns `true` if it was a member.
+    pub fn remove(&mut self, key: K) -> bool {
+        match self.indices.binary_search(&(key.index() as u32)) {
+            Ok(pos) => {
+                self.indices.remove(pos);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Iterates members in ascending key order.
+    pub fn iter(&self) -> impl Iterator<Item = K> + '_ {
+        self.indices.iter().map(|&i| K::from_index(i as usize))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -357,5 +440,54 @@ mod tests {
         b.insert(f(1), 1);
         b.remove(&f(9));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn active_set_stays_sorted_and_deduplicated() {
+        let mut s: ActiveSet<FlowId> = ActiveSet::new();
+        assert!(s.insert(f(5)));
+        assert!(s.insert(f(1)));
+        assert!(s.insert(f(3)));
+        assert!(!s.insert(f(3)), "double insert is a no-op");
+        assert_eq!(s.len(), 3);
+        let order: Vec<usize> = s.iter().map(|k| k.index()).collect();
+        assert_eq!(order, vec![1, 3, 5], "iteration is in ascending key order");
+        assert!(s.contains(f(3)));
+        assert!(s.remove(f(3)));
+        assert!(!s.remove(f(3)), "double remove is a no-op");
+        assert!(!s.contains(f(3)));
+        assert_eq!(s.get(0).index(), 1);
+        assert_eq!(s.get(1).index(), 5);
+    }
+
+    #[test]
+    fn active_set_membership_is_by_slot_not_generation() {
+        // The set tracks slots; a recycled slot's new occupant replaces
+        // the old membership rather than coexisting with it.
+        let mut s: ActiveSet<FlowId> = ActiveSet::new();
+        s.insert(FlowId::with_generation(2, 1));
+        assert!(s.contains(FlowId::with_generation(2, 5)));
+        assert!(!s.insert(f(2)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn active_set_position_loop_matches_full_scan_order() {
+        let mut map: DenseMap<FlowId, u32> = DenseMap::new();
+        let mut set: ActiveSet<FlowId> = ActiveSet::new();
+        for i in [9, 0, 4, 7] {
+            map.insert(f(i), i as u32);
+            set.insert(f(i));
+        }
+        map.remove(&f(4));
+        set.remove(f(4));
+        let scan: Vec<u32> = (0..map.key_bound())
+            .filter_map(|i| map.get(&f(i)).copied())
+            .collect();
+        let mut via_set = Vec::new();
+        for pos in 0..set.len() {
+            via_set.push(*map.get(&set.get(pos)).unwrap());
+        }
+        assert_eq!(scan, via_set);
     }
 }

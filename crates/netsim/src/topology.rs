@@ -3,6 +3,7 @@
 use sim_core::event::QueueBackend;
 use sim_core::time::SimDuration;
 
+use crate::churn::{ChurnSpec, ChurnState, ResolvedRoute};
 use crate::fault::{FaultPlan, FaultState};
 use crate::flow::{FlowInfo, FlowSpec};
 use crate::ids::{FlowId, LinkId, NodeId};
@@ -45,6 +46,7 @@ pub struct TopologyBuilder {
     tracer: Option<Rc<RefCell<dyn Tracer>>>,
     probe: Option<Rc<RefCell<dyn Probe>>>,
     faults: FaultPlan,
+    churn: Option<ChurnSpec>,
     queue_backend: QueueBackend,
     dispatch: DispatchMode,
 }
@@ -64,6 +66,7 @@ impl TopologyBuilder {
             tracer: None,
             probe: None,
             faults: FaultPlan::default(),
+            churn: None,
             queue_backend: QueueBackend::Wheel,
             dispatch: DispatchMode::Train,
         }
@@ -167,6 +170,17 @@ impl TopologyBuilder {
         self
     }
 
+    /// Installs a dynamic flow-churn process (see [`crate::churn`]): the
+    /// built network creates and retires flows at runtime, recycling
+    /// flow-table slots under generation-counted ids. The churn routes
+    /// are resolved against the topology at build time; its random
+    /// streams derive from the experiment seed under dedicated labels.
+    pub fn churn(&mut self, spec: ChurnSpec) -> &mut Self {
+        spec.validate();
+        self.churn = Some(spec);
+        self
+    }
+
     /// Installs a fault-injection plan (see [`crate::fault`]). The plan's
     /// random streams are derived from the experiment seed under
     /// dedicated labels, so installing faults never perturbs the draws of
@@ -194,6 +208,7 @@ impl TopologyBuilder {
             tracer,
             probe,
             faults,
+            churn,
             queue_backend,
             dispatch,
         } = self;
@@ -261,6 +276,55 @@ impl TopologyBuilder {
             })
             .collect();
 
+        // Resolve churn route templates against the topology the same
+        // way flow paths are resolved, precomputing the per-route
+        // reverse-delay prefix sums reused by every arrival on the route.
+        let churn = churn.map(|spec| {
+            let routes: Vec<ResolvedRoute> = spec
+                .routes
+                .iter()
+                .map(|path| {
+                    for &n in path {
+                        assert!(
+                            n.index() < names.len(),
+                            "churn route references unknown node {n}"
+                        );
+                    }
+                    let hops: Vec<LinkId> = path
+                        .windows(2)
+                        .map(|pair| {
+                            links
+                                .iter()
+                                .position(|l| l.src() == pair[0] && l.dst() == pair[1])
+                                .map(LinkId::from_index)
+                                .unwrap_or_else(|| {
+                                    panic!(
+                                        "churn route: no link from {} ({}) to {} ({})",
+                                        pair[0],
+                                        names[pair[0].index()],
+                                        pair[1],
+                                        names[pair[1].index()]
+                                    )
+                                })
+                        })
+                        .collect();
+                    let mut acc = SimDuration::ZERO;
+                    let mut rds = Vec::with_capacity(path.len());
+                    rds.push(SimDuration::ZERO);
+                    for &hop in &hops {
+                        acc += links[hop.index()].spec().delay;
+                        rds.push(acc);
+                    }
+                    ResolvedRoute {
+                        path: path.clone(),
+                        hops,
+                        reverse_delays: rds,
+                    }
+                })
+                .collect();
+            ChurnState::new(spec, routes, seed, window, flows.len())
+        });
+
         Network::assemble(
             names,
             logics,
@@ -272,6 +336,7 @@ impl TopologyBuilder {
             tracer,
             probe,
             faults,
+            churn,
             queue_backend,
             dispatch,
         )

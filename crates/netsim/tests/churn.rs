@@ -1,0 +1,262 @@
+//! Behavioural tests for the churn subsystem: slot recycling under load,
+//! memory bounded by the active set, byte-identical determinism, and the
+//! flow-lifecycle staleness guards.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use netsim::fault::FaultPlan;
+use netsim::flow::FlowSpec;
+use netsim::link::LinkSpec;
+use netsim::logic::{CbrSource, Ctx, ForwardLogic, RouterLogic};
+use netsim::topology::TopologyBuilder;
+use netsim::{ChurnSpec, DispatchMode, FlowId};
+use sim_core::event::QueueBackend;
+use sim_core::time::{SimDuration, SimTime};
+
+fn fast() -> LinkSpec {
+    LinkSpec::new(40_000_000, SimDuration::from_millis(5), 400)
+}
+
+/// ingress --5ms--> egress with a CBR emitter at the ingress.
+fn churn_net(
+    spec_rate: f64,
+    backend: QueueBackend,
+    dispatch: DispatchMode,
+) -> (netsim::Network, SimTime) {
+    let mut b = TopologyBuilder::new(42);
+    b.queue_backend(backend);
+    b.dispatch_mode(dispatch);
+    let e = b.node("ingress", |_| Box::new(CbrSource::new(200.0)));
+    let x = b.node("egress", |_| Box::new(ForwardLogic));
+    b.link(e, x, fast());
+    b.churn(
+        ChurnSpec::new(spec_rate, 10.0, 100.0)
+            .route(vec![e, x])
+            .weights(vec![1, 2, 4])
+            .window(SimTime::ZERO, SimTime::from_secs(5))
+            .linger(SimDuration::from_secs(1)),
+    );
+    (b.build(), SimTime::from_secs(8))
+}
+
+#[test]
+fn churn_creates_completes_and_retires_flows() {
+    let (mut net, end) = churn_net(20.0, QueueBackend::Wheel, DispatchMode::Train);
+    net.run_until(end);
+    let report = net.into_report(end);
+    let churn = report.churn.as_ref().expect("churn report present");
+    assert!(churn.arrivals > 50, "arrivals {}", churn.arrivals);
+    assert_eq!(
+        churn.retired, churn.arrivals,
+        "every flow drains before the horizon"
+    );
+    assert!(
+        churn.completed > churn.arrivals / 2,
+        "completed {} of {}",
+        churn.completed,
+        churn.arrivals
+    );
+    // With a linger covering the 5 ms pipe, no packet ever outlives its
+    // slot: the staleness guards must stay silent.
+    assert_eq!(churn.stale_events, 0);
+    // FCT and settling are sane: settling ≈ one-way delay, FCT bounded
+    // by the flow's own duration plus the pipe.
+    let settle = churn.settling.mean().expect("settling recorded");
+    assert!(settle < 0.1, "mean settling {settle}");
+    let fct = churn.mean_fct().expect("fct recorded");
+    assert!(fct > settle && fct < 5.0, "mean fct {fct}");
+    // Cohort totals reconcile with the global counters.
+    let cohort_arrivals: u64 = churn.cohorts.iter().map(|c| c.arrivals).sum();
+    let cohort_completed: u64 = churn.cohorts.iter().map(|c| c.completed).sum();
+    assert_eq!(cohort_arrivals, churn.arrivals);
+    assert_eq!(cohort_completed, churn.completed);
+}
+
+#[test]
+fn recycled_slots_bound_the_flow_table() {
+    let (mut net, end) = churn_net(40.0, QueueBackend::Wheel, DispatchMode::Train);
+    net.run_until(end);
+    let report = net.into_report(end);
+    let churn = report.churn.as_ref().expect("churn report present");
+    // ~200 arrivals, each alive ~0.1 s + 1 s linger ⇒ ~45 concurrent
+    // slot occupants; the table must not grow with total arrivals.
+    assert!(churn.arrivals > 120, "arrivals {}", churn.arrivals);
+    assert!(
+        churn.peak_slots < (churn.arrivals as usize) / 2,
+        "peak_slots {} vs arrivals {}",
+        churn.peak_slots,
+        churn.arrivals
+    );
+    assert_eq!(report.flows.len(), churn.peak_slots);
+    assert!(churn.peak_active as usize <= churn.peak_slots);
+    // The active series returns to zero once the window closes and the
+    // last flows drain.
+    let (_, last) = churn.active_series.iter().last().expect("series sampled");
+    assert_eq!(last, 0.0);
+}
+
+/// The acceptance bound: one million arrivals with memory O(active
+/// flows). ForwardLogic ingresses emit nothing, so the run is pure
+/// lifecycle machinery (~4 M events).
+#[test]
+fn million_flow_churn_keeps_resident_state_o_active() {
+    let mut b = TopologyBuilder::new(7);
+    let e = b.node("ingress", |_| Box::new(ForwardLogic));
+    let x = b.node("egress", |_| Box::new(ForwardLogic));
+    b.link(e, x, fast());
+    // The cap, not the window, ends the process: exactly 1 M arrivals
+    // (~50 s at 20 k/s), then a generous drain for the Pareto tail.
+    b.churn(
+        ChurnSpec::new(20_000.0, 10.0, 1_000.0)
+            .route(vec![e, x])
+            .window(SimTime::ZERO, SimTime::from_secs(200))
+            .linger(SimDuration::from_millis(100))
+            .max_arrivals(1_000_000),
+    );
+    let end = SimTime::from_secs(100);
+    let mut net = b.build();
+    net.run_until(end);
+    let report = net.into_report(end);
+    let churn = report.churn.as_ref().expect("churn report present");
+    assert_eq!(churn.arrivals, 1_000_000);
+    assert_eq!(churn.retired, 1_000_000);
+    // Slot occupancy ≈ rate × (mean duration 10 ms + linger 100 ms)
+    // ≈ 2200 expected; the Pareto tail pushes the peak above that, but
+    // the table must stay three orders of magnitude below arrivals.
+    assert!(
+        churn.peak_slots < 10_000,
+        "peak_slots {} is not O(active)",
+        churn.peak_slots
+    );
+    assert_eq!(report.flows.len(), churn.peak_slots);
+}
+
+#[test]
+fn churn_runs_are_byte_identical_across_backends_and_repeats() {
+    let render = |backend, dispatch| {
+        let (mut net, end) = churn_net(20.0, backend, dispatch);
+        net.run_until(end);
+        format!("{:?}", net.into_report(end))
+    };
+    let baseline = render(QueueBackend::Wheel, DispatchMode::Train);
+    assert_eq!(
+        baseline,
+        render(QueueBackend::Wheel, DispatchMode::Train),
+        "repeat run diverged"
+    );
+    assert_eq!(
+        baseline,
+        render(QueueBackend::Heap, DispatchMode::Train),
+        "heap backend diverged"
+    );
+    assert_eq!(
+        baseline,
+        render(QueueBackend::Wheel, DispatchMode::PerPacket),
+        "per-packet dispatch diverged"
+    );
+}
+
+/// Records the lifecycle callbacks its node receives.
+#[derive(Debug)]
+struct LifecycleRecorder {
+    log: Rc<RefCell<Vec<(SimTime, &'static str)>>>,
+}
+
+impl RouterLogic for LifecycleRecorder {
+    fn on_flow_start(&mut self, ctx: &mut Ctx<'_>, _flow: FlowId) {
+        self.log.borrow_mut().push((ctx.now(), "start"));
+    }
+
+    fn on_flow_stop(&mut self, ctx: &mut Ctx<'_>, _flow: FlowId) {
+        self.log.borrow_mut().push((ctx.now(), "stop"));
+    }
+}
+
+/// Regression (flow-lifecycle bugfix): a control-plane pause deferring a
+/// `FlowStop` to the exact instant a later activation window opens used
+/// to deliver the stale stop *after* the new window's start — killing the
+/// fresh activation. The dispatcher now drops a stop that lands inside an
+/// active window.
+#[test]
+fn pause_deferred_stop_does_not_kill_a_restart() {
+    let log = Rc::new(RefCell::new(Vec::new()));
+    let handle = log.clone();
+    let mut b = TopologyBuilder::new(5);
+    let src = b.node("src", move |_| Box::new(LifecycleRecorder { log: handle }));
+    let dst = b.node("dst", |_| Box::new(ForwardLogic));
+    b.link(src, dst, fast());
+    // Pause the ingress over the first window's stop; the pause ends
+    // exactly when the second window starts.
+    b.faults(FaultPlan::new().pause(src, SimTime::from_millis(900), SimTime::from_secs(3)));
+    b.flow(
+        FlowSpec::new(vec![src, dst], 1)
+            .active(SimTime::ZERO, Some(SimTime::from_secs(1)))
+            .active(SimTime::from_secs(3), Some(SimTime::from_secs(4))),
+    );
+    let end = SimTime::from_secs(5);
+    let mut net = b.build();
+    net.run_until(end);
+    drop(net);
+    let log = log.borrow();
+    assert_eq!(
+        *log,
+        vec![
+            (SimTime::ZERO, "start"),
+            (SimTime::from_secs(3), "start"),
+            (SimTime::from_secs(4), "stop"),
+        ],
+        "the deferred stop at t=3 must be discarded, not delivered after the restart"
+    );
+}
+
+/// A start deferred past its own window's end is equally stale.
+#[test]
+fn pause_deferred_start_outside_its_window_is_dropped() {
+    let log = Rc::new(RefCell::new(Vec::new()));
+    let handle = log.clone();
+    let mut b = TopologyBuilder::new(5);
+    let src = b.node("src", move |_| Box::new(LifecycleRecorder { log: handle }));
+    let dst = b.node("dst", |_| Box::new(ForwardLogic));
+    b.link(src, dst, fast());
+    // Pause covers the entire (1 s, 2 s) window: its start slides to
+    // t=3, where the flow is no longer scheduled.
+    b.faults(FaultPlan::new().pause(src, SimTime::from_millis(500), SimTime::from_secs(3)));
+    b.flow(
+        FlowSpec::new(vec![src, dst], 1).active(SimTime::from_secs(1), Some(SimTime::from_secs(2))),
+    );
+    let end = SimTime::from_secs(5);
+    let mut net = b.build();
+    net.run_until(end);
+    drop(net);
+    assert!(
+        log.borrow().is_empty(),
+        "neither lifecycle event may be delivered outside the window: {:?}",
+        log.borrow()
+    );
+}
+
+/// Back-to-back activations (`stop == next start`) are coalesced at spec
+/// level, so the engine never sees the ambiguous same-instant pair and
+/// traffic flows continuously across the seam.
+#[test]
+fn back_to_back_activations_never_gap() {
+    let mut b = TopologyBuilder::new(9);
+    let src = b.node("src", |_| Box::new(CbrSource::new(100.0)));
+    let dst = b.node("dst", |_| Box::new(ForwardLogic));
+    b.link(src, dst, fast());
+    let f = b.flow(
+        FlowSpec::new(vec![src, dst], 1)
+            .active(SimTime::ZERO, Some(SimTime::from_secs(2)))
+            .active(SimTime::from_secs(2), Some(SimTime::from_secs(4))),
+    );
+    let end = SimTime::from_secs(5);
+    let mut net = b.build();
+    net.run_until(end);
+    let report = net.into_report(end);
+    let delivered = report.flow(f).delivered_packets;
+    assert!(
+        (395..=401).contains(&delivered),
+        "delivered {delivered}: the seam at t=2 must not interrupt emission"
+    );
+}

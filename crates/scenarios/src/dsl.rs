@@ -53,13 +53,35 @@
 //!
 //! Link and core indices are validated against the topology after
 //! parsing, like flow paths.
+//!
+//! A `churn { ... }` block installs a dynamic flow-arrival process (see
+//! [`crate::runner::ScenarioChurn`]); a scenario with a churn block may
+//! omit static `flow` directives entirely:
+//!
+//! ```text
+//! churn {
+//!     arrivals 20          # Poisson arrival rate, flows per second
+//!     size     50          # mean flow size, packets (Pareto)
+//!     rate     100         # nominal send rate, pkt/s
+//!     route    0-1         # route template (repeatable)
+//!     path     0,4,3       # explicit core path template (repeatable)
+//!     weights  1 2 4       # weight classes drawn uniformly
+//!     window   0 60        # arrivals during [0 s, 60 s) (default: whole run)
+//!     linger   1           # slot drain delay, seconds
+//!     shape    1.8         # Pareto tail index
+//!     max_arrivals 1000    # cap on total arrivals
+//! }
+//! ```
+//!
+//! Churn route templates are validated against the topology exactly like
+//! static flow paths.
 
 use std::fmt;
 
 use sim_core::time::SimTime;
 
 use crate::fault::FaultSpec;
-use crate::runner::{Scenario, ScenarioFlow};
+use crate::runner::{Scenario, ScenarioChurn, ScenarioFlow};
 use crate::topology::{CorePath, TopologySpec};
 
 /// A parse failure, with the offending 1-based line number.
@@ -96,6 +118,8 @@ pub fn parse_scenario(text: &str) -> Result<Scenario, ParseScenarioError> {
     // core — validated against the topology once it is known.
     let mut fault_indices: Vec<(usize, FaultIndex, usize)> = Vec::new();
     let mut fault_block_open: Option<usize> = None;
+    let mut churn: Option<ChurnDraft> = None;
+    let mut churn_block_open: Option<usize> = None;
 
     for (idx, raw) in text.lines().enumerate() {
         let line_no = idx + 1;
@@ -112,6 +136,15 @@ pub fn parse_scenario(text: &str) -> Result<Scenario, ParseScenarioError> {
                 fault_block_open = None;
             } else if let Some(named) = parse_fault_directive(line, line_no, &mut faults)? {
                 fault_indices.push(named);
+            }
+            continue;
+        }
+        if churn_block_open.is_some() {
+            if line == "}" {
+                churn_block_open = None;
+            } else {
+                let draft = churn.as_mut().expect("open block implies a draft");
+                parse_churn_directive(line, line_no, draft)?;
             }
             continue;
         }
@@ -140,6 +173,16 @@ pub fn parse_scenario(text: &str) -> Result<Scenario, ParseScenarioError> {
                 }
                 fault_block_open = Some(line_no);
             }
+            "churn" => {
+                if rest != "{" {
+                    return Err(err(format!("expected `churn {{`, got `churn {rest}`")));
+                }
+                if churn.is_some() {
+                    return Err(err("duplicate `churn {` block".into()));
+                }
+                churn = Some(ChurnDraft::new(line_no));
+                churn_block_open = Some(line_no);
+            }
             "topology" => {
                 if topology.is_some() {
                     return Err(err("duplicate `topology` directive".into()));
@@ -156,24 +199,39 @@ pub fn parse_scenario(text: &str) -> Result<Scenario, ParseScenarioError> {
             message: "unclosed `fault {` block".into(),
         });
     }
+    if let Some(open) = churn_block_open {
+        return Err(ParseScenarioError {
+            line: open,
+            message: "unclosed `churn {` block".into(),
+        });
+    }
     let horizon = horizon.ok_or(ParseScenarioError {
         line: 0,
         message: "missing `horizon` directive".into(),
     })?;
-    if flows.is_empty() {
+    if flows.is_empty() && churn.is_none() {
         return Err(ParseScenarioError {
             line: 0,
-            message: "no `flow` directives".into(),
+            message: "no `flow` directives (and no `churn` block)".into(),
         });
     }
+    let churn = churn.map(ChurnDraft::finish).transpose()?;
     let topology = topology.unwrap_or_else(TopologySpec::paper_chain);
     // Paths were only range-checked during parsing; check them against
-    // the topology's actual links now that it is known.
-    for (line, f) in &flows {
-        for hop in f.path.0.windows(2) {
+    // the topology's actual links now that it is known. Churn route
+    // templates get exactly the same validation as static flow paths.
+    let churn_routes = churn
+        .iter()
+        .flat_map(|c| c.routes.iter().map(|&(line, ref path)| (line, path)));
+    for (line, path) in flows
+        .iter()
+        .map(|&(line, ref f)| (line, &f.path))
+        .chain(churn_routes)
+    {
+        for hop in path.0.windows(2) {
             if hop[0] >= topology.core_count || hop[1] >= topology.core_count {
                 return Err(ParseScenarioError {
-                    line: *line,
+                    line,
                     message: format!(
                         "core {} out of range for topology `{}` ({} cores)",
                         hop[0].max(hop[1]),
@@ -184,7 +242,7 @@ pub fn parse_scenario(text: &str) -> Result<Scenario, ParseScenarioError> {
             }
             if topology.link_index(hop[0], hop[1]).is_none() {
                 return Err(ParseScenarioError {
-                    line: *line,
+                    line,
                     message: format!(
                         "hop {}->{} is not a link of topology `{}`",
                         hop[0], hop[1], topology.name
@@ -212,14 +270,240 @@ pub fn parse_scenario(text: &str) -> Result<Scenario, ParseScenarioError> {
     // `Scenario.name` is `&'static str` for table labels; leak the parsed
     // name (a CLI parses one scenario per process).
     let name: &'static str = Box::leak(name.unwrap_or_else(|| "cli".into()).into_boxed_str());
-    Ok(Scenario::on(
+    let mut scenario = Scenario::on(
         topology,
         name,
         flows.into_iter().map(|(_, f)| f).collect(),
         SimTime::from_secs_f64(horizon),
         seed,
     )
-    .with_faults(faults))
+    .with_faults(faults);
+    if let Some(c) = churn {
+        scenario = scenario.with_churn(c.spec);
+    }
+    Ok(scenario)
+}
+
+/// A `churn { ... }` block under construction, with line-tagged routes
+/// for late validation against the topology.
+#[derive(Debug)]
+struct ChurnDraft {
+    open_line: usize,
+    arrivals: Option<f64>,
+    size: Option<f64>,
+    rate: Option<f64>,
+    routes: Vec<(usize, CorePath)>,
+    weights: Option<Vec<u32>>,
+    window: Option<(f64, f64)>,
+    linger: Option<f64>,
+    shape: Option<f64>,
+    max_arrivals: Option<u64>,
+}
+
+/// A finished churn block: the spec to install, plus line-tagged routes
+/// for validation against the (possibly later-declared) topology.
+#[derive(Debug)]
+struct ParsedChurn {
+    routes: Vec<(usize, CorePath)>,
+    spec: ScenarioChurn,
+}
+
+impl ChurnDraft {
+    fn new(open_line: usize) -> Self {
+        ChurnDraft {
+            open_line,
+            arrivals: None,
+            size: None,
+            rate: None,
+            routes: Vec::new(),
+            weights: None,
+            window: None,
+            linger: None,
+            shape: None,
+            max_arrivals: None,
+        }
+    }
+
+    fn finish(self) -> Result<ParsedChurn, ParseScenarioError> {
+        let err = |message: String| ParseScenarioError {
+            line: self.open_line,
+            message,
+        };
+        let arrivals = self
+            .arrivals
+            .ok_or_else(|| err("churn block needs an `arrivals` rate".into()))?;
+        let size = self
+            .size
+            .ok_or_else(|| err("churn block needs a mean `size`".into()))?;
+        let rate = self
+            .rate
+            .ok_or_else(|| err("churn block needs a nominal `rate`".into()))?;
+        if self.routes.is_empty() {
+            return Err(err(
+                "churn block needs at least one `route` or `path`".into()
+            ));
+        }
+        let mut spec = ScenarioChurn::new(arrivals, size, rate);
+        for (_, path) in &self.routes {
+            spec = spec.route(path.clone());
+        }
+        if let Some(weights) = self.weights {
+            spec = spec.weights(weights);
+        }
+        if let Some((from, until)) = self.window {
+            spec = spec.window(SimTime::from_secs_f64(from), SimTime::from_secs_f64(until));
+        }
+        if let Some(linger) = self.linger {
+            spec.linger_secs = linger;
+        }
+        if let Some(shape) = self.shape {
+            spec.pareto_shape = shape;
+        }
+        spec.max_arrivals = self.max_arrivals;
+        Ok(ParsedChurn {
+            routes: self.routes,
+            spec,
+        })
+    }
+}
+
+/// Parses one directive inside a `churn { ... }` block into `draft`.
+fn parse_churn_directive(
+    line: &str,
+    line_no: usize,
+    draft: &mut ChurnDraft,
+) -> Result<(), ParseScenarioError> {
+    let err = |message: String| ParseScenarioError {
+        line: line_no,
+        message,
+    };
+    let tokens: Vec<&str> = line.split_whitespace().collect();
+    let expect_args = |n: usize| -> Result<(), ParseScenarioError> {
+        if tokens.len() - 1 != n {
+            return Err(err(format!(
+                "`{}` takes {n} argument{}, got {}",
+                tokens[0],
+                if n == 1 { "" } else { "s" },
+                tokens.len() - 1
+            )));
+        }
+        Ok(())
+    };
+    let positive = |v: &str, what: &str| -> Result<f64, ParseScenarioError> {
+        let n: f64 = v
+            .parse()
+            .map_err(|_| err(format!("invalid {what} {v:?}")))?;
+        if !n.is_finite() || n <= 0.0 {
+            return Err(err(format!("{what} must be finite and positive, got {n}")));
+        }
+        Ok(n)
+    };
+    match tokens[0] {
+        "arrivals" => {
+            expect_args(1)?;
+            draft.arrivals = Some(positive(tokens[1], "arrival rate")?);
+        }
+        "size" => {
+            expect_args(1)?;
+            draft.size = Some(positive(tokens[1], "mean flow size")?);
+        }
+        "rate" => {
+            expect_args(1)?;
+            draft.rate = Some(positive(tokens[1], "nominal rate")?);
+        }
+        "route" => {
+            expect_args(1)?;
+            let (a, b) = tokens[1]
+                .split_once('-')
+                .ok_or_else(|| err(format!("route must be A-B, got {:?}", tokens[1])))?;
+            let a: usize = a
+                .parse()
+                .map_err(|_| err(format!("invalid route start {a:?}")))?;
+            let b: usize = b
+                .parse()
+                .map_err(|_| err(format!("invalid route end {b:?}")))?;
+            if a >= b {
+                return Err(err(format!("route {a}-{b} out of range (need A < B)")));
+            }
+            draft
+                .routes
+                .push((line_no, CorePath::new((a..=b).collect())));
+        }
+        "path" => {
+            expect_args(1)?;
+            let cores: Vec<usize> = tokens[1]
+                .split(',')
+                .map(|c| {
+                    c.parse()
+                        .map_err(|_| err(format!("invalid path core {c:?}")))
+                })
+                .collect::<Result<_, _>>()?;
+            if cores.len() < 2 {
+                return Err(err(format!(
+                    "path needs at least two cores, got {:?}",
+                    tokens[1]
+                )));
+            }
+            draft.routes.push((line_no, CorePath::new(cores)));
+        }
+        "weights" => {
+            if tokens.len() < 2 {
+                return Err(err("`weights` needs at least one weight class".into()));
+            }
+            let weights: Vec<u32> = tokens[1..]
+                .iter()
+                .map(|w| {
+                    w.parse::<u32>()
+                        .ok()
+                        .filter(|&w| w > 0)
+                        .ok_or_else(|| err(format!("invalid weight {w:?}")))
+                })
+                .collect::<Result<_, _>>()?;
+            draft.weights = Some(weights);
+        }
+        "window" => {
+            expect_args(2)?;
+            let from: f64 = tokens[1]
+                .parse()
+                .map_err(|_| err(format!("invalid window start {:?}", tokens[1])))?;
+            let until = positive(tokens[2], "window end")?;
+            if !from.is_finite() || from < 0.0 || until <= from {
+                return Err(err(format!("window {from}..{until} ends before it starts")));
+            }
+            draft.window = Some((from, until));
+        }
+        "linger" => {
+            expect_args(1)?;
+            draft.linger = Some(positive(tokens[1], "linger")?);
+        }
+        "shape" => {
+            expect_args(1)?;
+            let shape = positive(tokens[1], "pareto shape")?;
+            if shape <= 1.0 {
+                return Err(err(format!(
+                    "pareto shape must exceed 1 for a finite mean, got {shape}"
+                )));
+            }
+            draft.shape = Some(shape);
+        }
+        "max_arrivals" => {
+            expect_args(1)?;
+            let n: u64 = tokens[1]
+                .parse()
+                .map_err(|_| err(format!("invalid max_arrivals {:?}", tokens[1])))?;
+            if n == 0 {
+                return Err(err("max_arrivals must be positive".into()));
+            }
+            draft.max_arrivals = Some(n);
+        }
+        other => {
+            return Err(err(format!(
+                "unknown churn directive {other:?} (expected arrivals, size, rate, \
+                 route, path, weights, window, linger, shape, or max_arrivals)"
+            )))
+        }
+    }
+    Ok(())
 }
 
 /// Which kind of entity a fault directive indexed, for late validation.
@@ -692,6 +976,107 @@ fault {
             let e = parse_scenario(&format!("horizon 5\nflow route=0-1\n{bad}\n")).unwrap_err();
             assert!(e.message.contains(needle), "{bad}: {}", e.message);
         }
+    }
+
+    #[test]
+    fn churn_block_parses_every_directive() {
+        let s = parse_scenario(
+            "horizon 60
+flow route=0-1 weight=2
+churn {
+    arrivals 20      # comments still work
+    size     50
+    rate     100
+    route    0-1
+    path     1,2,3
+    weights  1 2 4
+    window   5 30
+    linger   2
+    shape    1.5
+    max_arrivals 500
+}
+",
+        )
+        .unwrap();
+        let c = s.churn.expect("churn installed");
+        assert_eq!(c.arrival_rate, 20.0);
+        assert_eq!(c.mean_size_pkts, 50.0);
+        assert_eq!(c.nominal_rate_pps, 100.0);
+        assert_eq!(c.routes.len(), 2);
+        assert_eq!(c.routes[0].0, vec![0, 1]);
+        assert_eq!(c.routes[1].0, vec![1, 2, 3]);
+        assert_eq!(c.weights, vec![1, 2, 4]);
+        assert_eq!(
+            c.window,
+            Some((SimTime::from_secs(5), SimTime::from_secs(30)))
+        );
+        assert_eq!(c.linger_secs, 2.0);
+        assert_eq!(c.pareto_shape, 1.5);
+        assert_eq!(c.max_arrivals, Some(500));
+    }
+
+    #[test]
+    fn pure_churn_scenarios_need_no_static_flows() {
+        let s = parse_scenario(
+            "horizon 60
+churn {
+    arrivals 10
+    size 20
+    rate 100
+    route 0-3
+}
+",
+        )
+        .unwrap();
+        assert!(s.flows.is_empty());
+        let c = s.churn.expect("churn installed");
+        assert_eq!(c.window, None, "default window covers the whole run");
+        assert_eq!(c.weights, vec![1]);
+    }
+
+    #[test]
+    fn churn_routes_validated_against_topology() {
+        let e =
+            parse_scenario("horizon 60\nchurn {\narrivals 10\nsize 20\nrate 100\nroute 0-5\n}\n")
+                .unwrap_err();
+        assert_eq!(e.line, 6);
+        assert!(e.message.contains("out of range"), "{}", e.message);
+        let e = parse_scenario(
+            "topology fat_tree\nhorizon 60\nchurn {\narrivals 10\nsize 20\nrate 100\npath 0,3\n}\n",
+        )
+        .unwrap_err();
+        assert_eq!(e.line, 7);
+        assert!(e.message.contains("not a link"), "{}", e.message);
+    }
+
+    #[test]
+    fn malformed_churn_blocks_rejected() {
+        for (bad, needle) in [
+            ("churn", "expected `churn {`"),
+            ("churn on", "expected `churn {`"),
+            ("churn {\narrivals 10\nsize 20\nrate 100\nroute 0-1\n}\nchurn {\narrivals 1\nsize 1\nrate 1\nroute 0-1\n}", "duplicate `churn {`"),
+            ("churn {\nwiggle 1\n}", "unknown churn directive"),
+            ("churn {\nsize 20\nrate 100\nroute 0-1\n}", "needs an `arrivals`"),
+            ("churn {\narrivals 10\nrate 100\nroute 0-1\n}", "needs a mean `size`"),
+            ("churn {\narrivals 10\nsize 20\nroute 0-1\n}", "needs a nominal `rate`"),
+            ("churn {\narrivals 10\nsize 20\nrate 100\n}", "at least one `route`"),
+            ("churn {\narrivals 0\n}", "must be finite and positive"),
+            ("churn {\nshape 0.9\n}", "must exceed 1"),
+            ("churn {\nwindow 30 5\n}", "ends before it starts"),
+            ("churn {\nroute 3-1\n}", "need A < B"),
+            ("churn {\nweights 1 0\n}", "invalid weight"),
+            ("churn {\nmax_arrivals 0\n}", "must be positive"),
+        ] {
+            let e = parse_scenario(&format!("horizon 5\nflow route=0-1\n{bad}\n")).unwrap_err();
+            assert!(e.message.contains(needle), "{bad}: {}", e.message);
+        }
+    }
+
+    #[test]
+    fn unclosed_churn_block_rejected() {
+        let e = parse_scenario("horizon 5\nchurn {\narrivals 10\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("unclosed"), "{}", e.message);
     }
 
     #[test]

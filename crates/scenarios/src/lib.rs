@@ -33,6 +33,7 @@
 //! cargo run --release -p scenarios --bin compare
 //! ```
 
+pub mod churn;
 pub mod discipline;
 pub mod dsl;
 pub mod exec;
@@ -45,6 +46,6 @@ pub mod topology;
 
 pub use discipline::Discipline;
 pub use fault::FaultSpec;
-pub use runner::{ExperimentResult, ReferenceSpec, Scenario, ScenarioFlow};
+pub use runner::{ExperimentResult, ReferenceSpec, Scenario, ScenarioChurn, ScenarioFlow};
 pub use schedules::{fig3_4, fig5_6, fig7_8, fig9_10, PaperFigure};
 pub use topology::{CorePath, Route, TopologySpec};

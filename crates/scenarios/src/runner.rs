@@ -15,6 +15,8 @@ use sim_core::time::SimTime;
 use crate::discipline::Discipline;
 use crate::fault::FaultSpec;
 use crate::topology::{paper_link, CorePath, TopologySpec, LINK_CAPACITY_PPS};
+use netsim::ChurnSpec;
+use sim_core::time::SimDuration;
 
 /// One flow of a scenario.
 #[derive(Debug, Clone)]
@@ -45,6 +47,100 @@ impl ScenarioFlow {
     }
 }
 
+/// A dynamic flow-churn process at the scenario level: the plain-data
+/// mirror of [`netsim::ChurnSpec`], speaking core paths instead of node
+/// ids. Each route template gets its own shared ingress/egress edge pair
+/// (running the discipline's edge logic, like static flows); arrivals
+/// pick a template uniformly at random and occupy a recycled,
+/// generation-counted flow-table slot for their Pareto-sized lifetime.
+#[derive(Debug, Clone)]
+pub struct ScenarioChurn {
+    /// Poisson arrival rate, flows per second.
+    pub arrival_rate: f64,
+    /// Mean flow size in packets (Pareto-distributed).
+    pub mean_size_pkts: f64,
+    /// Nominal send rate used to convert sizes to lifetimes, pkt/s.
+    pub nominal_rate_pps: f64,
+    /// Core-path templates arrivals draw from uniformly.
+    pub routes: Vec<CorePath>,
+    /// Weight classes arrivals draw from uniformly.
+    pub weights: Vec<u32>,
+    /// Pareto tail index for flow sizes (must exceed 1).
+    pub pareto_shape: f64,
+    /// Arrival window; `None` = the whole run.
+    pub window: Option<(SimTime, SimTime)>,
+    /// Drain delay between a flow's stop and slot recycling, seconds.
+    pub linger_secs: f64,
+    /// Cap on total arrivals (`None` = unlimited within the window).
+    pub max_arrivals: Option<u64>,
+}
+
+impl ScenarioChurn {
+    /// A churn process with the given arrival rate (flows/s), mean flow
+    /// size (packets) and nominal send rate (pkt/s); add at least one
+    /// route with [`route`](ScenarioChurn::route).
+    pub fn new(arrival_rate: f64, mean_size_pkts: f64, nominal_rate_pps: f64) -> Self {
+        ScenarioChurn {
+            arrival_rate,
+            mean_size_pkts,
+            nominal_rate_pps,
+            routes: Vec::new(),
+            weights: vec![1],
+            pareto_shape: 1.8,
+            window: None,
+            linger_secs: 1.0,
+            max_arrivals: None,
+        }
+    }
+
+    /// Adds a route template (builder-style).
+    pub fn route(mut self, path: impl Into<CorePath>) -> Self {
+        self.routes.push(path.into());
+        self
+    }
+
+    /// Sets the weight classes (builder-style).
+    pub fn weights(mut self, weights: Vec<u32>) -> Self {
+        self.weights = weights;
+        self
+    }
+
+    /// Sets the arrival window (builder-style).
+    pub fn window(mut self, start: SimTime, stop: SimTime) -> Self {
+        self.window = Some((start, stop));
+        self
+    }
+
+    /// Caps the total number of arrivals (builder-style).
+    pub fn max_arrivals(mut self, n: u64) -> Self {
+        self.max_arrivals = Some(n);
+        self
+    }
+
+    /// Translates into a simulator [`ChurnSpec`] given the resolved
+    /// per-route node paths and the scenario horizon (the default
+    /// arrival window).
+    fn to_spec(&self, node_routes: Vec<Vec<netsim::ids::NodeId>>, horizon: SimTime) -> ChurnSpec {
+        let (start, stop) = self.window.unwrap_or((SimTime::ZERO, horizon));
+        let mut spec = ChurnSpec::new(
+            self.arrival_rate,
+            self.mean_size_pkts,
+            self.nominal_rate_pps,
+        )
+        .weights(self.weights.clone())
+        .pareto_shape(self.pareto_shape)
+        .window(start, stop)
+        .linger(SimDuration::from_secs_f64(self.linger_secs));
+        if let Some(n) = self.max_arrivals {
+            spec = spec.max_arrivals(n);
+        }
+        for path in node_routes {
+            spec = spec.route(path);
+        }
+        spec
+    }
+}
+
 /// A complete experiment description: a core topology, the flows
 /// crossing it, and a horizon.
 #[derive(Debug, Clone)]
@@ -61,6 +157,8 @@ pub struct Scenario {
     pub seed: u64,
     /// Faults to inject (empty by default — a clean network).
     pub faults: FaultSpec,
+    /// Dynamic flow churn (`None` by default — a static workload).
+    pub churn: Option<ScenarioChurn>,
 }
 
 impl Scenario {
@@ -89,12 +187,19 @@ impl Scenario {
             horizon,
             seed,
             faults: FaultSpec::default(),
+            churn: None,
         }
     }
 
     /// Replaces the scenario's fault specification (builder-style).
     pub fn with_faults(mut self, faults: FaultSpec) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Installs a dynamic flow-churn process (builder-style).
+    pub fn with_churn(mut self, churn: ScenarioChurn) -> Self {
+        self.churn = Some(churn);
         self
     }
 
@@ -333,6 +438,31 @@ impl Scenario {
                 spec = spec.active(start, stop);
             }
             b.flow(spec);
+        }
+        // Churn routes get one shared ingress/egress edge pair per
+        // template — arrivals are dynamic, so edges cannot be per-flow.
+        // The edge logic sees a representative weight-1 flow; the real
+        // per-arrival weight reaches it through each flow's FlowInfo.
+        if let Some(churn) = &self.churn {
+            let node_routes = churn
+                .routes
+                .iter()
+                .enumerate()
+                .map(|(i, path)| {
+                    let template = ScenarioFlow::best_effort(path.clone(), 1, SimTime::ZERO);
+                    let ingress = b.node(&format!("CE{}", i + 1), |s| {
+                        discipline.edge_logic(s, &template)
+                    });
+                    let egress = b.node(&format!("CX{}", i + 1), |s| discipline.egress_logic(s));
+                    b.link(ingress, cores[path.first()], link);
+                    b.link(cores[path.last()], egress, link);
+                    let mut nodes = vec![ingress];
+                    nodes.extend(path.0.iter().map(|&c| cores[c]));
+                    nodes.push(egress);
+                    nodes
+                })
+                .collect();
+            b.churn(churn.to_spec(node_routes, self.horizon));
         }
         if !self.faults.is_empty() {
             b.faults(self.faults.to_plan());

@@ -170,6 +170,21 @@ impl DetRng {
         assert!(lo < hi, "invalid range [{lo}, {hi})");
         lo + (hi - lo) * self.next_f64()
     }
+
+    /// Draws a Pareto-distributed value with minimum `scale` and tail
+    /// index `shape` (inverse-CDF: `scale * u^(-1/shape)`). Heavy-tailed
+    /// "web-like" flow sizes in the churn generator use this; the mean is
+    /// `scale * shape / (shape - 1)` for `shape > 1` (infinite below).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `scale` and `shape` are strictly positive.
+    pub fn pareto(&mut self, scale: f64, shape: f64) -> f64 {
+        assert!(scale > 0.0, "pareto scale must be positive, got {scale}");
+        assert!(shape > 0.0, "pareto shape must be positive, got {shape}");
+        let u = 1.0 - self.next_f64(); // in (0, 1]
+        scale * u.powf(-1.0 / shape)
+    }
 }
 
 #[cfg(test)]
@@ -247,6 +262,32 @@ mod tests {
             let dev = (c as f64 - expect).abs() / expect;
             assert!(dev < 0.05, "bucket {i}: count {c}, expected ≈{expect}");
         }
+    }
+
+    #[test]
+    fn pareto_respects_scale_and_mean() {
+        let mut r = DetRng::new(8);
+        let n = 50_000;
+        let scale = 2.0;
+        let shape = 2.5;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = r.pareto(scale, shape);
+            assert!(x >= scale, "pareto draws never fall below the scale: {x}");
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        let expect = scale * shape / (shape - 1.0);
+        assert!(
+            (mean - expect).abs() / expect < 0.05,
+            "mean {mean}, expected ≈{expect}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "shape")]
+    fn pareto_zero_shape_panics() {
+        DetRng::new(0).pareto(1.0, 0.0);
     }
 
     #[test]

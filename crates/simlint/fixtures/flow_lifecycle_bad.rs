@@ -1,0 +1,14 @@
+//! Positive fixture: a per-epoch loop scanning every flow-table slot
+//! index ever used. Under churn slots are recycled, so this walks
+//! retired occupants and costs O(slots ever used) per epoch instead of
+//! O(active flows).
+
+impl EdgeState {
+    pub fn run_epoch(&mut self) {
+        for idx in 0..self.flows.key_bound() {
+            if let Some(flow) = self.flows.get_index(idx) {
+                self.adapt(flow);
+            }
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! Negative fixture: per-epoch iteration over the active set — O(active
+//! flows), never touching retired slots — plus a justified one-shot
+//! full scan under an inline allow.
+
+impl EdgeState {
+    pub fn run_epoch(&mut self) {
+        for idx in self.active.iter() {
+            self.adapt(idx);
+        }
+    }
+
+    pub fn final_report(&self) -> usize {
+        let mut resident = 0;
+        // simlint: allow(flow-lifecycle) one-shot report, not per-epoch
+        for idx in 0..self.flows.key_bound() {
+            resident += usize::from(self.flows.get_index(idx).is_some());
+        }
+        resident
+    }
+}

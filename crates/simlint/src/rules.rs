@@ -65,6 +65,10 @@ pub const RULES: &[(&str, &str)] = &[
         "dense-state",
         "BTreeMap/HashMap keyed by FlowId/NodeId/LinkId in hot-path state modules; use netsim::slab::DenseMap",
     ),
+    (
+        "flow-lifecycle",
+        "0..key_bound() slot scans in per-epoch discipline modules; iterate the ActiveSet",
+    ),
 ];
 
 /// True when `rule` is a known rule name.
@@ -136,6 +140,19 @@ const DENSE_STATE_MODULES: &[&str] = &[
     "crates/baselines/src/red.rs",
     "crates/baselines/src/fred.rs",
     "crates/baselines/src/greedy.rs",
+];
+
+/// Modules with per-epoch loops over recycled flow tables. Under churn
+/// a `0..key_bound()` index scan costs O(slots ever used) per epoch and
+/// touches retired occupants, where `ActiveSet` iteration is O(active
+/// flows) in the same ascending-index order. Link tables never recycle
+/// their slots, so per-link scans (the core router's) stay off this
+/// list.
+const FLOW_LIFECYCLE_MODULES: &[&str] = &[
+    "crates/corelite/src/edge.rs",
+    "crates/corelite/src/gateway.rs",
+    "crates/corelite/src/aggregate.rs",
+    "crates/csfq/src/edge.rs",
 ];
 
 /// The dense id types whose keyed maps belong in the slab.
@@ -230,6 +247,8 @@ pub struct FileClass {
     pub hot_path: bool,
     /// Per-id state module: the `dense-state` rule applies.
     pub dense_state: bool,
+    /// Per-epoch flow-table module: the `flow-lifecycle` rule applies.
+    pub flow_lifecycle: bool,
     /// Test code (integration test file): `float-eq` does not apply.
     pub is_test: bool,
 }
@@ -239,8 +258,9 @@ pub struct FileClass {
 /// Lint fixtures under `simlint/fixtures/` classify by filename prefix
 /// (`core_state_*` as a core module, `panic_path_*` as an event-loop
 /// module, `hot_alloc_*` as a hot-path module, `dense_state_*` as a
-/// per-id state module) so the fixtures exercise the path-scoped rules
-/// without masquerading as real tree paths.
+/// per-id state module, `flow_lifecycle_*` as a per-epoch flow-table
+/// module) so the fixtures exercise the path-scoped rules without
+/// masquerading as real tree paths.
 pub fn classify(rel: &str) -> FileClass {
     if let Some(name) = rel
         .contains("simlint/fixtures/")
@@ -251,6 +271,7 @@ pub fn classify(rel: &str) -> FileClass {
             event_loop: name.starts_with("panic_path"),
             hot_path: name.starts_with("hot_alloc"),
             dense_state: name.starts_with("dense_state"),
+            flow_lifecycle: name.starts_with("flow_lifecycle"),
             is_test: false,
         };
     }
@@ -259,6 +280,7 @@ pub fn classify(rel: &str) -> FileClass {
         event_loop: EVENT_LOOP_MODULES.contains(&rel),
         hot_path: HOT_PATH_MODULES.contains(&rel),
         dense_state: DENSE_STATE_MODULES.contains(&rel),
+        flow_lifecycle: FLOW_LIFECYCLE_MODULES.contains(&rel),
         is_test: rel.starts_with("tests/") || rel.contains("/tests/"),
     }
 }
@@ -411,6 +433,30 @@ pub fn scan_source(rel: &str, src: &str, class: FileClass, allow: &Allowlist) ->
                         message: "bare unwrap() in the event-loop hot path; use expect() naming \
                                   the violated invariant so a panic in a million-event run is \
                                   diagnosable"
+                            .to_owned(),
+                    });
+                }
+                // flow-lifecycle: a `.key_bound()` call in a per-epoch
+                // discipline module. Flow slots are recycled under
+                // churn, so an index scan walks every slot ever used
+                // and reads retired occupants; tests may scan the whole
+                // table to cross-check the active set.
+                if class.flow_lifecycle
+                    && !class.is_test
+                    && !in_ranges(&test_ranges, line)
+                    && name == "key_bound"
+                    && i > 0
+                    && op(i - 1, ".")
+                    && op(i + 1, "(")
+                {
+                    found.push(Violation {
+                        file: rel.to_owned(),
+                        line,
+                        rule: "flow-lifecycle",
+                        message: "`0..key_bound()`-style slot scan in a per-epoch discipline \
+                                  module; flow slots are recycled under churn, so iterate the \
+                                  `ActiveSet` (same ascending-index order, O(active flows) per \
+                                  epoch) or justify with `simlint: allow(flow-lifecycle)`"
                             .to_owned(),
                     });
                 }
@@ -650,6 +696,9 @@ mod tests {
         assert!(classify("crates/simlint/fixtures/core_state_bad.rs").core_module);
         assert!(classify("crates/simlint/fixtures/panic_path_bad.rs").event_loop);
         assert!(classify("crates/simlint/fixtures/hot_alloc_bad.rs").hot_path);
+        assert!(classify("crates/corelite/src/gateway.rs").flow_lifecycle);
+        assert!(!classify("crates/corelite/src/router.rs").flow_lifecycle);
+        assert!(classify("crates/simlint/fixtures/flow_lifecycle_bad.rs").flow_lifecycle);
     }
 
     #[test]
@@ -721,6 +770,27 @@ mod tests {
         let src = "#[cfg(test)]\nmod tests {\n struct M { m: BTreeMap<FlowId, u32> }\n}";
         let v = scan("crates/netsim/src/slab.rs", src);
         assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn key_bound_scan_flagged_only_in_flow_lifecycle_modules() {
+        let src = "fn run_epoch(&mut self) { for i in 0..self.flows.key_bound() {} }";
+        let v = scan("crates/corelite/src/edge.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "flow-lifecycle");
+        // The core router's per-link scan is exempt: link slots are
+        // never recycled, so an index scan there is exact.
+        assert!(scan("crates/corelite/src/router.rs", src).is_empty());
+        // Defining `key_bound` (slab.rs) is not calling it in a loop.
+        let def = "pub fn key_bound(&self) -> usize { self.slots.len() }";
+        assert!(scan("crates/corelite/src/gateway.rs", def).is_empty());
+        // cfg(test) code may scan the whole table to cross-check the
+        // active set, and an inline allow covers justified full scans.
+        let test_src = "#[cfg(test)]\nmod tests {\n fn t() { for i in 0..m.key_bound() {} }\n}";
+        assert!(scan("crates/corelite/src/gateway.rs", test_src).is_empty());
+        let allowed = "// simlint: allow(flow-lifecycle) one-shot report\n\
+                       for i in 0..self.flows.key_bound() {}";
+        assert!(scan("crates/csfq/src/edge.rs", allowed).is_empty());
     }
 
     #[test]

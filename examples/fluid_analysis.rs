@@ -28,6 +28,7 @@ fn main() {
     let scenario = Scenario {
         topology: TopologySpec::paper_chain(),
         faults: Default::default(),
+        churn: None,
         name: "fluid_vs_packets",
         flows: weights
             .iter()

@@ -40,6 +40,7 @@ fn main() {
     let scenario = Scenario {
         topology: TopologySpec::paper_chain(),
         faults: Default::default(),
+        churn: None,
         name: "parking_lot",
         flows,
         horizon: SimTime::from_secs(200),

@@ -56,6 +56,7 @@ fn main() {
     let scenario = Scenario {
         topology: TopologySpec::paper_chain(),
         faults: Default::default(),
+        churn: None,
         name: "service_classes",
         flows: customers
             .iter()

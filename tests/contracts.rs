@@ -14,6 +14,7 @@ fn contract_scenario(contract: f64, seed: u64) -> Scenario {
     Scenario {
         topology: TopologySpec::paper_chain(),
         faults: Default::default(),
+        churn: None,
         name: "contracts",
         flows: vec![
             // The contracted flow (weight 1).

@@ -12,6 +12,7 @@ fn scenario(weights: &[u32], horizon: u64, seed: u64) -> Scenario {
     Scenario {
         topology: TopologySpec::paper_chain(),
         faults: Default::default(),
+        churn: None,
         name: "csfq_baseline",
         flows: weights
             .iter()
@@ -66,6 +67,7 @@ fn csfq_relabels_so_downstream_links_see_capped_labels() {
     let scenario = Scenario {
         topology: TopologySpec::paper_chain(),
         faults: Default::default(),
+        churn: None,
         name: "csfq_two_hop",
         flows: vec![
             ScenarioFlow {

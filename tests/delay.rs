@@ -14,6 +14,7 @@ fn scenario(seed: u64) -> Scenario {
     Scenario {
         topology: TopologySpec::paper_chain(),
         faults: Default::default(),
+        churn: None,
         name: "delay",
         flows: (0..6)
             .map(|i| ScenarioFlow {

@@ -18,6 +18,7 @@ fn scenario(seed: u64) -> Scenario {
     Scenario {
         topology: TopologySpec::paper_chain(),
         faults: Default::default(),
+        churn: None,
         name: "determinism",
         flows: (0..4)
             .map(|i| ScenarioFlow {

@@ -16,6 +16,7 @@ fn join_leave(seed: u64) -> Scenario {
     Scenario {
         topology: TopologySpec::paper_chain(),
         faults: Default::default(),
+        churn: None,
         name: "join_leave",
         flows: vec![
             ScenarioFlow {

@@ -27,6 +27,7 @@ fn compressed_fig3(seed: u64) -> Scenario {
     Scenario {
         topology: TopologySpec::paper_chain(),
         faults: Default::default(),
+        churn: None,
         name: "compressed_fig3",
         flows,
         horizon: SimTime::from_secs(200),

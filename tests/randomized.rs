@@ -35,6 +35,7 @@ fn corelite_tracks_maxmin_for_random_populations() {
         let scenario = Scenario {
             topology: TopologySpec::paper_chain(),
             faults: Default::default(),
+            churn: None,
             name: "randomized",
             flows,
             horizon: SimTime::from_secs(220),

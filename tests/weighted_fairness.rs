@@ -16,6 +16,7 @@ fn six_flows(seed: u64) -> Scenario {
     Scenario {
         topology: TopologySpec::paper_chain(),
         faults: Default::default(),
+        churn: None,
         name: "six_flows",
         flows: weights
             .into_iter()
