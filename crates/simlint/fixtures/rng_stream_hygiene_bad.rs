@@ -1,0 +1,16 @@
+//! Positive fixture: two live call sites share the label "churn-gaps",
+//! so under any seed they draw byte-identical sequences — silently
+//! correlated randomness; and one site computes its label, which
+//! defeats grep-auditing of the stream namespace on the replay path.
+
+pub fn arrivals(seed: u64) -> DetRng {
+    DetRng::stream(seed, "churn-gaps")
+}
+
+pub fn departures(seed: u64) -> DetRng {
+    DetRng::stream(seed, "churn-gaps")
+}
+
+pub fn named(seed: u64, label: &str) -> DetRng {
+    DetRng::stream(seed, label)
+}

@@ -1,0 +1,15 @@
+//! Negative fixture: every live stream gets its own literal label, and
+//! per-entity streams use `substream` with a shared label plus a
+//! distinct index — the sanctioned way to partition one namespace.
+
+pub fn arrivals(seed: u64) -> DetRng {
+    DetRng::stream(seed, "fixture-arrival-gaps")
+}
+
+pub fn departures(seed: u64) -> DetRng {
+    DetRng::stream(seed, "fixture-departure-gaps")
+}
+
+pub fn per_flow(seed: u64, flow: u64) -> DetRng {
+    DetRng::substream(seed, "fixture-flow", flow)
+}

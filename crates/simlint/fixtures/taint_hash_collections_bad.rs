@@ -1,0 +1,21 @@
+//! Positive fixture: an allowed HashMap reachable from a RouterLogic
+//! impl. The allow argued iteration order never leaks ("lookups only"),
+//! but the helper is on the replay path, where that argument must be
+//! made as a taint allow after an audit — not inherited for free.
+
+pub struct Logic;
+
+impl RouterLogic for Logic {
+    fn on_packet(&mut self) {
+        classify_flow();
+    }
+}
+
+fn classify_flow() {
+    lookup_bucket();
+}
+
+fn lookup_bucket() {
+    // simlint: allow(hash-collections) lookups only, never iterated
+    let _m: HashMap<u64, u64> = HashMap::new();
+}

@@ -1,0 +1,19 @@
+//! Negative fixture: replay code uses order-stable BTreeMap; the
+//! allowed HashMap helper only serves an unreachable report path.
+
+pub struct Logic;
+
+impl RouterLogic for Logic {
+    fn on_packet(&mut self) {
+        let _m: BTreeMap<u64, u64> = BTreeMap::new();
+    }
+}
+
+pub fn report_main() {
+    lookup_bucket();
+}
+
+fn lookup_bucket() {
+    // simlint: allow(hash-collections) lookups only, never iterated
+    let _m: HashMap<u64, u64> = HashMap::new();
+}

@@ -1,0 +1,20 @@
+//! Positive fixture: an allowed external-RNG draw reachable from a
+//! RouterLogic impl. The allow claimed the draw feeds a log-only id,
+//! but the replay path reaches it, so draws differ run-to-run.
+
+pub struct Marker;
+
+impl RouterLogic for Marker {
+    fn on_packet(&mut self) {
+        tag_packet();
+    }
+}
+
+fn tag_packet() {
+    fresh_tag();
+}
+
+fn fresh_tag() {
+    // simlint: allow(rand-import) log-only tag
+    let _id: u64 = rand::random();
+}

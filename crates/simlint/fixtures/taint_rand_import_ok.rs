@@ -1,0 +1,19 @@
+//! Negative fixture: replay code draws from DetRng streams; the
+//! allowed external-RNG helper is only reachable from offline tooling.
+
+pub struct Marker;
+
+impl RouterLogic for Marker {
+    fn on_packet(&mut self) {
+        let _draw = DetRng::stream(7, "taint-fixture-marker").next_u64();
+    }
+}
+
+pub fn offline_tooling() {
+    fresh_tag();
+}
+
+fn fresh_tag() {
+    // simlint: allow(rand-import) log-only tag
+    let _id: u64 = rand::random();
+}

@@ -1,0 +1,21 @@
+//! Positive fixture: an allowed thread spawn reachable from a
+//! Discipline impl. Fanning out run *batches* is sanctioned (the site
+//! allow), but a per-epoch discipline hook reaching the same helper
+//! injects thread interleaving into the replay path.
+
+pub struct Sched;
+
+impl Discipline for Sched {
+    fn run_epoch(&mut self) {
+        flush_results();
+    }
+}
+
+fn flush_results() {
+    spawn_writer();
+}
+
+fn spawn_writer() {
+    // simlint: allow(thread-spawn) report writer, joined before exit
+    std::thread::spawn(|| {});
+}

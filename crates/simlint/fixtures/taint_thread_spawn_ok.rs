@@ -1,0 +1,22 @@
+//! Negative fixture: the allowed thread spawn is only called from the
+//! CLI entry point, never from a replay root, so the site allow needs
+//! no reachability caveat.
+
+pub struct Sched;
+
+impl Discipline for Sched {
+    fn run_epoch(&mut self) {
+        tally();
+    }
+}
+
+fn tally() {}
+
+pub fn cli_main() {
+    spawn_writer();
+}
+
+fn spawn_writer() {
+    // simlint: allow(thread-spawn) report writer, joined before exit
+    std::thread::spawn(|| {});
+}

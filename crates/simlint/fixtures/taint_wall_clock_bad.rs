@@ -1,0 +1,21 @@
+//! Positive fixture: an *allowed* wall-clock read two calls away from a
+//! replay root. The inline allow justified the site ("calibration"),
+//! but a RouterLogic impl — which the engine dispatches into — still
+//! reaches it, so the nondeterminism lands on the replay path.
+
+pub struct Probe;
+
+impl RouterLogic for Probe {
+    fn on_packet(&mut self) {
+        refresh_estimate();
+    }
+}
+
+fn refresh_estimate() {
+    calibrate();
+}
+
+fn calibrate() {
+    // simlint: allow(wall-clock) one-shot calibration
+    let _t = Instant::now();
+}

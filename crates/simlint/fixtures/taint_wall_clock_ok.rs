@@ -1,0 +1,26 @@
+//! Negative fixture: the same allowed wall-clock read, but the helper
+//! chain is not reachable from any replay root — `calibrate` is only
+//! called from a free setup function, so the site allow is the whole
+//! story. A second, reachable site carries an explicit taint allow.
+
+pub struct Probe;
+
+impl RouterLogic for Probe {
+    fn on_packet(&mut self) {
+        audited_stamp();
+    }
+}
+
+fn audited_stamp() {
+    // simlint: allow(wall-clock) bench-style timing
+    let _t = Instant::now(); // simlint: allow(taint-wall-clock) reachability audited: cold path
+}
+
+pub fn offline_setup() {
+    calibrate();
+}
+
+fn calibrate() {
+    // simlint: allow(wall-clock) one-shot calibration
+    let _t = Instant::now();
+}

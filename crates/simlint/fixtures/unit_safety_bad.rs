@@ -1,0 +1,16 @@
+//! Positive fixture: expressions mixing unit-suffixed identifiers of
+//! one dimension with no conversion in sight — the bug class behind the
+//! tick/nanosecond floor split (a `_ns` deadline compared against a
+//! `_ticks` horizon is wrong by a factor of the tick size).
+
+pub fn deadline(now_ns: u64, timeout_s: u64) -> u64 {
+    now_ns + timeout_s
+}
+
+pub fn window_closed(gap_ticks: u64, window_ns: u64) -> bool {
+    gap_ticks < window_ns
+}
+
+pub fn backlog_cap(queued_bytes: u64, cap_pkts: u64) -> u64 {
+    queued_bytes.min(cap_pkts)
+}

@@ -1,0 +1,23 @@
+//! Negative fixture: unit-correct arithmetic. Same-unit sums, products
+//! that legitimately change units, and explicit conversions (`_per_`,
+//! `_to_`, `*_SHIFT`, fused idents like `tick_ns`) all pass.
+
+pub fn deadline(now_ns: u64, timeout_s: u64) -> u64 {
+    now_ns + timeout_s * NS_PER_S
+}
+
+pub fn elapsed(total_ns: u64, start_ns: u64) -> u64 {
+    total_ns - start_ns
+}
+
+pub fn rate(sent_bytes: u64, elapsed_s: u64) -> u64 {
+    sent_bytes / elapsed_s
+}
+
+pub fn to_ticks(deadline_ns: u64) -> u64 {
+    deadline_ns >> TICK_SHIFT
+}
+
+pub fn horizon(base_ticks: u64, off_ns: u64, tick_ns: u64) -> u64 {
+    base_ticks + off_ns / tick_ns
+}

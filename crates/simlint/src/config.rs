@@ -34,6 +34,14 @@ impl Allowlist {
             .push(prefix.trim_end_matches('/').to_owned());
     }
 
+    /// Iterates every `(rule, path-prefix)` entry, in rule order — used
+    /// by `validate_allowlist` to reject stale prefixes.
+    pub fn entries(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.entries
+            .iter()
+            .flat_map(|(rule, prefixes)| prefixes.iter().map(move |p| (rule.as_str(), p.as_str())))
+    }
+
     /// True when `rel` is allowlisted for `rule`: an entry equals the
     /// path or is a directory prefix of it.
     pub fn allows(&self, rule: &str, rel: &str) -> bool {

@@ -18,8 +18,11 @@ pub enum Tok {
     Int,
     /// A floating-point literal (`0.0`, `1e6`, `2.5f32`).
     Float,
-    /// A string, byte-string, raw-string or char literal.
-    Str,
+    /// A string, byte-string, raw-string or char literal, carrying its
+    /// raw inner text (escapes unprocessed) so rules that care about
+    /// literal values — `rng-stream-hygiene` collects `DetRng` stream
+    /// labels — can compare them across call sites.
+    Str(String),
     /// A lifetime (`'a`) or loop label.
     Lifetime,
     /// An operator or punctuation, longest-match (`==`, `::`, `{`, ...).
@@ -185,16 +188,20 @@ impl Lexer {
 
     fn string(&mut self, line: u32) {
         self.bump(); // opening quote
+        let mut text = String::new();
         while let Some(c) = self.bump() {
             match c {
                 '\\' => {
-                    self.bump();
+                    text.push(c);
+                    if let Some(e) = self.bump() {
+                        text.push(e);
+                    }
                 }
                 '"' => break,
-                _ => {}
+                _ => text.push(c),
             }
         }
-        self.push(Tok::Str, line);
+        self.push(Tok::Str(text), line);
     }
 
     /// Handles `r"..."`, `r#"..."#`, `b"..."`, `br#"..."#` and `b'x'`.
@@ -223,12 +230,14 @@ impl Lexer {
         for _ in 0..=ahead {
             self.bump(); // prefix, hashes and opening quote
         }
+        let mut text = String::new();
         if raw {
             // Raw string: ends at `"` followed by `hashes` hash marks.
             'outer: while let Some(c) = self.bump() {
                 if c == '"' {
                     for i in 0..hashes {
                         if self.peek(i) != Some('#') {
+                            text.push(c);
                             continue 'outer;
                         }
                     }
@@ -237,20 +246,24 @@ impl Lexer {
                     }
                     break;
                 }
+                text.push(c);
             }
         } else {
             // Byte string with escapes.
             while let Some(c) = self.bump() {
                 match c {
                     '\\' => {
-                        self.bump();
+                        text.push(c);
+                        if let Some(e) = self.bump() {
+                            text.push(e);
+                        }
                     }
                     '"' => break,
-                    _ => {}
+                    _ => text.push(c),
                 }
             }
         }
-        self.push(Tok::Str, line);
+        self.push(Tok::Str(text), line);
         true
     }
 
@@ -280,16 +293,20 @@ impl Lexer {
 
     fn char_literal(&mut self, line: u32) {
         self.bump(); // opening quote
+        let mut text = String::new();
         while let Some(c) = self.bump() {
             match c {
                 '\\' => {
-                    self.bump();
+                    text.push(c);
+                    if let Some(e) = self.bump() {
+                        text.push(e);
+                    }
                 }
                 '\'' => break,
-                _ => {}
+                _ => text.push(c),
             }
         }
-        self.push(Tok::Str, line);
+        self.push(Tok::Str(text), line);
     }
 
     fn number(&mut self, line: u32) {
@@ -443,7 +460,11 @@ mod tests {
             .iter()
             .filter(|t| t.tok == Tok::Lifetime)
             .count();
-        let chars = lexed.tokens.iter().filter(|t| t.tok == Tok::Str).count();
+        let chars = lexed
+            .tokens
+            .iter()
+            .filter(|t| matches!(t.tok, Tok::Str(_)))
+            .count();
         assert_eq!(lifetimes, 3);
         assert_eq!(chars, 1);
     }
@@ -498,6 +519,19 @@ mod tests {
         assert_eq!(lexed.allows[0].rule, "float-eq");
         assert_eq!(lexed.allows[0].line, 2);
         assert_eq!(lexed.allows[1].rule, "wall-clock");
+    }
+
+    #[test]
+    fn string_literals_carry_their_text() {
+        let strs: Vec<String> = lex(r##"let a = "plain"; let b = r#"raw "txt""#;"##)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Str(s) => Some(s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(strs, vec!["plain".to_owned(), "raw \"txt\"".to_owned()]);
     }
 
     #[test]

@@ -3,14 +3,24 @@
 //! ```text
 //! simlint --workspace             # lint the whole tree (CI entry point)
 //! simlint path/to/file.rs ...     # lint specific files
-//! simlint --list-rules            # print every rule and its rationale
+//! simlint --json [...]            # machine-readable, byte-deterministic
+//! simlint --github [...]          # GitHub annotation lines for CI
+//! simlint --list-rules            # print every rule one-liner
+//! simlint --explain <rule>        # print a rule's full rationale
 //! ```
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use simlint::walker::{find_workspace_root, rel_to_string};
-use simlint::{lint_file, lint_workspace, load_allowlist, RULES};
+use simlint::{explain, lint_paths, lint_workspace, load_allowlist, to_json, RULES};
+
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Text,
+    Json,
+    Github,
+}
 
 fn main() -> ExitCode {
     match run() {
@@ -28,22 +38,38 @@ fn main() -> ExitCode {
 
 fn run() -> Result<usize, String> {
     let mut workspace = false;
+    let mut format = Format::Text;
     let mut files: Vec<String> = Vec::new();
-    for arg in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--workspace" => workspace = true,
+            "--json" => format = Format::Json,
+            "--github" => format = Format::Github,
             "--list-rules" => {
                 for (name, description) in RULES {
-                    println!("{name:<18} {description}");
+                    println!("{name:<22} {description}");
                 }
+                return Ok(0);
+            }
+            "--explain" => {
+                let rule = args
+                    .next()
+                    .ok_or_else(|| "--explain needs a rule name (see --list-rules)".to_owned())?;
+                let text = explain(&rule)
+                    .ok_or_else(|| format!("unknown rule `{rule}` (see --list-rules)"))?;
+                println!("{rule}\n");
+                println!("{text}");
                 return Ok(0);
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: simlint [--workspace] [--list-rules] [FILE.rs ...]\n\
+                    "usage: simlint [--workspace] [--json|--github] [--list-rules]\n\
+                     \x20              [--explain RULE] [FILE.rs ...]\n\
                      Lints the Corelite workspace for core-statelessness and determinism\n\
                      invariants. With no arguments, behaves as --workspace. Violations\n\
-                     print as `file:line: rule — message`; exit code 1 on any violation.\n\
+                     print as `file:line: rule — message` (or JSON / GitHub annotations);\n\
+                     exit code 1 on any violation, 2 on usage or config errors.\n\
                      Suppress with `// simlint: allow(<rule>)` or simlint.toml."
                 );
                 return Ok(0);
@@ -62,16 +88,32 @@ fn run() -> Result<usize, String> {
     let violations = if workspace || files.is_empty() {
         lint_workspace(&root, &allow)?
     } else {
-        let mut all = Vec::new();
-        for file in &files {
-            let rel = to_workspace_rel(&root, file)?;
-            all.extend(lint_file(&root, &rel, &allow)?);
-        }
-        all.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
-        all
+        let rels: Vec<String> = files
+            .iter()
+            .map(|f| to_workspace_rel(&root, f))
+            .collect::<Result<_, _>>()?;
+        lint_paths(&root, &rels, &allow)?
     };
-    for v in &violations {
-        println!("{v}");
+    match format {
+        Format::Text => {
+            for v in &violations {
+                println!("{v}");
+            }
+        }
+        Format::Json => println!("{}", to_json(&violations)),
+        Format::Github => {
+            // GitHub Actions annotation commands: one `::error` line per
+            // violation, surfaced inline on the PR diff.
+            for v in &violations {
+                println!(
+                    "::error file={},line={},title=simlint {}::{}",
+                    v.file,
+                    v.line,
+                    v.rule,
+                    v.message.replace('\n', " ")
+                );
+            }
+        }
     }
     Ok(violations.len())
 }

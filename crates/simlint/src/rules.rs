@@ -6,6 +6,7 @@
 
 use crate::config::Allowlist;
 use crate::lexer::{lex, Lexed, Tok, Token};
+use crate::parser::{cfg_test_ranges, in_ranges};
 
 /// One rule violation, printed as `file:line: rule — message`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -69,7 +70,131 @@ pub const RULES: &[(&str, &str)] = &[
         "flow-lifecycle",
         "0..key_bound() slot scans in per-epoch discipline modules; iterate the ActiveSet",
     ),
+    (
+        "taint-wall-clock",
+        "wall-clock read reachable from a replay-path root (transitive wall-clock)",
+    ),
+    (
+        "taint-thread-spawn",
+        "thread use reachable from a replay-path root (transitive thread-spawn)",
+    ),
+    (
+        "taint-rand-import",
+        "external RNG use reachable from a replay-path root (transitive rand-import)",
+    ),
+    (
+        "taint-hash-collections",
+        "hash-ordered collection reachable from a replay-path root (transitive hash-collections)",
+    ),
+    (
+        "unit-safety",
+        "expression mixes _ns/_s/_ticks or _bytes/_pkts identifiers without a recognized conversion",
+    ),
+    (
+        "rng-stream-hygiene",
+        "DetRng stream labels must be unique string literals; duplicates correlate streams",
+    ),
 ];
+
+/// Long-form rationale shown by `simlint --explain <rule>`.
+pub fn explain(rule: &str) -> Option<&'static str> {
+    Some(match rule {
+        "core-state" => {
+            "The paper's headline claim (§2-3) is that core routers keep no per-flow\n\
+             state: edges encode each flow's weighted share in packet markers, and the\n\
+             core acts on aggregates alone. A FlowId-keyed collection in a core-router\n\
+             module would reintroduce exactly the state the architecture removes, so the\n\
+             rule flags `Map<FlowId, …>` and growing `Vec<(FlowId, …)>` declarations in\n\
+             the core modules. FRED deliberately keeps per-flow state as the contrast\n\
+             baseline; its exemption lives in simlint.toml, next to its justification."
+        }
+        "hash-collections" => {
+            "Every CI gate in this repo compares serial/parallel/wheel/heap/train replays\n\
+             byte-for-byte. HashMap/HashSet iteration order depends on RandomState, so a\n\
+             single hash-ordered loop anywhere in the simulation can reorder floating-\n\
+             point accumulation or event emission and silently break those comparisons.\n\
+             Use BTreeMap/BTreeSet (or netsim::slab::DenseMap for id keys)."
+        }
+        "wall-clock" => {
+            "Instant::now()/SystemTime read host time. Any simulation decision derived\n\
+             from them differs run-to-run, breaking deterministic replay. Simulated time\n\
+             is sim_core::time::SimTime; the bench harness is the one sanctioned reader\n\
+             of wall-clock time and carries inline allows."
+        }
+        "thread-spawn" => {
+            "Thread interleaving is nondeterministic; any simulation state touched from\n\
+             more than one thread breaks byte-identical replay. The one sanctioned user\n\
+             is scenarios::exec, which fans out *whole runs* and merges results in input\n\
+             order (proved byte-identical to serial by tests/parallel_exec.rs)."
+        }
+        "rand-import" => {
+            "External RNG crates change algorithms across versions and platforms; draws\n\
+             would not be pinned by this repository alone. sim_core::rng::DetRng is a\n\
+             self-contained xoshiro256++ whose streams are keyed by stable labels."
+        }
+        "float-eq" => {
+            "Exact ==/!= on floats is almost always a latent bug: one rounding step away\n\
+             from never (or always) firing. Compare with an epsilon or an ordered\n\
+             comparison; test code is exempt."
+        }
+        "panic-path" => {
+            "A bare unwrap() in the netsim event loop aborts a million-event run with no\n\
+             context. expect() must name the violated invariant so the panic message\n\
+             says what broke."
+        }
+        "hot-alloc" => {
+            "Steady-state dispatch is allocation-free (pinned by netsim's counting-\n\
+             allocator tests); a vec!/Vec::new/Box::new/.to_vec in a per-event function\n\
+             of a hot-path module re-introduces per-event heap traffic. Reuse a\n\
+             preallocated buffer (ActionBuf-style)."
+        }
+        "dense-state" => {
+            "Per-id state read on the hot path belongs in netsim::slab::DenseMap: O(1)\n\
+             index access, id-ordered iteration and allocation-free reuse. Tree/hash\n\
+             maps keyed by FlowId/NodeId/LinkId trade that for pointer chasing and\n\
+             per-insert allocation."
+        }
+        "flow-lifecycle" => {
+            "Flow slots are recycled under churn: a 0..key_bound() index scan walks\n\
+             every slot ever used and touches retired occupants. Iterate the ActiveSet\n\
+             (same ascending order, O(active) per epoch) instead."
+        }
+        "taint-wall-clock"
+        | "taint-thread-spawn"
+        | "taint-rand-import"
+        | "taint-hash-collections" => {
+            "The transitive form of the determinism rules. simlint parses every fn body,\n\
+             builds a workspace call graph (name-based, dependency-scoped resolution)\n\
+             and walks it from the replay-path roots: Network dispatch/apply_actions and\n\
+             the event-loop modules, EventQueue, churn/fault application, and every\n\
+             RouterLogic/Discipline impl. A nondeterminism sink (wall-clock, threads,\n\
+             external RNG, hash-ordered collections) whose *site* carries an allow —\n\
+             legitimate in its own context, e.g. bench timing — is still an error if a\n\
+             replay root can reach it through any call chain: the allow justified the\n\
+             site, not its reachability. The diagnostic prints the root→sink chain.\n\
+             Suppress with `simlint: allow(taint-<rule>)` at the sink or on any fn\n\
+             declaration along the chain, or a simlint.toml path entry."
+        }
+        "unit-safety" => {
+            "Identifiers in this repo carry unit suffixes (_ns/_s/_ms/_ticks, _bytes/\n\
+             _pkts). An expression that combines two different units of the same\n\
+             dimension with +, -, a comparison, an assignment or min/max — with no\n\
+             conversion identifier (…_per_…, …_to_…, *_SHIFT, tick_ns-style) in sight —\n\
+             is the bug class behind the PR 4 tick/ns floor split. Multiplication and\n\
+             division are exempt (they legitimately change units)."
+        }
+        "rng-stream-hygiene" => {
+            "DetRng streams are keyed by (seed, label): two call sites using the same\n\
+             label draw *identical* sequences under the same seed — silently correlated\n\
+             randomness. The rule collects every DetRng::stream/substream label literal\n\
+             workspace-wide and errors on duplicates at distinct live call sites, and on\n\
+             non-literal labels in replay-path crates (a computed label defeats stream\n\
+             auditing). Test code is exempt — reusing a label to prove stream identity\n\
+             is what RNG tests do."
+        }
+        _ => return None,
+    })
+}
 
 /// True when `rule` is a known rule name.
 pub fn is_known_rule(rule: &str) -> bool {
@@ -157,6 +282,17 @@ const FLOW_LIFECYCLE_MODULES: &[&str] = &[
 
 /// The dense id types whose keyed maps belong in the slab.
 const DENSE_ID_TYPES: &[&str] = &["FlowId", "NodeId", "LinkId"];
+
+/// Source roots of the crates that execute during a replay. Inside them
+/// `rng-stream-hygiene` requires stream labels to be string literals,
+/// and the taint pass treats their sinks as replay-relevant.
+pub const REPLAY_CRATES: &[&str] = &[
+    "crates/sim-core/src",
+    "crates/netsim/src",
+    "crates/corelite/src",
+    "crates/csfq/src",
+    "crates/baselines/src",
+];
 
 /// Function names that run per event (or per epoch) in a hot-path
 /// module. The `hot-alloc` rule applies only inside these bodies, so
@@ -249,6 +385,9 @@ pub struct FileClass {
     pub dense_state: bool,
     /// Per-epoch flow-table module: the `flow-lifecycle` rule applies.
     pub flow_lifecycle: bool,
+    /// Replay-path crate source: `rng-stream-hygiene` rejects
+    /// non-literal `DetRng` stream labels here.
+    pub replay: bool,
     /// Test code (integration test file): `float-eq` does not apply.
     pub is_test: bool,
 }
@@ -272,6 +411,7 @@ pub fn classify(rel: &str) -> FileClass {
             hot_path: name.starts_with("hot_alloc"),
             dense_state: name.starts_with("dense_state"),
             flow_lifecycle: name.starts_with("flow_lifecycle"),
+            replay: name.starts_with("rng_stream_hygiene") || name.starts_with("taint_"),
             is_test: false,
         };
     }
@@ -281,14 +421,26 @@ pub fn classify(rel: &str) -> FileClass {
         hot_path: HOT_PATH_MODULES.contains(&rel),
         dense_state: DENSE_STATE_MODULES.contains(&rel),
         flow_lifecycle: FLOW_LIFECYCLE_MODULES.contains(&rel),
+        replay: REPLAY_CRATES.iter().any(|p| rel.starts_with(p)),
         is_test: rel.starts_with("tests/") || rel.contains("/tests/"),
     }
 }
 
 /// Lints `src` as file `rel` classified as `class`, honoring inline
 /// `simlint: allow(...)` comments and the `allow` config.
+///
+/// This covers the per-file (token) rules only; the workspace rules
+/// (taint reachability, rng-stream duplicate labels) need every file at
+/// once and run in [`crate::lint_paths`].
 pub fn scan_source(rel: &str, src: &str, class: FileClass, allow: &Allowlist) -> Vec<Violation> {
     let lexed = lex(src);
+    suppress(scan_tokens(rel, &lexed, class), &lexed, allow)
+}
+
+/// The pre-suppression token scan: every per-file finding, including
+/// ones an inline allow or the config will drop. The taint pass works
+/// from this raw list — an allowed wall-clock read is still a *sink*.
+pub(crate) fn scan_tokens(rel: &str, lexed: &Lexed, class: FileClass) -> Vec<Violation> {
     let test_ranges = cfg_test_ranges(&lexed.tokens);
     let hot_ranges = if class.hot_path {
         hot_fn_ranges(&lexed.tokens)
@@ -519,7 +671,120 @@ pub fn scan_source(rel: &str, src: &str, class: FileClass, allow: &Allowlist) ->
             _ => {}
         }
     }
-    suppress(found, &lexed, allow)
+    if !class.is_test {
+        unit_safety(rel, toks, &test_ranges, &mut found);
+    }
+    found
+}
+
+/// Classifies one `_`-separated identifier segment as a canonical unit:
+/// `(dimension, key)` where dimension 0 is time and 1 is count, and the
+/// key folds spelling variants (`ns`/`nanos`, `pkt`/`pkts`/`packet`…).
+fn unit_of_segment(seg: &str) -> Option<(u8, &'static str)> {
+    Some(match seg {
+        "ns" | "nanos" => (0, "ns"),
+        "us" | "micros" => (0, "us"),
+        "ms" | "millis" => (0, "ms"),
+        "s" | "sec" | "secs" => (0, "s"),
+        "tick" | "ticks" => (0, "ticks"),
+        "byte" | "bytes" => (1, "bytes"),
+        "pkt" | "pkts" | "packet" | "packets" => (1, "pkts"),
+        _ => return None,
+    })
+}
+
+/// The unit an identifier carries: its last `_`-segment's unit.
+/// Single-segment names (`ticks` alone, a loop variable `s`) are too
+/// common as ordinary locals to be trustworthy carriers, so a `_` is
+/// required somewhere in the identifier.
+fn unit_of_ident(name: &str) -> Option<(u8, &'static str)> {
+    if !name.contains('_') {
+        return None;
+    }
+    unit_of_segment(&name.rsplit('_').next().unwrap_or(name).to_ascii_lowercase())
+}
+
+/// True when `name` marks a deliberate unit conversion: a `per`/`to`/
+/// `shift` segment (`bytes_per_s`, `ns_to_ticks`, `TICK_SHIFT`) or two
+/// same-dimension units fused into one identifier (`tick_ns`).
+fn is_conversion_ident(name: &str) -> bool {
+    let mut dims_seen = [0usize; 2];
+    for seg in name.split('_') {
+        let lower = seg.to_ascii_lowercase();
+        if matches!(lower.as_str(), "per" | "to" | "shift") {
+            return true;
+        }
+        if let Some((dim, _)) = unit_of_segment(&lower) {
+            dims_seen[dim as usize] += 1;
+        }
+    }
+    dims_seen.iter().any(|&n| n >= 2)
+}
+
+/// The `unit-safety` scan: within one statement segment (split on `;`,
+/// `,`, `{`, `}`), two identifiers carrying *different* units of the
+/// same dimension combined by `+ - += -= < > <= >= == != =` or a
+/// `min`/`max` call — with no conversion identifier in the segment — is
+/// flagged. `*` and `/` are exempt: they legitimately change units.
+fn unit_safety(rel: &str, toks: &[Token], test_ranges: &[(u32, u32)], found: &mut Vec<Violation>) {
+    const TRIGGER_OPS: &[&str] = &["+", "-", "+=", "-=", "<", ">", "<=", ">=", "==", "!=", "="];
+    let mut start = 0usize;
+    for i in 0..=toks.len() {
+        let boundary = i == toks.len() || matches!(&toks[i].tok, Tok::Op(";" | "," | "{" | "}"));
+        if !boundary {
+            continue;
+        }
+        let seg = &toks[start..i];
+        start = i + 1;
+        if seg.is_empty() {
+            continue;
+        }
+        let line = seg[0].line;
+        if in_ranges(test_ranges, line) {
+            continue;
+        }
+        let mut units: Vec<(u8, &'static str, &str)> = Vec::new();
+        let mut trigger = false;
+        let mut converted = false;
+        for t in seg {
+            match &t.tok {
+                Tok::Ident(name) => {
+                    if is_conversion_ident(name) {
+                        converted = true;
+                    } else if let Some((dim, key)) = unit_of_ident(name) {
+                        if !units.iter().any(|&(d, k, _)| d == dim && k == key) {
+                            units.push((dim, key, name.as_str()));
+                        }
+                    }
+                    if matches!(name.as_str(), "min" | "max") {
+                        trigger = true;
+                    }
+                }
+                Tok::Op(o) if TRIGGER_OPS.contains(o) => trigger = true,
+                _ => {}
+            }
+        }
+        if converted || !trigger {
+            continue;
+        }
+        for class in 0u8..2 {
+            let mixed: Vec<_> = units.iter().filter(|&&(c, _, _)| c == class).collect();
+            if mixed.len() >= 2 {
+                let names: Vec<_> = mixed.iter().map(|&&(_, _, n)| n).collect();
+                found.push(Violation {
+                    file: rel.to_owned(),
+                    line,
+                    rule: "unit-safety",
+                    message: format!(
+                        "expression mixes units ({}) without a recognized conversion \
+                         (`…_per_…`, `…_to_…`, `*_SHIFT`, or a fused ident like `tick_ns`); \
+                         convert explicitly or justify with `simlint: allow(unit-safety)`",
+                        names.join(", ")
+                    ),
+                });
+            }
+        }
+    }
 }
 
 /// True when the `==`/`!=` at `i` has a float operand we can see
@@ -541,78 +806,6 @@ fn float_operand(toks: &[Token], i: usize) -> bool {
         && matches!(&toks[i - 3].tok, Tok::Ident(s) if s == "fract")
         && toks[i - 2].tok == Tok::Op("(")
         && toks[i - 1].tok == Tok::Op(")")
-}
-
-/// Line ranges covered by `#[cfg(test)]` items (typically `mod tests`),
-/// found by brace-matching after the attribute.
-fn cfg_test_ranges(toks: &[Token]) -> Vec<(u32, u32)> {
-    let mut ranges = Vec::new();
-    let mut i = 0;
-    while i < toks.len() {
-        if toks[i].tok == Tok::Op("#")
-            && matches!(toks.get(i + 1).map(|t| &t.tok), Some(Tok::Op("[")))
-        {
-            // Scan the attribute for `cfg` … `test` before its `]`.
-            let mut j = i + 2;
-            let mut depth = 1usize;
-            let mut saw_cfg = false;
-            let mut saw_test = false;
-            let mut saw_not = false;
-            while j < toks.len() && depth > 0 {
-                match &toks[j].tok {
-                    Tok::Op("[") => depth += 1,
-                    Tok::Op("]") => depth -= 1,
-                    Tok::Ident(s) if s == "cfg" => saw_cfg = true,
-                    Tok::Ident(s) if s == "test" => saw_test = true,
-                    // `#[cfg(not(test))]` marks *live* code.
-                    Tok::Ident(s) if s == "not" => saw_not = true,
-                    _ => {}
-                }
-                j += 1;
-            }
-            if saw_cfg && saw_test && !saw_not {
-                // Skip any further attributes, then brace-match the item.
-                while toks.get(j).map(|t| &t.tok) == Some(&Tok::Op("#"))
-                    && toks.get(j + 1).map(|t| &t.tok) == Some(&Tok::Op("["))
-                {
-                    let mut d = 1usize;
-                    j += 2;
-                    while j < toks.len() && d > 0 {
-                        match &toks[j].tok {
-                            Tok::Op("[") => d += 1,
-                            Tok::Op("]") => d -= 1,
-                            _ => {}
-                        }
-                        j += 1;
-                    }
-                }
-                let start = toks.get(j).map_or(0, |t| t.line);
-                // Find the item's opening brace (a `;` first means a
-                // braceless item like `#[cfg(test)] use …;`).
-                while j < toks.len() && toks[j].tok != Tok::Op("{") && toks[j].tok != Tok::Op(";") {
-                    j += 1;
-                }
-                if toks.get(j).map(|t| &t.tok) == Some(&Tok::Op("{")) {
-                    let mut d = 1usize;
-                    j += 1;
-                    while j < toks.len() && d > 0 {
-                        match &toks[j].tok {
-                            Tok::Op("{") => d += 1,
-                            Tok::Op("}") => d -= 1,
-                            _ => {}
-                        }
-                        j += 1;
-                    }
-                }
-                let end = toks.get(j.saturating_sub(1)).map_or(u32::MAX, |t| t.line);
-                ranges.push((start, end));
-                i = j;
-                continue;
-            }
-        }
-        i += 1;
-    }
-    ranges
 }
 
 /// Line ranges covered by the bodies of [`HOT_FNS`] functions, found by
@@ -657,13 +850,9 @@ fn hot_fn_ranges(toks: &[Token]) -> Vec<(u32, u32)> {
     ranges
 }
 
-fn in_ranges(ranges: &[(u32, u32)], line: u32) -> bool {
-    ranges.iter().any(|&(a, b)| line >= a && line <= b)
-}
-
 /// Drops violations covered by an inline allow (same line or the line
 /// directly above) or by the config allowlist for the file's path.
-fn suppress(found: Vec<Violation>, lexed: &Lexed, allow: &Allowlist) -> Vec<Violation> {
+pub(crate) fn suppress(found: Vec<Violation>, lexed: &Lexed, allow: &Allowlist) -> Vec<Violation> {
     found
         .into_iter()
         .filter(|v| {
@@ -928,6 +1117,60 @@ mod tests {
             &allow,
         );
         assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn unit_safety_flags_mixed_units_with_trigger_op() {
+        // Addition and comparison across time units.
+        let v = scan(
+            "crates/netsim/src/flow.rs",
+            "let deadline = now_ns + timeout_s;",
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "unit-safety");
+        let v = scan("crates/netsim/src/flow.rs", "if gap_ticks < window_ns {}");
+        assert_eq!(v.len(), 1, "{v:?}");
+        // Count dimension, `.min(…)` trigger.
+        let v = scan(
+            "crates/netsim/src/flow.rs",
+            "let lim = queued_bytes.min(cap_pkts);",
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+    }
+
+    #[test]
+    fn unit_safety_ignores_conversions_products_and_tests() {
+        let fine = [
+            // Same unit on both sides.
+            "let total_ns = a_ns + b_ns;",
+            // `*`/`/` legitimately change units.
+            "let bytes = rate_bytes * window_s;",
+            "let r = count_pkts / elapsed_s;",
+            // Conversion markers anywhere in the segment.
+            "let t = now_ns + timeout_s * NS_PER_S;",
+            "let t = ns_to_ticks + base_ticks + off_ns;",
+            "let floor = min_ns >> TICK_SHIFT > lim_ticks;",
+            // A fused dual-unit ident is itself the conversion.
+            "let t = base_ticks + off_ns + tick_ns;",
+            // Different dimensions never mix-flag.
+            "if sent_bytes > deadline_ns {}",
+            // No trigger operator.
+            "let pair = (a_ns, b_s);",
+            // Bare suffix words without `_` are ordinary locals.
+            "let x = ticks + s;",
+        ];
+        for src in fine {
+            let v = scan("crates/netsim/src/flow.rs", src);
+            assert!(v.is_empty(), "{src}: {v:?}");
+        }
+        // Test files and cfg(test) blocks are exempt.
+        assert!(scan("tests/x.rs", "let d = now_ns + timeout_s;").is_empty());
+        let src = "#[cfg(test)]\nmod tests {\n fn t() { let d = now_ns + timeout_s; }\n}";
+        assert!(scan("crates/netsim/src/flow.rs", src).is_empty());
+        // Inline allow suppresses a justified site.
+        let allowed = "// simlint: allow(unit-safety) ns-denominated s counter\n\
+                       let d = now_ns + timeout_s;";
+        assert!(scan("crates/netsim/src/flow.rs", allowed).is_empty());
     }
 
     #[test]

@@ -54,3 +54,72 @@ fn unknown_flag_exits_two() {
     let out = run(&["--bogus"]);
     assert_eq!(out.status.code(), Some(2), "usage errors must exit 2");
 }
+
+#[test]
+fn json_output_is_byte_deterministic_across_runs() {
+    let args = &[
+        "--json",
+        "crates/simlint/fixtures/rng_stream_hygiene_bad.rs",
+    ][..];
+    let first = run(args);
+    let second = run(args);
+    assert_eq!(first.status.code(), Some(1));
+    assert_eq!(
+        first.stdout, second.stdout,
+        "two identical invocations must emit byte-identical JSON"
+    );
+    let stdout = String::from_utf8_lossy(&first.stdout);
+    assert!(
+        stdout.trim_start().starts_with('[') && stdout.contains("\"rule\":\"rng-stream-hygiene\""),
+        "JSON shape: {stdout}"
+    );
+    // A clean input yields an empty array and exit 0 in JSON mode too.
+    let clean = run(&["--json", "crates/simlint/fixtures/wall_clock_ok.rs"]);
+    assert!(clean.status.success());
+    assert_eq!(String::from_utf8_lossy(&clean.stdout).trim(), "[\n]");
+}
+
+#[test]
+fn github_mode_emits_annotation_commands() {
+    let out = run(&[
+        "--github",
+        "crates/simlint/fixtures/taint_wall_clock_bad.rs",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("::error file=crates/simlint/fixtures/taint_wall_clock_bad.rs,line=")
+            && stdout.contains("title=simlint taint-wall-clock::"),
+        "annotation format: {stdout}"
+    );
+}
+
+#[test]
+fn explain_prints_rationale_and_rejects_unknown_rules() {
+    for (rule, _) in simlint::RULES {
+        let out = run(&["--explain", rule]);
+        assert!(out.status.success(), "--explain {rule} must succeed");
+        assert!(
+            out.stdout.len() > 100,
+            "--explain {rule} must print a real rationale"
+        );
+    }
+    let out = run(&["--explain", "no-such-rule"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn taint_fixture_reports_transitive_chain() {
+    // The acceptance-criterion shape: the sink is two calls removed
+    // from the replay root, and the diagnostic shows the whole chain.
+    let out = run(&["crates/simlint/fixtures/taint_wall_clock_bad.rs"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("taint-wall-clock")
+            && stdout.contains("on_packet")
+            && stdout.contains("refresh_estimate")
+            && stdout.contains("calibrate"),
+        "chain must name root, middle and sink: {stdout}"
+    );
+}

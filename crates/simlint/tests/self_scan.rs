@@ -6,8 +6,8 @@
 
 use std::path::Path;
 
-use simlint::walker::find_workspace_root;
-use simlint::{lint_workspace, load_allowlist};
+use simlint::walker::{collect_rs_files, find_workspace_root};
+use simlint::{lint_workspace, load_allowlist, validate_allowlist, Allowlist};
 
 #[test]
 fn live_tree_is_clean() {
@@ -47,4 +47,22 @@ fn checked_in_allowlist_covers_known_exemptions() {
         !allow.allows("core-state", "crates/corelite/src/router.rs"),
         "Corelite core modules must never be exempt from core-state"
     );
+}
+
+/// Every checked-in allow must still point at a real file: a stale
+/// prefix is dead configuration that would silently cover whatever
+/// lands at that path next. `lint_workspace` enforces this; here the
+/// validator is exercised both ways against the real tree.
+#[test]
+fn checked_in_allowlist_has_no_stale_prefixes() {
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root must exist");
+    let allow = load_allowlist(&root).expect("simlint.toml must parse");
+    let rels = collect_rs_files(&root).expect("walker must succeed");
+    validate_allowlist(&allow, &rels).expect("checked-in allowlist must be live");
+
+    let mut stale = Allowlist::default();
+    stale.insert("wall-clock", "crates/deleted/src/old.rs");
+    let err = validate_allowlist(&stale, &rels).expect_err("stale prefix must error");
+    assert!(err.contains("crates/deleted/src/old.rs"), "{err}");
 }
