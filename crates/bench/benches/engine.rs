@@ -160,6 +160,38 @@ fn bench_fat_tree(runner: &mut Runner) {
     });
 }
 
+/// The sharded-engine headline workload: a k = 16 two-tier fat-tree
+/// (16 leaves × 8 spines, 32 long-lived cross flows) carrying a
+/// 100 000-arrival churn process, serial and at 2/4/8 shards. The
+/// sharded rows report the same merged event total as the serial row
+/// (the identity suite pins byte-equality) plus the per-shard event
+/// split, so the trajectory records both aggregate throughput and how
+/// evenly the delay-cut partitioner spread the load. Speedup claims
+/// only mean something on multi-core capture machines; EXPERIMENTS.md
+/// §BENCH_9 records the protocol and the single-core analysis.
+fn bench_fat_tree_k16(runner: &mut Runner) {
+    use corelite::CoreliteConfig;
+    use scenarios::discipline::Corelite;
+    use scenarios::runner::Scenario;
+
+    let scenario = Scenario::fat_tree_k16_100k(SimTime::from_secs(20), 1);
+    let discipline = Corelite::new(CoreliteConfig::default());
+    runner.bench_events("engine/fat_tree_k16_100k", || {
+        let result = scenario.run(&discipline);
+        result.report.events_processed
+    });
+    for shards in [2usize, 4, 8] {
+        runner.bench_events_sharded(
+            &format!("engine/fat_tree_k16_100k_sharded{shards}"),
+            shards as u64,
+            || {
+                let (result, per_shard) = scenario.run_sharded(&discipline, shards);
+                (result.report.events_processed, per_shard)
+            },
+        );
+    }
+}
+
 /// Flow-lifecycle throughput: 100 k Poisson arrivals with Pareto
 /// lifetimes through the recycled flow table. ForwardLogic ingresses
 /// emit nothing, so every event is churn machinery — arrival scheduling,
@@ -205,6 +237,7 @@ fn main() {
     bench_simulator_scaling(&mut runner);
     bench_paper_chain(&mut runner);
     bench_fat_tree(&mut runner);
+    bench_fat_tree_k16(&mut runner);
     bench_churn(&mut runner);
     std::process::exit(runner.finish());
 }

@@ -243,6 +243,62 @@ impl ChurnReport {
 }
 
 /// A route template resolved against the built topology.
+/// A churn flow's raw completion data, logged instead of folded into the
+/// running metrics when completion accounting is deferred (sharded runs).
+///
+/// Float accumulation is order-sensitive, so partial per-shard sums could
+/// differ from the serial run in the last ulp. Logging the raw inputs
+/// keyed by the retire event's canonical `(time, key)` lets the merge
+/// replay completions in exactly the serial dispatch order, making the
+/// merged churn report byte-identical by construction.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CompletionRecord {
+    /// The retire event's timestamp.
+    pub(crate) time: SimTime,
+    /// The retire event's canonical key (total order among same-time
+    /// retires).
+    pub(crate) key: u64,
+    /// The flow's arrival instant (cohort selector).
+    pub(crate) arrival: SimTime,
+    /// First and last delivery instants.
+    pub(crate) first: SimTime,
+    pub(crate) last: SimTime,
+    pub(crate) delivered_packets: u64,
+}
+
+impl ChurnReport {
+    /// Folds one deferred completion into the report, exactly as
+    /// [`ChurnState::retire`] would have done inline; `start`/`stop` are
+    /// the churn window bounds that define the cohort grid. Records must
+    /// be absorbed in `(time, key)` order for float sums to reproduce the
+    /// serial run bit-for-bit.
+    pub(crate) fn absorb_completion(
+        &mut self,
+        start: SimTime,
+        stop: SimTime,
+        r: &CompletionRecord,
+    ) {
+        let fct = r.last.saturating_since(r.arrival).as_secs_f64();
+        let settling = r.first.saturating_since(r.arrival).as_secs_f64();
+        self.completed += 1;
+        self.fct.record(fct);
+        self.settling.record(settling);
+        let span = stop.saturating_since(start).as_secs_f64();
+        let offset = r.arrival.saturating_since(start).as_secs_f64();
+        let n = self.cohorts.len();
+        let i = if span > 0.0 {
+            (((offset / span) * n as f64) as usize).min(n - 1)
+        } else {
+            0
+        };
+        let cohort = &mut self.cohorts[i];
+        cohort.completed += 1;
+        cohort.fct_sum += fct;
+        cohort.settling_sum += settling;
+        cohort.delivered_packets += r.delivered_packets;
+    }
+}
+
 #[derive(Debug, Clone)]
 pub(crate) struct ResolvedRoute {
     pub(crate) path: Vec<NodeId>,
@@ -297,6 +353,9 @@ pub(crate) struct ChurnState {
     last_sample: SimTime,
     window: SimDuration,
     cohorts: Vec<CohortStats>,
+    /// When `Some`, completion metrics are logged here instead of folded
+    /// into `fct`/`settling`/`cohorts` (see [`CompletionRecord`]).
+    completion_log: Option<Vec<CompletionRecord>>,
 }
 
 impl ChurnState {
@@ -306,6 +365,7 @@ impl ChurnState {
         seed: u64,
         window: SimDuration,
         base_slots: usize,
+        defer_completions: bool,
     ) -> Self {
         spec.validate();
         debug_assert_eq!(spec.routes.len(), routes.len());
@@ -332,7 +392,18 @@ impl ChurnState {
             window,
             cohorts,
             spec,
+            completion_log: defer_completions.then(Vec::new),
         }
+    }
+
+    /// The churn window bounds (the cohort grid for deferred replay).
+    pub(crate) fn completion_window(&self) -> (SimTime, SimTime) {
+        (self.spec.start, self.spec.stop)
+    }
+
+    /// Takes the deferred completion log (empty unless deferring).
+    pub(crate) fn take_completions(&mut self) -> Vec<CompletionRecord> {
+        self.completion_log.take().unwrap_or_default()
     }
 
     pub(crate) fn packet_size(&self) -> u32 {
@@ -434,6 +505,7 @@ impl ChurnState {
     pub(crate) fn retire(
         &mut self,
         now: SimTime,
+        key: u64,
         slot: usize,
         first_delivery: Option<SimTime>,
         last_delivery: Option<SimTime>,
@@ -449,18 +521,34 @@ impl ChurnState {
         }
         let arrival = self.arrived_at[rel];
         self.retired += 1;
-        if let (Some(first), Some(last)) = (first_delivery, last_delivery) {
-            let fct = last.saturating_since(arrival).as_secs_f64();
-            let settling = first.saturating_since(arrival).as_secs_f64();
-            self.completed += 1;
-            self.fct.record(fct);
-            self.settling.record(settling);
-            let cohort = self.cohort_mut(arrival);
-            cohort.completed += 1;
-            cohort.fct_sum += fct;
-            cohort.settling_sum += settling;
+        if let Some(log) = &mut self.completion_log {
+            // Deferred mode: a shard that saw no delivery for this flow
+            // holds no completion data (an empty monitor passes `None`s
+            // and zero), so exactly one shard logs each completed flow.
+            if let (Some(first), Some(last)) = (first_delivery, last_delivery) {
+                log.push(CompletionRecord {
+                    time: now,
+                    key,
+                    arrival,
+                    first,
+                    last,
+                    delivered_packets,
+                });
+            }
+        } else {
+            if let (Some(first), Some(last)) = (first_delivery, last_delivery) {
+                let fct = last.saturating_since(arrival).as_secs_f64();
+                let settling = first.saturating_since(arrival).as_secs_f64();
+                self.completed += 1;
+                self.fct.record(fct);
+                self.settling.record(settling);
+                let cohort = self.cohort_mut(arrival);
+                cohort.completed += 1;
+                cohort.fct_sum += fct;
+                cohort.settling_sum += settling;
+            }
+            self.cohort_mut(arrival).delivered_packets += delivered_packets;
         }
-        self.cohort_mut(arrival).delivered_packets += delivered_packets;
         self.free.push(rel as u32);
     }
 
@@ -528,7 +616,7 @@ mod tests {
             hops: vec![LinkId::from_index(0)],
             reverse_delays: vec![SimDuration::ZERO, SimDuration::from_millis(40)],
         }];
-        ChurnState::new(spec, routes, 7, SimDuration::from_secs(1), 3)
+        ChurnState::new(spec, routes, 7, SimDuration::from_secs(1), 3, false)
     }
 
     #[test]
@@ -540,7 +628,7 @@ mod tests {
         assert_eq!((a.slot, a.generation, a.fresh), (3, 0, true));
         assert_eq!((b.slot, b.generation, b.fresh), (4, 0, true));
         s.note_stop(SimTime::from_secs(2), a.slot);
-        s.retire(SimTime::from_secs(3), a.slot, None, None, 0);
+        s.retire(SimTime::from_secs(3), 0, a.slot, None, None, 0);
         let c = s.plan_arrival(SimTime::from_secs(4));
         assert_eq!((c.slot, c.generation, c.fresh), (3, 1, false));
     }
@@ -550,7 +638,7 @@ mod tests {
         let mut s = state(spec());
         let a = s.plan_arrival(SimTime::from_secs(1));
         // Stop never delivered (paused ingress): retire must not leak.
-        s.retire(SimTime::from_secs(3), a.slot, None, None, 0);
+        s.retire(SimTime::from_secs(3), 0, a.slot, None, None, 0);
         let r = s.finish(SimTime::from_secs(10), 0);
         assert_eq!(r.arrivals, 1);
         assert_eq!(r.retired, 1);
@@ -567,6 +655,7 @@ mod tests {
         s.note_stop(SimTime::from_secs(2), a.slot);
         s.retire(
             SimTime::from_secs(3),
+            0,
             a.slot,
             Some(SimTime::from_secs_f64(1.25)),
             Some(SimTime::from_secs_f64(2.5)),

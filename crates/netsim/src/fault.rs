@@ -181,32 +181,63 @@ impl FaultPlan {
 
 /// Runtime fault state owned by the network: the plan plus its dedicated
 /// random streams.
+///
+/// Control-plane draws come from one substream per *sending* node and
+/// marker-strip draws from one substream per affected link, so each
+/// stream is consumed entirely by one execution site: a topology shard
+/// that only executes its own nodes still reproduces the exact draw
+/// sequence of the serial run, without observing any other shard's
+/// traffic.
 #[derive(Debug)]
 pub(crate) struct FaultState {
     plan: FaultPlan,
-    control_rng: DetRng,
-    marker_rng: DetRng,
+    /// One control stream per node, indexed by node; empty when the plan
+    /// has no control faults.
+    control_rngs: Vec<DetRng>,
+    /// One marker stream per link, populated only for links the plan
+    /// names.
+    marker_rngs: Vec<Option<DetRng>>,
 }
 
 impl FaultState {
-    pub(crate) fn new(plan: FaultPlan, seed: u64) -> Self {
+    pub(crate) fn new(plan: FaultPlan, seed: u64, nodes: usize, links: usize) -> Self {
+        let control_faulty = plan.control_loss > 0.0
+            || !plan.control_delay.is_zero()
+            || !plan.control_jitter.is_zero();
+        let control_rngs = if control_faulty {
+            (0..nodes)
+                .map(|n| DetRng::substream(seed, "fault.control", n as u64))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let mut marker_rngs: Vec<Option<DetRng>> = (0..links).map(|_| None).collect();
+        for &(link, p) in &plan.marker_loss {
+            if p > 0.0 && marker_rngs[link.index()].is_none() {
+                marker_rngs[link.index()] =
+                    Some(DetRng::substream(seed, "fault.marker", link.index() as u64));
+            }
+        }
         FaultState {
             plan,
-            control_rng: DetRng::stream(seed, "fault.control"),
-            marker_rng: DetRng::stream(seed, "fault.marker"),
+            control_rngs,
+            marker_rngs,
         }
     }
 
-    /// Decides whether one control message is lost.
-    pub(crate) fn control_lost(&mut self) -> bool {
-        self.plan.control_loss > 0.0 && self.control_rng.bernoulli(self.plan.control_loss)
+    /// Decides whether one control message sent by `from` is lost.
+    pub(crate) fn control_lost(&mut self, from: NodeId) -> bool {
+        self.plan.control_loss > 0.0
+            && self.control_rngs[from.index()].bernoulli(self.plan.control_loss)
     }
 
-    /// The extra delay one surviving control message experiences.
-    pub(crate) fn control_extra_delay(&mut self) -> SimDuration {
+    /// The extra delay one surviving control message sent by `from`
+    /// experiences.
+    pub(crate) fn control_extra_delay(&mut self, from: NodeId) -> SimDuration {
         let mut extra = self.plan.control_delay;
         if !self.plan.control_jitter.is_zero() {
-            let jitter = self.plan.control_jitter.as_secs_f64() * self.control_rng.next_f64();
+            let jitter =
+                self.plan.control_jitter.as_secs_f64() * self.control_rngs[from.index()].next_f64();
             extra += SimDuration::from_secs_f64(jitter);
         }
         extra
@@ -221,7 +252,11 @@ impl FaultState {
             .filter(|(l, _)| *l == link)
             .map(|(_, p)| *p)
             .fold(0.0f64, f64::max);
-        p > 0.0 && self.marker_rng.bernoulli(p)
+        p > 0.0
+            && self.marker_rngs[link.index()]
+                .as_mut()
+                .expect("marker stream exists for every configured link")
+                .bernoulli(p)
     }
 
     /// Whether `link` is flapped down at `now`.
@@ -281,12 +316,20 @@ mod tests {
     #[test]
     fn fault_streams_are_deterministic() {
         let plan = FaultPlan::new().control_loss(0.5);
-        let mut a = FaultState::new(plan.clone(), 7);
-        let mut b = FaultState::new(plan, 7);
-        let draws_a: Vec<bool> = (0..64).map(|_| a.control_lost()).collect();
-        let draws_b: Vec<bool> = (0..64).map(|_| b.control_lost()).collect();
+        let mut a = FaultState::new(plan.clone(), 7, 2, 0);
+        let mut b = FaultState::new(plan, 7, 2, 0);
+        let n0 = NodeId::from_index(0);
+        let draws_a: Vec<bool> = (0..64).map(|_| a.control_lost(n0)).collect();
+        let draws_b: Vec<bool> = (0..64).map(|_| b.control_lost(n0)).collect();
         assert_eq!(draws_a, draws_b);
         assert!(draws_a.iter().any(|&l| l) && draws_a.iter().any(|&l| !l));
+        // Per-node streams are independent: another sender draws its own
+        // sequence, unaffected by node 0's consumption.
+        let n1 = NodeId::from_index(1);
+        let draws_a1: Vec<bool> = (0..64).map(|_| a.control_lost(n1)).collect();
+        let mut c = FaultState::new(FaultPlan::new().control_loss(0.5), 7, 2, 0);
+        let draws_c1: Vec<bool> = (0..64).map(|_| c.control_lost(n1)).collect();
+        assert_eq!(draws_a1, draws_c1);
     }
 
     #[test]
@@ -295,7 +338,7 @@ mod tests {
         let plan = FaultPlan::new()
             .pause(n, SimTime::from_secs(1), SimTime::from_secs(3))
             .pause(n, SimTime::from_secs(2), SimTime::from_secs(5));
-        let state = FaultState::new(plan, 1);
+        let state = FaultState::new(plan, 1, 4, 0);
         assert_eq!(
             state.paused_until(n, SimTime::from_millis(2500)),
             Some(SimTime::from_secs(5))
@@ -311,7 +354,7 @@ mod tests {
     fn marker_strip_uses_per_link_probability() {
         let l0 = LinkId::from_index(0);
         let l1 = LinkId::from_index(1);
-        let mut state = FaultState::new(FaultPlan::new().marker_loss(l0, 1.0), 3);
+        let mut state = FaultState::new(FaultPlan::new().marker_loss(l0, 1.0), 3, 0, 2);
         assert!(state.marker_stripped(l0));
         assert!(!state.marker_stripped(l1));
     }

@@ -170,6 +170,16 @@ impl PacketId {
     pub const fn from_sequence(sequence: u64) -> Self {
         PacketId(sequence)
     }
+
+    /// Packs a packet id from the minting node and its per-node counter:
+    /// `(node + 1) << 40 | counter`. Ids minted by different nodes can
+    /// never collide, so every node numbers its packets independently —
+    /// which lets topology shards mint identical ids without sharing a
+    /// global counter.
+    pub(crate) const fn for_node(node: NodeId, counter: u64) -> Self {
+        debug_assert!(counter < 1 << 40, "per-node packet counter overflow");
+        PacketId(((node.index() as u64 + 1) << 40) | counter)
+    }
 }
 
 impl fmt::Display for PacketId {

@@ -17,7 +17,9 @@
 //!
 //! The simulation is fully deterministic: all randomness comes from seeded
 //! [`sim_core::rng::DetRng`] streams owned by the router logic, and the
-//! event queue breaks timestamp ties in FIFO order.
+//! event queue orders timestamp ties by a canonical per-site push key —
+//! the same order the sharded executor ([`shard`]) merges to, which is
+//! what makes multi-threaded runs byte-identical to serial ones.
 //!
 //! # Example
 //!
@@ -54,6 +56,7 @@ pub mod logic;
 pub mod monitor;
 pub mod network;
 pub mod packet;
+pub mod shard;
 pub mod slab;
 pub mod telemetry;
 pub mod topology;

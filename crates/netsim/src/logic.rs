@@ -337,9 +337,11 @@ impl<'a> Ctx<'a> {
     }
 
     /// Allocates a fresh data packet for `flow`, stamped with the current
-    /// time and the flow's configured packet size.
+    /// time and the flow's configured packet size. Ids are node-packed
+    /// (`next_packet` counts this node's mints only), so the id stream is
+    /// independent of what any other node does.
     pub fn new_packet(&mut self, flow: FlowId) -> Packet {
-        let id = PacketId(*self.next_packet);
+        let id = PacketId::for_node(self.node, *self.next_packet);
         *self.next_packet += 1;
         let info = self.flow(flow);
         Packet::data(id, flow, info.packet_size, self.now)

@@ -14,7 +14,7 @@ use crate::packet::Packet;
 use crate::telemetry::Probe;
 use crate::trace::{FaultKind, TraceEvent, Tracer};
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 /// How link serializations are turned into queue events.
@@ -38,8 +38,58 @@ pub enum DispatchMode {
     PerPacket,
 }
 
+/// Canonical causal keys: every event is pushed under a key
+/// `(site + 1) << KEY_SITE_SHIFT | per-site counter`, where the *site* is
+/// the stable identity of the pushing code path — [`SITE_GLOBAL`] for
+/// pushes every shard replicates identically (initial schedules, churn
+/// arrivals, lifecycle deferrals), or `node.index() + 1` for pushes made
+/// while executing that node. Same-time events pop in ascending key
+/// order, so the total event order is a pure function of the topology and
+/// seed — *not* of which queue (serial, or one per shard) the events
+/// happened to traverse. That is the whole byte-identity argument: the
+/// serial engine and every shard assign the same key to the same logical
+/// event, so any schedule that respects `(time, key)` produces the same
+/// execution. Keys below `1 << KEY_SITE_SHIFT` never collide with event
+/// keys and are reserved for the `on_start` sweep's pseudo-cursor (one
+/// per node, in node order, before all real events).
+pub(crate) const KEY_SITE_SHIFT: u32 = 40;
+
+/// The pseudo-site for pushes that are replicated on every shard.
+pub(crate) const SITE_GLOBAL: u64 = 0;
+
+#[inline]
+fn node_site(node: NodeId) -> u64 {
+    node.index() as u64 + 1
+}
+
+/// Cursor published to capture probes/tracers: the `(time, key)` of the
+/// event (or `on_start` sweep step) currently being dispatched.
+pub(crate) type EventCursor = Rc<Cell<(SimTime, u64)>>;
+
+/// A cross-shard event en route: `(destination shard, time, key, event)`.
+pub(crate) type OutboundEvent = (u32, SimTime, u64, Event);
+
+/// Which slice of the topology this `Network` instance executes.
+pub(crate) enum ExecRole {
+    /// The serial engine: every node is local.
+    Whole,
+    /// One shard of a partitioned run (see [`crate::shard`]).
+    Shard(ShardView),
+}
+
+/// A shard worker's view of the partition.
+pub(crate) struct ShardView {
+    /// `shard_of_node[n]` is the shard that owns node `n`.
+    pub shard_of_node: Vec<u32>,
+    /// This worker's shard id.
+    pub me: u32,
+    /// Minimum propagation delay over cut links: events emitted for a
+    /// remote node are promised to fire at least this far in the future.
+    pub lookahead: Option<SimDuration>,
+}
+
 #[derive(Debug)]
-enum Event {
+pub(crate) enum Event {
     /// `packet` arrives at `node` (after serialization and propagation).
     Arrive { node: NodeId, packet: Packet },
     /// Per-packet sync checkpoint on `link` ([`DispatchMode::PerPacket`]
@@ -68,7 +118,9 @@ struct NodeSlot {
 /// [`TopologyBuilder`](crate::topology::TopologyBuilder).
 pub struct Network {
     now: SimTime,
-    queue: EventQueue<Event>,
+    /// Pending events, stored with their canonical key so capture hooks
+    /// can observe it at pop time; same-time ties pop in key order.
+    queue: EventQueue<(u64, Event)>,
     nodes: Vec<NodeSlot>,
     links: Vec<Link>,
     flows: Vec<FlowInfo>,
@@ -82,7 +134,25 @@ pub struct Network {
     /// previous window's stop was swallowed by a pause. A stop with no
     /// live start is stale.
     lifecycle_started: Vec<Option<u32>>,
-    next_packet: u64,
+    /// Per-node packet id counters; ids are node-packed (see
+    /// [`PacketId::for_node`](crate::ids::PacketId::for_node)) so every
+    /// shard mints the same id for the same packet without coordination.
+    packet_counters: Vec<u64>,
+    /// Per-site push counters backing the canonical keys: index 0 is
+    /// [`SITE_GLOBAL`], node `n` lives at `n + 1`.
+    site_counters: Vec<u64>,
+    /// Serial engine or one shard of a partitioned run.
+    role: ExecRole,
+    /// Events addressed to nodes another shard owns, awaiting the next
+    /// barrier exchange (empty under [`ExecRole::Whole`]).
+    outbox: Vec<OutboundEvent>,
+    /// When capture hooks are installed, the `(time, key)` of the event
+    /// being dispatched (shard workers use it to tag probe/trace records
+    /// for the deterministic merge).
+    cursor: Option<EventCursor>,
+    /// The canonical key of the event currently being dispatched (churn
+    /// retirement logs it to order deferred completion records).
+    current_key: u64,
     notify_losses: bool,
     started: bool,
     tracer: Option<Rc<RefCell<dyn Tracer>>>,
@@ -129,22 +199,9 @@ impl Network {
         churn: Option<ChurnState>,
         queue_backend: QueueBackend,
         dispatch: DispatchMode,
+        role: ExecRole,
     ) -> Self {
-        let mut queue = EventQueue::with_backend(queue_backend, 1024);
-        let mut churn = churn;
-        if let Some(churn) = &mut churn {
-            if let Some(t) = churn.first_arrival() {
-                queue.push(t, Event::ChurnArrival);
-            }
-        }
-        for flow in &flows {
-            for &(start, stop) in &flow.activations {
-                queue.push(start, Event::FlowStart { flow: flow.id });
-                if let Some(stop) = stop {
-                    queue.push(stop, Event::FlowStop { flow: flow.id });
-                }
-            }
-        }
+        let queue = EventQueue::with_backend(queue_backend, 1024);
         let monitors = flows
             .iter()
             .map(|_| FlowMonitor::new(SimTime::ZERO, window))
@@ -154,7 +211,7 @@ impl Network {
         for (i, link) in links.iter().enumerate() {
             outgoing_by_node[link.src().index()].push(LinkId::from_index(i));
         }
-        let nodes = names
+        let nodes: Vec<NodeSlot> = names
             .into_iter()
             .zip(logics)
             .map(|(name, logic)| NodeSlot {
@@ -162,7 +219,8 @@ impl Network {
                 logic: Some(logic),
             })
             .collect();
-        Network {
+        let node_count = nodes.len();
+        let mut net = Network {
             now: SimTime::ZERO,
             queue,
             nodes,
@@ -171,7 +229,12 @@ impl Network {
             reverse_delays,
             monitors,
             lifecycle_started,
-            next_packet: 0,
+            packet_counters: vec![0; node_count],
+            site_counters: vec![0; node_count + 1],
+            role,
+            outbox: Vec::new(),
+            cursor: None,
+            current_key: 0,
             notify_losses,
             started: false,
             tracer,
@@ -186,7 +249,85 @@ impl Network {
             // an edge carrying many flows) stay allocation-free.
             scratch: ActionBuf::with_capacity(64),
             outgoing_by_node,
+        };
+        // The initial schedule is replicated on every shard, in the same
+        // order, so the GLOBAL site counter advances identically and the
+        // resulting keys agree everywhere.
+        if let Some(t) = net.churn.as_mut().and_then(ChurnState::first_arrival) {
+            net.push_event(t, SITE_GLOBAL, Event::ChurnArrival);
         }
+        for i in 0..net.flows.len() {
+            let id = net.flows[i].id;
+            for w in 0..net.flows[i].activations.len() {
+                let (start, stop) = net.flows[i].activations[w];
+                net.push_event(start, SITE_GLOBAL, Event::FlowStart { flow: id });
+                if let Some(stop) = stop {
+                    net.push_event(stop, SITE_GLOBAL, Event::FlowStop { flow: id });
+                }
+            }
+        }
+        net
+    }
+
+    /// Mints the next canonical key for `site` (see [`KEY_SITE_SHIFT`]).
+    #[inline]
+    fn next_key(&mut self, site: u64) -> u64 {
+        let counter = &mut self.site_counters[site as usize];
+        debug_assert!(*counter < 1 << KEY_SITE_SHIFT, "site counter overflow");
+        let key = ((site + 1) << KEY_SITE_SHIFT) | *counter;
+        *counter += 1;
+        key
+    }
+
+    /// Whether this instance executes `node` (always true when serial).
+    #[inline]
+    fn owns(&self, node: NodeId) -> bool {
+        match &self.role {
+            ExecRole::Whole => true,
+            ExecRole::Shard(v) => v.shard_of_node[node.index()] == v.me,
+        }
+    }
+
+    /// Whether this instance is the designated counter of fully
+    /// replicated work (serial, or shard 0).
+    #[inline]
+    fn is_lead(&self) -> bool {
+        match &self.role {
+            ExecRole::Whole => true,
+            ExecRole::Shard(v) => v.me == 0,
+        }
+    }
+
+    /// Keys a fresh event at `site` and routes it: locally queued, or —
+    /// when its destination node belongs to another shard — into the
+    /// outbox for the next barrier exchange. The site counter advances
+    /// either way, keeping key streams identical across shards.
+    fn push_event(&mut self, time: SimTime, site: u64, event: Event) {
+        let key = self.next_key(site);
+        let dst = match &event {
+            Event::Arrive { node, .. }
+            | Event::Timer { node, .. }
+            | Event::Control { node, .. } => Some(*node),
+            // `TxDone` syncs a link the executing node owns; lifecycle and
+            // churn events are replicated rather than routed.
+            Event::TxDone { .. }
+            | Event::FlowStart { .. }
+            | Event::FlowStop { .. }
+            | Event::ChurnArrival
+            | Event::ChurnRetire { .. } => None,
+        };
+        if let (ExecRole::Shard(v), Some(node)) = (&self.role, dst) {
+            let shard = v.shard_of_node[node.index()];
+            if shard != v.me {
+                debug_assert!(
+                    v.lookahead.is_some_and(|l| time >= self.now + l),
+                    "cross-shard event violates the lookahead promise"
+                );
+                self.outbox.push((shard, time, key, event));
+                return;
+            }
+        }
+        self.queue.push_keyed(time, key, (key, event));
     }
 
     fn trace(&self, event: TraceEvent) {
@@ -226,19 +367,39 @@ impl Network {
         self.reverse_delays[flow.index()][pos]
     }
 
+    /// Delivers the one-time `on_start` sweep. Each node's start runs on
+    /// its owner only, under a pseudo-cursor key (`node.index()`, below
+    /// every real event key) so captured records merge ahead of all t=0
+    /// events in node order — exactly the serial sweep order.
+    fn start_if_needed(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for i in 0..self.nodes.len() {
+            let node = NodeId::from_index(i);
+            if !self.owns(node) {
+                continue;
+            }
+            if let Some(cursor) = &self.cursor {
+                cursor.set((SimTime::ZERO, i as u64));
+            }
+            self.with_logic(node, |logic, ctx| logic.on_start(ctx));
+        }
+    }
+
     /// Runs the simulation until virtual time `end`, processing every
     /// event scheduled at or before it. Can be called repeatedly with
     /// increasing horizons.
     pub fn run_until(&mut self, end: SimTime) {
-        if !self.started {
-            self.started = true;
-            for i in 0..self.nodes.len() {
-                self.with_logic(NodeId::from_index(i), |logic, ctx| logic.on_start(ctx));
-            }
-        }
-        while let Some((time, event)) = self.queue.pop_at_or_before(end) {
+        self.start_if_needed();
+        while let Some((time, (key, event))) = self.queue.pop_at_or_before(end) {
             debug_assert!(time >= self.now, "event queue went backwards");
             self.now = time;
+            self.current_key = key;
+            if let Some(cursor) = &self.cursor {
+                cursor.set((time, key));
+            }
             self.dispatch(event);
         }
         // Advance to the horizon, but never rewind: a caller passing an
@@ -249,6 +410,27 @@ impl Network {
         }
     }
 
+    /// Runs every event *strictly* before `boundary` without advancing
+    /// the clock to it — the per-epoch step of a sharded run, where
+    /// events at exactly `boundary` may still arrive from peer shards at
+    /// the next barrier exchange.
+    pub(crate) fn run_before(&mut self, boundary: SimTime) {
+        self.start_if_needed();
+        let Some(limit) = boundary.as_nanos().checked_sub(1) else {
+            return;
+        };
+        let limit = SimTime::from_nanos(limit);
+        while let Some((time, (key, event))) = self.queue.pop_at_or_before(limit) {
+            debug_assert!(time >= self.now, "event queue went backwards");
+            self.now = time;
+            self.current_key = key;
+            if let Some(cursor) = &self.cursor {
+                cursor.set((time, key));
+            }
+            self.dispatch(event);
+        }
+    }
+
     /// The instant `node`'s control plane resumes, if it is paused now.
     fn pause_end(&self, node: NodeId) -> Option<SimTime> {
         self.faults
@@ -256,8 +438,26 @@ impl Network {
             .and_then(|f| f.paused_until(node, self.now))
     }
 
+    /// Whether this instance accounts `event` in `logical_events` and any
+    /// per-event staleness. Node-addressed events only ever reach their
+    /// owner, so they always count; replicated lifecycle events are
+    /// processed by every shard but counted once, by the owner of the
+    /// slot's *current* occupant's ingress (identical on every shard, so
+    /// the choice is deterministic); the churn arrival process itself is
+    /// counted by the lead shard.
+    fn counts(&self, event: &Event) -> bool {
+        match event {
+            Event::TxDone { .. } => false,
+            Event::Arrive { .. } | Event::Timer { .. } | Event::Control { .. } => true,
+            Event::FlowStart { flow } | Event::FlowStop { flow } | Event::ChurnRetire { flow } => {
+                self.owns(self.flows[flow.index()].ingress())
+            }
+            Event::ChurnArrival => self.is_lead(),
+        }
+    }
+
     fn dispatch(&mut self, event: Event) {
-        if !matches!(event, Event::TxDone { .. }) {
+        if self.counts(&event) {
             self.logical_events += 1;
         }
         match event {
@@ -275,7 +475,7 @@ impl Network {
                         node,
                         flow: None,
                     });
-                    self.queue.push(until, Event::Timer { node, timer });
+                    self.push_event(until, node_site(node), Event::Timer { node, timer });
                     return;
                 }
                 self.with_logic(node, |logic, ctx| logic.on_timer(ctx, timer));
@@ -309,18 +509,25 @@ impl Network {
                 self.with_logic(node, |logic, ctx| logic.on_control(ctx, msg));
             }
             Event::FlowStart { flow } => {
+                // Replicated on every shard: the slot bookkeeping below
+                // must advance everywhere, while staleness accounting,
+                // traces, and the logic callback belong to the counting
+                // shard (the ingress owner) alone.
+                let counting = self.counts(&Event::FlowStart { flow });
                 if self.flows[flow.index()].id != flow {
-                    self.stale_events += 1;
+                    self.stale_events += u64::from(counting);
                     return;
                 }
                 let ingress = self.flows[flow.index()].ingress();
                 if let Some(until) = self.pause_end(ingress) {
-                    self.trace(TraceEvent::Fault {
-                        kind: FaultKind::RouterPaused,
-                        node: ingress,
-                        flow: Some(flow),
-                    });
-                    self.queue.push(until, Event::FlowStart { flow });
+                    if counting {
+                        self.trace(TraceEvent::Fault {
+                            kind: FaultKind::RouterPaused,
+                            node: ingress,
+                            flow: Some(flow),
+                        });
+                    }
+                    self.push_event(until, SITE_GLOBAL, Event::FlowStart { flow });
                     return;
                 }
                 // A start that slid (via pause deferral) outside its
@@ -334,29 +541,34 @@ impl Network {
                 // a pause, so a restart is never lost.
                 let window = self.flows[flow.index()].activation_index_at(self.now);
                 let Some(window) = window else {
-                    self.stale_events += 1;
+                    self.stale_events += u64::from(counting);
                     return;
                 };
                 if self.lifecycle_started[flow.index()] == Some(window as u32) {
-                    self.stale_events += 1;
+                    self.stale_events += u64::from(counting);
                     return;
                 }
                 self.lifecycle_started[flow.index()] = Some(window as u32);
-                self.with_logic(ingress, |logic, ctx| logic.on_flow_start(ctx, flow));
+                if counting {
+                    self.with_logic(ingress, |logic, ctx| logic.on_flow_start(ctx, flow));
+                }
             }
             Event::FlowStop { flow } => {
+                let counting = self.counts(&Event::FlowStop { flow });
                 if self.flows[flow.index()].id != flow {
-                    self.stale_events += 1;
+                    self.stale_events += u64::from(counting);
                     return;
                 }
                 let ingress = self.flows[flow.index()].ingress();
                 if let Some(until) = self.pause_end(ingress) {
-                    self.trace(TraceEvent::Fault {
-                        kind: FaultKind::RouterPaused,
-                        node: ingress,
-                        flow: Some(flow),
-                    });
-                    self.queue.push(until, Event::FlowStop { flow });
+                    if counting {
+                        self.trace(TraceEvent::Fault {
+                            kind: FaultKind::RouterPaused,
+                            node: ingress,
+                            flow: Some(flow),
+                        });
+                    }
+                    self.push_event(until, SITE_GLOBAL, Event::FlowStop { flow });
                     return;
                 }
                 // A deferred stop landing inside a *later* activation
@@ -368,12 +580,14 @@ impl Network {
                 if self.flows[flow.index()].is_active_at(self.now)
                     || self.lifecycle_started[flow.index()].is_none()
                 {
-                    self.stale_events += 1;
+                    self.stale_events += u64::from(counting);
                     return;
                 }
                 self.lifecycle_started[flow.index()] = None;
                 let transient = self.flows[flow.index()].is_transient();
-                self.with_logic(ingress, |logic, ctx| logic.on_flow_stop(ctx, flow));
+                if counting {
+                    self.with_logic(ingress, |logic, ctx| logic.on_flow_stop(ctx, flow));
+                }
                 if transient {
                     if let Some(churn) = self.churn.as_mut() {
                         churn.note_stop(self.now, flow.index());
@@ -401,7 +615,7 @@ impl Network {
             route.reverse_delays.clone(),
         );
         if let Some(next) = plan.next_arrival {
-            self.queue.push(next, Event::ChurnArrival);
+            self.push_event(next, SITE_GLOBAL, Event::ChurnArrival);
         }
         let id = FlowId::with_generation(plan.slot, plan.generation);
         let info = FlowInfo::new(
@@ -433,10 +647,13 @@ impl Network {
         }
         // Deliver the start through the regular (pause-aware) path, and
         // schedule the stop and the slot's retirement after the drain.
-        self.queue.push(now, Event::FlowStart { flow: id });
-        self.queue.push(plan.stop, Event::FlowStop { flow: id });
-        self.queue
-            .push(plan.stop + linger, Event::ChurnRetire { flow: id });
+        self.push_event(now, SITE_GLOBAL, Event::FlowStart { flow: id });
+        self.push_event(plan.stop, SITE_GLOBAL, Event::FlowStop { flow: id });
+        self.push_event(
+            plan.stop + linger,
+            SITE_GLOBAL,
+            Event::ChurnRetire { flow: id },
+        );
     }
 
     /// Finalizes a drained churn flow: records its completion metrics and
@@ -454,7 +671,7 @@ impl Network {
         self.churn
             .as_mut()
             .expect("ChurnRetire without churn")
-            .retire(self.now, idx, first, last, delivered);
+            .retire(self.now, self.current_key, idx, first, last, delivered);
     }
 
     fn handle_arrive(&mut self, node: NodeId, packet: Packet) {
@@ -508,7 +725,7 @@ impl Network {
                 &mut self.links,
                 &self.flows,
                 &self.reverse_delays,
-                &mut self.next_packet,
+                &mut self.packet_counters[node.index()],
                 &self.outgoing_by_node[node.index()],
                 &mut self.scratch,
                 self.probe.as_deref(),
@@ -578,10 +795,13 @@ impl Network {
                             queue_len,
                         });
                         if self.dispatch == DispatchMode::PerPacket {
-                            self.queue.push(dep, Event::TxDone { link });
+                            self.push_event(dep, node_site(node), Event::TxDone { link });
                         }
-                        self.queue
-                            .push(dep + prop, Event::Arrive { node: dst, packet });
+                        self.push_event(
+                            dep + prop,
+                            node_site(node),
+                            Event::Arrive { node: dst, packet },
+                        );
                     }
                     // `offer` already counted the tail drop on the link;
                     // the packet stays with us for flow-level accounting.
@@ -592,18 +812,24 @@ impl Network {
                 self.record_drop(node, &packet, reason);
             }
             Action::Control { to, delay, msg } => {
-                self.push_control(to, delay, msg);
+                self.push_control(node, to, delay, msg);
             }
             Action::Timer { delay, timer } => {
-                self.queue
-                    .push(self.now + delay, Event::Timer { node, timer });
+                self.push_event(
+                    self.now + delay,
+                    node_site(node),
+                    Event::Timer { node, timer },
+                );
             }
         }
     }
 
-    /// Schedules a control message for delivery after `delay`, applying
-    /// any configured control-plane faults (loss, extra delay/jitter).
-    fn push_control(&mut self, to: NodeId, delay: SimDuration, msg: ControlMsg) {
+    /// Schedules a control message sent by `from` for delivery after
+    /// `delay`, applying any configured control-plane faults (loss, extra
+    /// delay/jitter). Fault draws come from `from`'s dedicated stream, so
+    /// a shard executing `from` reproduces the serial draw sequence
+    /// without seeing any other node's sends.
+    fn push_control(&mut self, from: NodeId, to: NodeId, delay: SimDuration, msg: ControlMsg) {
         let flow = match msg {
             ControlMsg::MarkerFeedback { marker, .. } => marker.flow,
             ControlMsg::Loss { flow, .. } => flow,
@@ -612,10 +838,10 @@ impl Network {
         // while tracing borrows `&self`.
         let (lost, extra) = match self.faults.as_mut() {
             Some(f) => {
-                if f.control_lost() {
+                if f.control_lost(from) {
                     (true, SimDuration::ZERO)
                 } else {
-                    (false, f.control_extra_delay())
+                    (false, f.control_extra_delay(from))
                 }
             }
             None => (false, SimDuration::ZERO),
@@ -635,8 +861,11 @@ impl Network {
                 flow: Some(flow),
             });
         }
-        self.queue
-            .push(self.now + delay + extra, Event::Control { node: to, msg });
+        self.push_event(
+            self.now + delay + extra,
+            node_site(from),
+            Event::Control { node: to, msg },
+        );
     }
 
     fn record_drop(&mut self, at: NodeId, packet: &Packet, reason: DropReason) {
@@ -664,9 +893,56 @@ impl Network {
                     flow: packet.flow,
                     at,
                 };
-                self.push_control(ingress, delay, msg);
+                self.push_control(at, ingress, delay, msg);
             }
         }
+    }
+
+    /// Installs the capture cursor (shard workers only); see
+    /// [`EventCursor`].
+    pub(crate) fn install_cursor(&mut self, cursor: EventCursor) {
+        self.cursor = Some(cursor);
+    }
+
+    /// Takes the events bound for other shards accumulated since the last
+    /// call (the barrier-exchange payload).
+    pub(crate) fn take_outgoing(&mut self) -> Vec<OutboundEvent> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    /// Enqueues an event received from a peer shard under its original
+    /// canonical key.
+    pub(crate) fn inject(&mut self, time: SimTime, key: u64, event: Event) {
+        self.queue.push_keyed(time, key, (key, event));
+    }
+
+    /// The egress node index of every flow slot (identical on every
+    /// shard; used to pick each flow's owning shard during the merge).
+    pub(crate) fn flow_egress_nodes(&self) -> Vec<u32> {
+        self.flows
+            .iter()
+            .map(|f| f.egress().index() as u32)
+            .collect()
+    }
+
+    /// Events popped from this instance's queue (per-shard work measure).
+    pub(crate) fn events_popped(&self) -> u64 {
+        self.queue.delivered()
+    }
+
+    /// Drains the deferred churn completion log (sharded runs only; see
+    /// [`crate::churn::CompletionRecord`]).
+    pub(crate) fn take_completions(&mut self) -> Vec<crate::churn::CompletionRecord> {
+        self.churn
+            .as_mut()
+            .map(|c| c.take_completions())
+            .unwrap_or_default()
+    }
+
+    /// The churn arrival window `(start, stop)`, if churn is configured
+    /// (needed to replay completion records at merge time).
+    pub(crate) fn churn_window(&self) -> Option<(SimTime, SimTime)> {
+        self.churn.as_ref().map(|c| c.completion_window())
     }
 
     /// Consumes the network and assembles the final [`SimReport`].

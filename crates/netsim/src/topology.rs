@@ -9,7 +9,7 @@ use crate::flow::{FlowInfo, FlowSpec};
 use crate::ids::{FlowId, LinkId, NodeId};
 use crate::link::{Link, LinkSpec};
 use crate::logic::RouterLogic;
-use crate::network::{DispatchMode, Network};
+use crate::network::{DispatchMode, ExecRole, Network, ShardView};
 use crate::telemetry::Probe;
 use crate::trace::Tracer;
 
@@ -49,6 +49,7 @@ pub struct TopologyBuilder {
     churn: Option<ChurnSpec>,
     queue_backend: QueueBackend,
     dispatch: DispatchMode,
+    shard_view: Option<ShardView>,
 }
 
 impl TopologyBuilder {
@@ -69,7 +70,33 @@ impl TopologyBuilder {
             churn: None,
             queue_backend: QueueBackend::Wheel,
             dispatch: DispatchMode::Train,
+            shard_view: None,
         }
+    }
+
+    /// Restricts the built network to one shard of a partitioned run
+    /// (see [`crate::shard`]); the full topology is still constructed,
+    /// but only the view's nodes execute.
+    pub(crate) fn shard_view(&mut self, view: ShardView) -> &mut Self {
+        self.shard_view = Some(view);
+        self
+    }
+
+    /// The `(src, dst, delay)` of every link plus the node count — the
+    /// inputs the shard partitioner needs, exposed without building.
+    pub(crate) fn partition_inputs(&self) -> (usize, Vec<(u32, u32, SimDuration)>) {
+        let links = self
+            .links
+            .iter()
+            .map(|l| {
+                (
+                    l.src().index() as u32,
+                    l.dst().index() as u32,
+                    l.spec().delay,
+                )
+            })
+            .collect();
+        (self.names.len(), links)
     }
 
     /// Adds a node. `factory` receives a seed derived deterministically
@@ -211,11 +238,12 @@ impl TopologyBuilder {
             churn,
             queue_backend,
             dispatch,
+            shard_view,
         } = self;
         let faults = if faults.is_empty() {
             None
         } else {
-            Some(FaultState::new(faults, seed))
+            Some(FaultState::new(faults, seed, names.len(), links.len()))
         };
 
         let flows: Vec<FlowInfo> = flow_specs
@@ -322,7 +350,16 @@ impl TopologyBuilder {
                     }
                 })
                 .collect();
-            ChurnState::new(spec, routes, seed, window, flows.len())
+            // Sharded runs defer completion metrics into a log replayed in
+            // canonical order at merge time (see `ChurnState::retire`).
+            ChurnState::new(
+                spec,
+                routes,
+                seed,
+                window,
+                flows.len(),
+                shard_view.is_some(),
+            )
         });
 
         Network::assemble(
@@ -339,6 +376,10 @@ impl TopologyBuilder {
             churn,
             queue_backend,
             dispatch,
+            match shard_view {
+                Some(view) => ExecRole::Shard(view),
+                None => ExecRole::Whole,
+            },
         )
     }
 }

@@ -2,12 +2,15 @@
 //! report the outcome.
 //!
 //! ```text
-//! corelite-sim <scenario-file> [--discipline <name>]
+//! corelite-sim <scenario-file> [--discipline <name>] [--shards <n>]
 //!              [--csv out.csv] [--svg out.svg]
 //! ```
 //!
 //! `--discipline` accepts any name in the discipline registry
 //! ([`scenarios::discipline::names`]); the default is `corelite`.
+//! `--shards` runs the scenario on the sharded parallel engine with `n`
+//! workers, overriding any `shards` directive in the file; results are
+//! byte-identical at every shard count.
 //!
 //! The scenario format is described in [`scenarios::dsl`]; an example:
 //!
@@ -43,6 +46,7 @@ fn main() -> ExitCode {
         discipline::by_name("corelite").expect("corelite is registered");
     let mut csv_out: Option<String> = None;
     let mut svg_out: Option<String> = None;
+    let mut shards: Option<usize> = None;
 
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -62,10 +66,20 @@ fn main() -> ExitCode {
             }
             "--csv" => csv_out = it.next(),
             "--svg" => svg_out = it.next(),
+            "--shards" => {
+                let value = it.next();
+                match value.as_deref().and_then(|v| v.parse::<usize>().ok()) {
+                    Some(n) if n >= 1 => shards = Some(n),
+                    _ => {
+                        eprintln!("--shards needs a positive integer, got {value:?}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: corelite-sim <scenario-file> [--discipline {}] \
-                     [--csv out.csv] [--svg out.svg]",
+                     [--shards n] [--csv out.csv] [--svg out.svg]",
                     discipline::names().join("|")
                 );
                 return ExitCode::SUCCESS;
@@ -89,21 +103,26 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let scenario = match parse_scenario(&text) {
+    let mut scenario = match parse_scenario(&text) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("{file}: {e}");
             return ExitCode::FAILURE;
         }
     };
+    if let Some(n) = shards {
+        scenario.shards = n;
+    }
 
     eprintln!(
-        "running `{}` on `{}` under {} ({} flows, {} simulated)...",
+        "running `{}` on `{}` under {} ({} flows, {} simulated, {} shard{})...",
         scenario.name,
         scenario.topology.name,
         discipline.name(),
         scenario.flows.len(),
-        scenario.horizon
+        scenario.horizon,
+        scenario.shards,
+        if scenario.shards == 1 { "" } else { "s" }
     );
     let result = scenario.run(discipline.as_ref());
 

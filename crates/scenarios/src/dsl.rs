@@ -75,6 +75,16 @@
 //!
 //! Churn route templates are validated against the topology exactly like
 //! static flow paths.
+//!
+//! A `shards` directive runs the scenario on the sharded parallel engine
+//! with that many workers (`shards 1`, the default, is the serial
+//! engine). Results are byte-identical at every shard count, so the knob
+//! only changes wall-clock behaviour; `corelite-sim --shards N`
+//! overrides it from the command line:
+//!
+//! ```text
+//! shards 4
+//! ```
 
 use std::fmt;
 
@@ -110,6 +120,7 @@ impl std::error::Error for ParseScenarioError {}
 pub fn parse_scenario(text: &str) -> Result<Scenario, ParseScenarioError> {
     let mut name: Option<String> = None;
     let mut seed = 0u64;
+    let mut shards: usize = 1;
     let mut horizon: Option<f64> = None;
     let mut topology: Option<TopologySpec> = None;
     let mut flows: Vec<(usize, ScenarioFlow)> = Vec::new();
@@ -156,6 +167,14 @@ pub fn parse_scenario(text: &str) -> Result<Scenario, ParseScenarioError> {
                 seed = rest
                     .parse()
                     .map_err(|_| err(format!("invalid seed {rest:?}")))?;
+            }
+            "shards" => {
+                shards = rest
+                    .parse()
+                    .map_err(|_| err(format!("invalid shards {rest:?}")))?;
+                if shards == 0 {
+                    return Err(err("shards must be at least 1".into()));
+                }
             }
             "horizon" => {
                 let h: f64 = rest
@@ -277,7 +296,8 @@ pub fn parse_scenario(text: &str) -> Result<Scenario, ParseScenarioError> {
         SimTime::from_secs_f64(horizon),
         seed,
     )
-    .with_faults(faults);
+    .with_faults(faults)
+    .with_shards(shards);
     if let Some(c) = churn {
         scenario = scenario.with_churn(c.spec);
     }
@@ -795,6 +815,19 @@ flow route=0-3 weight=1 start=5 stop=20 min_rate=10
             s.flows[1].activations,
             vec![(SimTime::from_secs(5), Some(SimTime::from_secs(20)))]
         );
+    }
+
+    #[test]
+    fn shards_directive_selects_the_sharded_engine() {
+        let s = parse_scenario("horizon 10\nshards 4\nflow route=0-1\n").unwrap();
+        assert_eq!(s.shards, 4);
+        // Default is the serial engine.
+        let s = parse_scenario("horizon 10\nflow route=0-1\n").unwrap();
+        assert_eq!(s.shards, 1);
+        for bad in ["shards 0", "shards -1", "shards x"] {
+            let e = parse_scenario(&format!("horizon 10\n{bad}\nflow route=0-1\n")).unwrap_err();
+            assert_eq!(e.line, 2, "{bad}");
+        }
     }
 
     #[test]

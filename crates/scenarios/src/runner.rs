@@ -159,6 +159,10 @@ pub struct Scenario {
     pub faults: FaultSpec,
     /// Dynamic flow churn (`None` by default — a static workload).
     pub churn: Option<ScenarioChurn>,
+    /// Worker threads for the sharded conservative-parallel engine
+    /// (see [`netsim::shard`]). `1` (the default) runs the serial
+    /// engine; any value produces byte-identical results.
+    pub shards: usize,
 }
 
 impl Scenario {
@@ -188,12 +192,21 @@ impl Scenario {
             seed,
             faults: FaultSpec::default(),
             churn: None,
+            shards: 1,
         }
     }
 
     /// Replaces the scenario's fault specification (builder-style).
     pub fn with_faults(mut self, faults: FaultSpec) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Sets the shard count (builder-style); every `run_*` entry point
+    /// then executes on the sharded engine when `shards > 1`.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        self.shards = shards;
         self
     }
 
@@ -301,6 +314,43 @@ impl Scenario {
             horizon,
             seed,
         )
+    }
+
+    /// The [`fat_tree_k_mix`](Scenario::fat_tree_k_mix) workload at
+    /// k = 16 (16 leaves × 8 spines, 32 cross flows) — the scale target
+    /// of the sharded engine.
+    pub fn fat_tree_k16(horizon: SimTime, seed: u64) -> Self {
+        let mut s = Self::fat_tree_k_mix(16, 8, horizon, seed);
+        s.name = "fat_tree_k16";
+        s
+    }
+
+    /// [`fat_tree_k16`](Scenario::fat_tree_k16) plus a 100 000-arrival
+    /// churn process: 16 route templates (one per leaf, to the next
+    /// leaf via alternating spines), Poisson arrivals at 20 k flows/s
+    /// over the first quarter of the horizon, Pareto-sized lifetimes
+    /// around 10 packets. The `engine/fat_tree_k16_100k` bench workload
+    /// and the sharded-vs-serial identity suite both run this.
+    pub fn fat_tree_k16_100k(horizon: SimTime, seed: u64) -> Self {
+        const LEAVES: usize = 16;
+        const SPINES: usize = 8;
+        let mut s = Self::fat_tree_k16(horizon, seed);
+        s.name = "fat_tree_k16_100k";
+        let mut churn = ScenarioChurn::new(20_000.0, 10.0, 1_000.0)
+            .weights(vec![1, 2, 3])
+            .window(SimTime::ZERO, SimTime::from_nanos(horizon.as_nanos() / 4))
+            .max_arrivals(100_000);
+        churn.linger_secs = 0.1;
+        for leaf in 0..LEAVES {
+            churn = churn.route(TopologySpec::fat_tree_k_path(
+                LEAVES,
+                SPINES,
+                leaf,
+                (leaf + 1) % LEAVES,
+                leaf % SPINES,
+            ));
+        }
+        s.with_churn(churn)
     }
 
     /// Runs the scenario under `discipline` and collects the results,
@@ -411,12 +461,110 @@ impl Scenario {
         dispatch: netsim::DispatchMode,
         probe: Option<Rc<RefCell<dyn Probe>>>,
     ) -> ExperimentResult {
-        let mut b = TopologyBuilder::new(self.seed);
-        b.queue_backend(backend);
-        b.dispatch_mode(dispatch);
+        if self.shards > 1 {
+            return self
+                .run_sharded_configured(discipline, self.shards, link, backend, dispatch, probe)
+                .0;
+        }
+        let mut b = self.builder_for(discipline, link, backend, dispatch);
         if let Some(p) = probe {
             b.probe(p);
         }
+        let reference = ReferenceSpec::of(discipline, &self.flows);
+        let mut net = b.build();
+        net.run_until(self.horizon);
+        ExperimentResult {
+            scenario: self.clone(),
+            discipline_name: discipline.name(),
+            reference,
+            report: net.into_report(self.horizon),
+        }
+    }
+
+    /// Runs the scenario on the sharded conservative-parallel engine
+    /// (see [`netsim::shard`]) with the paper's links and default
+    /// backend, returning the merged result — byte-identical to
+    /// [`run`](Scenario::run) — plus the events popped per shard.
+    pub fn run_sharded(
+        &self,
+        discipline: &dyn Discipline,
+        shards: usize,
+    ) -> (ExperimentResult, Vec<u64>) {
+        self.run_sharded_configured(
+            discipline,
+            shards,
+            paper_link(),
+            sim_core::event::QueueBackend::Wheel,
+            netsim::DispatchMode::Train,
+            None,
+        )
+    }
+
+    /// Sharded counterpart of [`run_instrumented`](Scenario::run_instrumented):
+    /// the merged telemetry stream is replayed into `probe` in canonical
+    /// order, so the probe observes the exact serial sample sequence.
+    pub fn run_instrumented_sharded(
+        &self,
+        discipline: &dyn Discipline,
+        shards: usize,
+        probe: Rc<RefCell<dyn Probe>>,
+    ) -> (ExperimentResult, Vec<u64>) {
+        self.run_sharded_configured(
+            discipline,
+            shards,
+            paper_link(),
+            sim_core::event::QueueBackend::Wheel,
+            netsim::DispatchMode::Train,
+            Some(probe),
+        )
+    }
+
+    fn run_sharded_configured(
+        &self,
+        discipline: &dyn Discipline,
+        shards: usize,
+        link: netsim::link::LinkSpec,
+        backend: sim_core::event::QueueBackend,
+        dispatch: netsim::DispatchMode,
+        probe: Option<Rc<RefCell<dyn Probe>>>,
+    ) -> (ExperimentResult, Vec<u64>) {
+        let outcome = netsim::shard::run_sharded(
+            || self.builder_for(discipline, link, backend, dispatch),
+            shards,
+            self.horizon,
+            probe.is_some(),
+            false,
+        );
+        if let Some(p) = &probe {
+            let mut p = p.borrow_mut();
+            for (time, node, sample) in &outcome.probe_log {
+                p.record(*time, *node, sample);
+            }
+        }
+        let result = ExperimentResult {
+            scenario: self.clone(),
+            discipline_name: discipline.name(),
+            reference: ReferenceSpec::of(discipline, &self.flows),
+            report: outcome.report,
+        };
+        (result, outcome.per_shard_events)
+    }
+
+    /// Builds the scenario's full topology under `discipline` — the one
+    /// construction path shared by the serial and sharded engines. The
+    /// sharded executor calls this once per worker; identical inputs
+    /// yield identical builders, which the byte-identity of the whole
+    /// scheme rests on.
+    fn builder_for(
+        &self,
+        discipline: &dyn Discipline,
+        link: netsim::link::LinkSpec,
+        backend: sim_core::event::QueueBackend,
+        dispatch: netsim::DispatchMode,
+    ) -> TopologyBuilder {
+        let mut b = TopologyBuilder::new(self.seed);
+        b.queue_backend(backend);
+        b.dispatch_mode(dispatch);
         // The shared core network.
         let cores: Vec<_> = (0..self.topology.core_count)
             .map(|i| b.node(&format!("C{}", i + 1), |s| discipline.core_logic(s)))
@@ -467,15 +615,7 @@ impl Scenario {
         if !self.faults.is_empty() {
             b.faults(self.faults.to_plan());
         }
-        let reference = ReferenceSpec::of(discipline, &self.flows);
-        let mut net = b.build();
-        net.run_until(self.horizon);
-        ExperimentResult {
-            scenario: self.clone(),
-            discipline_name: discipline.name(),
-            reference,
-            report: net.into_report(self.horizon),
-        }
+        b
     }
 
     /// Returns the indices (0-based) of flows active at time `t`.

@@ -126,6 +126,22 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// Schedules `event` to fire at `time` under a caller-chosen tie-break
+    /// key instead of the internal insertion counter.
+    ///
+    /// Same-time events pop in ascending `key` order. Keys must be unique
+    /// across the queue's lifetime (duplicate `(time, key)` pairs make the
+    /// pop order unspecified), and a queue should use either `push` or
+    /// `push_keyed` exclusively — mixing them interleaves the two key
+    /// spaces arbitrarily. Caller keys let independently filled queues
+    /// (e.g. one per topology shard) agree on a global total order.
+    pub fn push_keyed(&mut self, time: SimTime, key: u64, event: E) {
+        match &mut self.backend {
+            Backend::Wheel(w) => w.push_keyed(time, key, event),
+            Backend::Heap(h) => h.push_keyed(time, key, event),
+        }
+    }
+
     /// Removes and returns the earliest event, or `None` if the queue is
     /// empty. Ties are broken by insertion order.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
@@ -265,6 +281,16 @@ impl<E> HeapEventQueue<E> {
         self.heap.push(Entry { time, seq, event });
     }
 
+    /// Schedules `event` under a caller-chosen tie-break key (see
+    /// [`EventQueue::push_keyed`]).
+    pub fn push_keyed(&mut self, time: SimTime, key: u64, event: E) {
+        self.heap.push(Entry {
+            time,
+            seq: key,
+            event,
+        });
+    }
+
     /// Removes and returns the earliest event (FIFO on ties).
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         self.heap.pop().map(|e| {
@@ -398,6 +424,15 @@ impl<E> TimerWheel<E> {
         self.next_seq += 1;
         self.pending += 1;
         self.place(Entry { time, seq, event });
+    }
+
+    fn push_keyed(&mut self, time: SimTime, key: u64, event: E) {
+        self.pending += 1;
+        self.place(Entry {
+            time,
+            seq: key,
+            event,
+        });
     }
 
     /// Files `e` into `cur`, a wheel slot, or the overflow heap

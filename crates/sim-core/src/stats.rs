@@ -448,6 +448,24 @@ impl LogHistogram {
         self.max_seen = self.max_seen.max(value);
     }
 
+    /// Folds `other`'s observations into `self`.
+    ///
+    /// The result is exactly the histogram that would have been produced
+    /// by recording both observation streams into one instance (bucket
+    /// counts, count, sum, and extremes are all order-independent), which
+    /// lets partial histograms built independently — e.g. one per
+    /// topology shard — be combined without re-observing anything.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        debug_assert_eq!(self.buckets.len(), other.buckets.len());
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min_seen = self.min_seen.min(other.min_seen);
+        self.max_seen = self.max_seen.max(other.max_seen);
+    }
+
     /// Number of recorded observations.
     pub fn count(&self) -> u64 {
         self.count

@@ -1,0 +1,13 @@
+//! Positive fixture: this file's prefix marks every function in it as a
+//! shard-worker replay root (like crates/netsim/src/shard.rs), so an
+//! allowed spawn site in a helper it calls is still tainted — the site
+//! allow sanctions the spawn, not its reachability from worker code.
+
+pub fn run_shard_epoch() {
+    exchange_mailboxes();
+}
+
+fn exchange_mailboxes() {
+    // simlint: allow(thread-spawn) mailbox flusher, joined at the barrier
+    std::thread::scope(|_| {});
+}

@@ -1,0 +1,13 @@
+//! Negative fixture: the same shard-worker root reaching a spawn site,
+//! but the inline allow covers both the spawn rule and its taint
+//! companion, acknowledging the reachability is the executor's design
+//! (barrier-lockstep epochs, identity-tested against serial).
+
+pub fn run_shard_epoch() {
+    exchange_mailboxes();
+}
+
+fn exchange_mailboxes() {
+    // simlint: allow(thread-spawn, taint-thread-spawn) lockstep epoch workers; identity suite proves byte-equality
+    std::thread::scope(|_| {});
+}

@@ -49,8 +49,9 @@ const TAINTED: &[(&str, &str)] = &[
 ];
 
 /// Modules whose every (non-test) function is a replay-path root: the
-/// netsim dispatch loop and its event queue, plus churn/fault schedule
-/// application — the code that runs between `run_until` and each
+/// netsim dispatch loop and its event queue, churn/fault schedule
+/// application, and the sharded executor's worker/merge path — the code
+/// that runs between `run_until` (or a shard epoch) and each
 /// `RouterLogic` callback.
 const ROOT_MODULES: &[&str] = &[
     "crates/netsim/src/network.rs",
@@ -58,8 +59,16 @@ const ROOT_MODULES: &[&str] = &[
     "crates/netsim/src/link.rs",
     "crates/netsim/src/churn.rs",
     "crates/netsim/src/fault.rs",
+    "crates/netsim/src/shard.rs",
     "crates/sim-core/src/event.rs",
 ];
+
+/// Fixture stand-in for the sharded executor: fixture files with this
+/// prefix are treated as replay roots exactly like
+/// `crates/netsim/src/shard.rs`, so the shard-worker taint behaviour
+/// has its own bad/ok pair (the walker excludes `fixtures/` from tree
+/// scans; the fixture tests lint them one-by-one).
+const ROOT_FIXTURE_PREFIX: &str = "crates/simlint/fixtures/shard_worker_";
 
 /// Traits the engine dispatches into dynamically. The call graph cannot
 /// resolve trait-object calls (no type inference), so every impl of
@@ -107,6 +116,7 @@ pub(crate) fn workspace_pass(
         .filter(|(_, n)| !n.def.in_cfg_test)
         .filter(|(_, n)| {
             ROOT_MODULES.contains(&n.file.as_str())
+                || n.file.starts_with(ROOT_FIXTURE_PREFIX)
                 || n.def
                     .trait_name
                     .as_deref()

@@ -66,6 +66,25 @@ fn config_allowlist_suppresses_fixture_violations() {
     );
 }
 
+/// Shard-worker taint roots: fixture files with the `shard_worker_`
+/// prefix stand in for the sharded executor, so an allowed spawn site
+/// reachable from them must still raise taint-thread-spawn unless the
+/// allow names the taint companion too.
+#[test]
+fn shard_worker_roots_taint_allowed_spawn_sites() {
+    let bad = violations_for("shard_worker_bad");
+    assert!(
+        bad.iter().any(|v| v.rule == "taint-thread-spawn"),
+        "spawn reached from a shard-worker root must taint: {bad:?}"
+    );
+    assert!(
+        bad.iter().all(|v| v.rule != "thread-spawn"),
+        "the base spawn rule itself is inline-allowed: {bad:?}"
+    );
+    let ok = violations_for("shard_worker_ok");
+    assert!(ok.is_empty(), "dual allow must clean the fixture: {ok:?}");
+}
+
 /// The float-eq ok fixture exercises the inline-allow path: the same
 /// comparison without its `simlint: allow(float-eq)` comment is caught.
 #[test]

@@ -41,6 +41,7 @@ fn main() {
             .collect(),
         horizon: SimTime::from_secs(260),
         seed: 3,
+        shards: 1,
     };
     let result = scenario.run(&Corelite::new(CoreliteConfig::default()));
 

@@ -45,6 +45,7 @@ fn main() {
         flows,
         horizon: SimTime::from_secs(200),
         seed: 99,
+        shards: 1,
     };
 
     // Analytic weighted max-min via water-filling.

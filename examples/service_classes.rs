@@ -69,6 +69,7 @@ fn main() {
             .collect(),
         horizon: SimTime::from_secs(300),
         seed: 7,
+        shards: 1,
     };
     let result = scenario.run(&Corelite::new(CoreliteConfig::default()));
 

@@ -46,6 +46,7 @@ fn contract_scenario(contract: f64, seed: u64) -> Scenario {
         ],
         horizon: SimTime::from_secs(120),
         seed,
+        shards: 1,
     }
 }
 

@@ -25,6 +25,7 @@ fn scenario(weights: &[u32], horizon: u64, seed: u64) -> Scenario {
             .collect(),
         horizon: SimTime::from_secs(horizon),
         seed,
+        shards: 1,
     }
 }
 
@@ -91,6 +92,7 @@ fn csfq_relabels_so_downstream_links_see_capped_labels() {
         ],
         horizon: SimTime::from_secs(200),
         seed: 33,
+        shards: 1,
     };
     let result = scenario.run(&Csfq::new(CsfqConfig::default()));
     let rates: Vec<f64> = (0..3)

@@ -26,6 +26,7 @@ fn scenario(seed: u64) -> Scenario {
             .collect(),
         horizon: SimTime::from_secs(120),
         seed,
+        shards: 1,
     }
 }
 

@@ -30,6 +30,7 @@ fn scenario(seed: u64) -> Scenario {
             .collect(),
         horizon: SimTime::from_secs(60),
         seed,
+        shards: 1,
     }
 }
 

@@ -40,6 +40,7 @@ fn join_leave(seed: u64) -> Scenario {
         ],
         horizon: SimTime::from_secs(420),
         seed,
+        shards: 1,
     }
 }
 

@@ -32,6 +32,7 @@ fn compressed_fig3(seed: u64) -> Scenario {
         flows,
         horizon: SimTime::from_secs(200),
         seed,
+        shards: 1,
     }
 }
 

@@ -40,6 +40,7 @@ fn corelite_tracks_maxmin_for_random_populations() {
             flows,
             horizon: SimTime::from_secs(220),
             seed: 1234,
+            shards: 1,
         };
         let result = scenario.run(&scenarios::discipline::Corelite::new(
             CoreliteConfig::default(),

@@ -29,6 +29,7 @@ fn six_flows(seed: u64) -> Scenario {
             .collect(),
         horizon: SimTime::from_secs(120),
         seed,
+        shards: 1,
     }
 }
 
