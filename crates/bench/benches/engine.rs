@@ -79,6 +79,7 @@ fn bench_simulator_scaling(runner: &mut Runner) {
             "scaling",
             (0..flows)
                 .map(|i| ScenarioFlow {
+                    transport: Default::default(),
                     path: Route::new(i % 3, i % 3 + 1).into(),
                     weight: (i % 3 + 1) as u32,
                     min_rate: 0.0,

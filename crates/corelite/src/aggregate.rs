@@ -132,7 +132,7 @@ impl RouterLogic for AggregatingEdge {
         let weight = self.group_weight;
         let cfg = &self.cfg;
         let g = self.groups.entry_or_insert_with(egress, || Group {
-            controller: RateController::new(weight, 0.0),
+            controller: RateController::new(weight, 0.0, rtt),
             members: Vec::new(),
             next_member: 0,
             emission_pending: false,

@@ -42,15 +42,21 @@ pub struct RateController {
 
 impl RateController {
     /// Creates an inactive controller for a flow of the given `weight`
-    /// and contract `min_rate`.
-    pub fn new(weight: u32, min_rate: f64) -> Self {
+    /// and contract `min_rate`. `base_rtt` is the flow's base round-trip
+    /// estimate — the sum of its path links' propagation latencies,
+    /// forward plus reverse — which seeds the window/rate conversion
+    /// until live measurements arrive via
+    /// [`update_rtt`](RateController::update_rtt). There is deliberately
+    /// no default: a hard-coded RTT made every `WindowAimd` flow start
+    /// from the same window regardless of its actual path.
+    pub fn new(weight: u32, min_rate: f64, base_rtt: f64) -> Self {
         RateController {
             weight,
             min_rate,
             active: false,
             rate: 0.0,
             cwnd: 1.0,
-            rtt: 0.1,
+            rtt: base_rtt.max(1e-3),
             phase: Phase::Linear,
             last_double: SimTime::ZERO,
             marker_credit: 0.0,
@@ -62,10 +68,14 @@ impl RateController {
     /// (Re)starts the flow at `now`: fresh slow-start for best-effort
     /// flows, linear probing from the contract for contracted flows.
     /// `rtt` is the flow's base round-trip estimate (propagation only).
+    /// The initial window is `initial_rate · rtt` — RTT-proportional, so
+    /// flows on long paths start with proportionally larger windows and
+    /// identical initial *rates* (the old `max(…, 1.0)` floor collapsed
+    /// every sub-second-RTT flow to the same one-packet window).
     pub fn start(&mut self, cfg: &CoreliteConfig, now: SimTime, rtt: f64) {
         self.active = true;
         self.rtt = rtt.max(1e-3);
-        self.cwnd = (cfg.initial_rate * self.rtt).max(1.0);
+        self.cwnd = cfg.initial_rate * self.rtt;
         if self.min_rate > 0.0 {
             self.rate = self.min_rate.max(cfg.initial_rate);
             self.phase = Phase::Linear;
@@ -97,6 +107,30 @@ impl RateController {
     /// The current allowed rate `b_g`, packets per second.
     pub fn rate(&self) -> f64 {
         self.rate
+    }
+
+    /// The current congestion window, packets (meaningful under
+    /// [`AdaptationScheme::WindowAimd`]).
+    pub fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+
+    /// The round-trip estimate the window/rate conversion currently uses.
+    pub fn rtt(&self) -> f64 {
+        self.rtt
+    }
+
+    /// Feeds a live round-trip measurement (e.g. an SRTT from an
+    /// ack-clocked transport) into the window/rate conversion, replacing
+    /// the static base estimate. Under `WindowAimd` the rate is re-derived
+    /// immediately: the window is the control variable and the rate is a
+    /// pure function of `(cwnd, rtt)`. Under `RateLimd` the rate is the
+    /// control variable, so only the stored estimate changes.
+    pub fn update_rtt(&mut self, cfg: &CoreliteConfig, rtt: f64) {
+        self.rtt = rtt.max(1e-3);
+        if self.active && cfg.adaptation == AdaptationScheme::WindowAimd {
+            self.rate = (self.cwnd / self.rtt).max(self.min_rate);
+        }
     }
 
     /// The flow's rate weight.
@@ -286,7 +320,7 @@ mod tests {
     #[test]
     fn slow_start_doubles_then_caps() {
         let c = cfg();
-        let mut rc = RateController::new(1, 0.0);
+        let mut rc = RateController::new(1, 0.0, 0.24);
         rc.start(&c, t(0.0), 0.24);
         assert_eq!(rc.rate(), 1.0);
         let mut now = t(0.0);
@@ -301,7 +335,7 @@ mod tests {
     #[test]
     fn feedback_in_slow_start_halves_once() {
         let c = cfg();
-        let mut rc = RateController::new(1, 0.0);
+        let mut rc = RateController::new(1, 0.0, 0.24);
         rc.start(&c, t(0.0), 0.24);
         rc.rate = 20.0;
         let exited = rc.on_feedback(&c, NodeId::from_index(1), t(1.0));
@@ -316,7 +350,7 @@ mod tests {
     #[test]
     fn reacts_to_max_per_core_not_sum() {
         let c = cfg();
-        let mut rc = RateController::new(1, 0.0);
+        let mut rc = RateController::new(1, 0.0, 0.24);
         rc.start(&c, t(0.0), 0.24);
         rc.rate = 50.0;
         rc.phase = Phase::Linear;
@@ -332,7 +366,7 @@ mod tests {
     #[test]
     fn contract_floor_is_never_pierced() {
         let c = cfg();
-        let mut rc = RateController::new(2, 100.0);
+        let mut rc = RateController::new(2, 100.0, 0.24);
         rc.start(&c, t(0.0), 0.24);
         assert!(rc.rate() >= 100.0);
         rc.phase = Phase::Linear;
@@ -347,14 +381,14 @@ mod tests {
     #[test]
     fn marker_credit_tracks_excess_fraction() {
         let c = cfg();
-        let mut rc = RateController::new(1, 0.0); // spacing 1, no contract
+        let mut rc = RateController::new(1, 0.0, 0.24); // spacing 1, no contract
         rc.start(&c, t(0.0), 0.24);
         rc.rate = 10.0;
         // Best-effort: every packet is out-of-profile ⇒ every packet marks.
         assert!(rc.take_marker(&c));
         assert!(rc.take_marker(&c));
         // Contracted at half the rate: every second packet marks.
-        let mut rc2 = RateController::new(1, 5.0);
+        let mut rc2 = RateController::new(1, 5.0, 0.24);
         rc2.start(&c, t(0.0), 0.24);
         rc2.rate = 10.0;
         let marks = (0..100).filter(|_| rc2.take_marker(&c)).count();
@@ -369,7 +403,7 @@ mod tests {
         // the scheme were later switched per-scenario.
         let c = cfg();
         assert_eq!(c.adaptation, AdaptationScheme::RateLimd);
-        let mut rc = RateController::new(1, 0.0);
+        let mut rc = RateController::new(1, 0.0, 0.24);
         rc.start(&c, t(0.0), 0.24);
         let cwnd_before = rc.cwnd;
         rc.rate = 20.0;
@@ -381,7 +415,7 @@ mod tests {
         // WindowAimd: the window halves and the rate is re-derived.
         let mut cw = cfg();
         cw.adaptation = AdaptationScheme::WindowAimd;
-        let mut rc = RateController::new(1, 0.0);
+        let mut rc = RateController::new(1, 0.0, 0.24);
         rc.start(&cw, t(0.0), 0.24);
         rc.cwnd = 16.0;
         rc.rate = rc.cwnd / rc.rtt;
@@ -391,9 +425,59 @@ mod tests {
     }
 
     #[test]
+    fn initial_window_scales_with_path_rtt() {
+        // Regression (ISSUE 10): with the hard-coded 0.1 s default and
+        // the `max(…, 1.0)` floor, a 24 ms-path flow and a 240 ms-path
+        // flow both started from cwnd = 1.0. The initial window must be
+        // RTT-proportional: 10× the path latency ⇒ 10× the window, and
+        // identical initial *rates* (`initial_rate`, not `1/rtt`).
+        let mut cw = cfg();
+        cw.adaptation = AdaptationScheme::WindowAimd;
+        let mut short = RateController::new(1, 0.0, 0.024);
+        let mut long = RateController::new(1, 0.0, 0.24);
+        short.start(&cw, t(0.0), 0.024);
+        long.start(&cw, t(0.0), 0.24);
+        assert!(
+            (long.cwnd() / short.cwnd() - 10.0).abs() < 1e-9,
+            "cwnd must scale with base RTT: short {} long {}",
+            short.cwnd(),
+            long.cwnd()
+        );
+        assert!(
+            (short.rate() - cw.initial_rate).abs() < 1e-9,
+            "{}",
+            short.rate()
+        );
+        assert!(
+            (long.rate() - cw.initial_rate).abs() < 1e-9,
+            "{}",
+            long.rate()
+        );
+    }
+
+    #[test]
+    fn update_rtt_rederives_rate_under_window_aimd() {
+        let mut cw = cfg();
+        cw.adaptation = AdaptationScheme::WindowAimd;
+        let mut rc = RateController::new(1, 0.0, 0.2);
+        rc.start(&cw, t(0.0), 0.2);
+        rc.cwnd = 10.0;
+        rc.update_rtt(&cw, 0.5);
+        assert!((rc.rate() - 20.0).abs() < 1e-9, "{}", rc.rate());
+        assert_eq!(rc.rtt(), 0.5);
+        // RateLimd: the stored estimate moves, the rate does not.
+        let c = cfg();
+        let mut rc = RateController::new(1, 0.0, 0.2);
+        rc.start(&c, t(0.0), 0.2);
+        rc.rate = 40.0;
+        rc.update_rtt(&c, 0.5);
+        assert_eq!(rc.rate(), 40.0);
+    }
+
+    #[test]
     fn feedback_max_reads_pending_epoch_counts() {
         let c = cfg();
-        let mut rc = RateController::new(1, 0.0);
+        let mut rc = RateController::new(1, 0.0, 0.24);
         rc.start(&c, t(0.0), 0.24);
         rc.phase = Phase::Linear;
         assert_eq!(rc.feedback_max(), 0);
@@ -408,7 +492,7 @@ mod tests {
     #[test]
     fn stop_records_zero_and_blocks_feedback() {
         let c = cfg();
-        let mut rc = RateController::new(1, 0.0);
+        let mut rc = RateController::new(1, 0.0, 0.24);
         rc.start(&c, t(0.0), 0.24);
         rc.stop(t(5.0));
         assert!(!rc.is_active());

@@ -216,11 +216,13 @@ impl RouterLogic for CoreliteEdge {
             // A recycled slot may still hold the previous occupant's
             // state if its stop was swallowed (e.g. by a pause): churn
             // flows always begin from scratch.
-            self.flows
-                .insert(flow, FlowState::new(RateController::new(weight, min_rate)));
+            self.flows.insert(
+                flow,
+                FlowState::new(RateController::new(weight, min_rate, rtt)),
+            );
         }
         let s = self.flows.entry_or_insert_with(flow, || {
-            FlowState::new(RateController::new(weight, min_rate))
+            FlowState::new(RateController::new(weight, min_rate, rtt))
         });
         // A restarting flow begins a fresh slow-start, like a new arrival.
         s.controller.start(&self.cfg, now, rtt);
@@ -304,6 +306,10 @@ impl RouterLogic for CoreliteEdge {
                 // only to marker feedback (§4.3).
                 self.losses_ignored += 1;
             }
+            // Acks belong to the go-back-N transport
+            // (`netsim::transport::GbnSender`); the open-loop LIMD edge
+            // never receives them.
+            ControlMsg::Ack { .. } => {}
         }
     }
 

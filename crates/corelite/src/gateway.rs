@@ -231,7 +231,7 @@ impl RouterLogic for CoreliteGateway {
         self.occupied.insert(flow);
         let cfg = &self.cfg;
         let s = self.flows.entry_or_insert_with(flow, || {
-            let mut controller = RateController::new(weight, min_rate);
+            let mut controller = RateController::new(weight, min_rate, rtt);
             controller.start(cfg, now, rtt);
             GatewayFlow {
                 occupant: flow,

@@ -4,6 +4,27 @@ use sim_core::time::SimTime;
 
 use crate::ids::{FlowId, LinkId, NodeId};
 
+/// Which sender drives a flow at its ingress edge.
+///
+/// The default, [`Limd`](Transport::Limd), is the paper's open-loop model:
+/// a shaped source emitting at the edge's allowed rate `b_g`, with no
+/// sequencing or acknowledgements. The other two variants are ack-clocked
+/// closed-loop transports built on the go-back-N sender
+/// ([`transport::GbnSender`](crate::transport::GbnSender)); the enum value
+/// selects the congestion controller the sender instantiates for the flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Transport {
+    /// Open-loop LIMD shaping at the edge (the paper's model).
+    #[default]
+    Limd,
+    /// Go-back-N with the window-based LIMD controller: weight-
+    /// proportional epoch increase, halving on congestion signals.
+    Gbn,
+    /// Go-back-N with Reno-style AIMD: slow start, per-ack linear
+    /// increase, halving on signals, window collapse on RTO.
+    Reno,
+}
+
 /// Declarative description of a flow, passed to
 /// [`TopologyBuilder::flow`](crate::topology::TopologyBuilder::flow).
 ///
@@ -27,6 +48,8 @@ pub struct FlowSpec {
     /// Periods during which the flow is active: `(start, stop)`; `None`
     /// means "until the end of the simulation".
     pub activations: Vec<(SimTime, Option<SimTime>)>,
+    /// The sender driving the flow at its ingress edge.
+    pub transport: Transport,
 }
 
 impl FlowSpec {
@@ -45,7 +68,15 @@ impl FlowSpec {
             packet_size: 1000,
             min_rate: 0.0,
             activations: Vec::new(),
+            transport: Transport::default(),
         }
+    }
+
+    /// Selects the flow's transport (builder-style); defaults to the
+    /// open-loop [`Transport::Limd`].
+    pub fn transport(mut self, transport: Transport) -> Self {
+        self.transport = transport;
+        self
     }
 
     /// Sets a minimum rate contract in packets per second (builder-style).
@@ -102,6 +133,8 @@ pub struct FlowInfo {
     /// Activation periods, normalized: sorted by start, with adjacent or
     /// overlapping windows coalesced (see [`normalize_activations`]).
     pub activations: Vec<(SimTime, Option<SimTime>)>,
+    /// The sender driving the flow at its ingress edge.
+    pub transport: Transport,
     /// `next_hops[node]` is the outgoing link at that node (O(1) lookup
     /// on the per-packet forwarding path; derived from `path`/`hops`).
     next_hops: Vec<Option<LinkId>>,
@@ -166,9 +199,17 @@ impl FlowInfo {
             path,
             hops,
             activations: normalize_activations(activations),
+            transport: Transport::default(),
             next_hops,
             transient: false,
         }
+    }
+
+    /// Sets the flow's transport (builder-style); churn-created flows
+    /// keep the open-loop default.
+    pub(crate) fn with_transport(mut self, transport: Transport) -> Self {
+        self.transport = transport;
+        self
     }
 
     /// Marks the flow as churn-created (builder-style; see

@@ -61,10 +61,11 @@ pub mod slab;
 pub mod telemetry;
 pub mod topology;
 pub mod trace;
+pub mod transport;
 
 pub use churn::{ChurnReport, ChurnSpec, CohortStats};
 pub use fault::{FaultPlan, FaultWindow};
-pub use flow::{normalize_activations, FlowInfo, FlowSpec};
+pub use flow::{normalize_activations, FlowInfo, FlowSpec, Transport};
 pub use ids::{FlowId, LinkId, NodeId, PacketId};
 pub use link::LinkSpec;
 pub use logic::{Action, ControlMsg, Ctx, RouterLogic, TimerKind};
@@ -74,3 +75,4 @@ pub use packet::{Marker, Packet};
 pub use slab::{ActiveSet, DenseMap, SlabKey};
 pub use telemetry::{Probe, ProbeRecord, RingProbe, Sample};
 pub use topology::TopologyBuilder;
+pub use transport::{CongestionControl, GbnConfig, GbnSender, Reno, RttEstimator, WindowLimd};

@@ -70,6 +70,23 @@ pub enum ControlMsg {
         /// The node at which the drop occurred.
         at: NodeId,
     },
+    /// A cumulative acknowledgement returned by the egress ack sink to
+    /// the ingress of an ack-clocked (go-back-N) flow. Travels the
+    /// reverse path like all control traffic: full reverse-path
+    /// propagation delay, no queueing.
+    Ack {
+        /// The acknowledged flow.
+        flow: FlowId,
+        /// Next expected sequence number: everything below it has been
+        /// delivered in order.
+        cum_seq: u64,
+        /// Echo of the triggering packet's `sent_at` timestamp — the
+        /// sender derives an RTT sample from it.
+        echo: SimTime,
+        /// Whether the triggering packet was a retransmission (Karn's
+        /// rule: such acks must not produce RTT samples).
+        retx: bool,
+    },
 }
 
 /// Why a packet was dropped.

@@ -22,6 +22,8 @@ pub(crate) struct FlowMonitor {
     cumulative: TimeSeries,
     delivered_packets: u64,
     delivered_bytes: u64,
+    duplicate_packets: u64,
+    duplicate_bytes: u64,
     tail_drops: u64,
     policy_drops: u64,
     fault_drops: u64,
@@ -39,6 +41,8 @@ impl FlowMonitor {
             cumulative: TimeSeries::new(),
             delivered_packets: 0,
             delivered_bytes: 0,
+            duplicate_packets: 0,
+            duplicate_bytes: 0,
             tail_drops: 0,
             policy_drops: 0,
             fault_drops: 0,
@@ -60,6 +64,16 @@ impl FlowMonitor {
             self.first_delivery = Some(now);
         }
         self.last_delivery = Some(now);
+    }
+
+    /// Accounts a packet that reached the egress but is *not* new
+    /// in-order data: a go-back-N redelivery (sequence already
+    /// acknowledged) or an out-of-order arrival the GBN sink discards.
+    /// Deliberately touches none of the goodput/cumulative/delay state —
+    /// redelivered windows must not double-count toward goodput.
+    pub(crate) fn record_duplicate(&mut self, bytes: u32) {
+        self.duplicate_packets += 1;
+        self.duplicate_bytes += bytes as u64;
     }
 
     /// Time of the first delivered packet, if any (churn settling).
@@ -114,6 +128,8 @@ impl FlowMonitor {
         let totals = FlowTotals {
             delivered_packets: self.delivered_packets,
             delivered_bytes: self.delivered_bytes,
+            duplicate_packets: self.duplicate_packets,
+            duplicate_bytes: self.duplicate_bytes,
             tail_drops: self.tail_drops,
             policy_drops: self.policy_drops,
             fault_drops: self.fault_drops,
@@ -130,6 +146,11 @@ pub struct FlowTotals {
     pub delivered_packets: u64,
     /// Bytes delivered to the flow's egress.
     pub delivered_bytes: u64,
+    /// Packets that reached the egress already-acknowledged or out of
+    /// order (go-back-N redeliveries); excluded from goodput.
+    pub duplicate_packets: u64,
+    /// Bytes of such packets.
+    pub duplicate_bytes: u64,
     /// Packets lost to full queues.
     pub tail_drops: u64,
     /// Packets dropped by router logic (CSFQ's probabilistic dropper).
@@ -163,6 +184,11 @@ pub struct FlowReport {
     pub delivered_packets: u64,
     /// Bytes delivered to the egress.
     pub delivered_bytes: u64,
+    /// Packets that reached the egress already-acknowledged or out of
+    /// order (go-back-N redeliveries); excluded from goodput.
+    pub duplicate_packets: u64,
+    /// Bytes of such packets.
+    pub duplicate_bytes: u64,
     /// Packets lost to full queues.
     pub tail_drops: u64,
     /// Packets dropped by router logic.

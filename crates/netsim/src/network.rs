@@ -126,6 +126,12 @@ pub struct Network {
     flows: Vec<FlowInfo>,
     reverse_delays: Vec<Vec<SimDuration>>,
     monitors: Vec<FlowMonitor>,
+    /// Per-flow go-back-N receiver state: the next in-order sequence
+    /// number expected at the egress. Only consulted for packets carrying
+    /// [`SeqInfo`](crate::packet::SeqInfo); open-loop flows never touch
+    /// it. Reset alongside the lifecycle bookkeeping (on every shard, so
+    /// the egress owner always sees a fresh counter).
+    rx_next: Vec<u64>,
     /// Which activation window slot `i`'s flow last received an
     /// `on_flow_start` for, with no `on_flow_stop` delivered since
     /// (`None` when the slot is stopped). A second start for the *same*
@@ -207,6 +213,7 @@ impl Network {
             .map(|_| FlowMonitor::new(SimTime::ZERO, window))
             .collect();
         let lifecycle_started = vec![None; flows.len()];
+        let rx_next = vec![0; flows.len()];
         let mut outgoing_by_node: Vec<Vec<LinkId>> = vec![Vec::new(); names.len()];
         for (i, link) in links.iter().enumerate() {
             outgoing_by_node[link.src().index()].push(LinkId::from_index(i));
@@ -228,6 +235,7 @@ impl Network {
             flows,
             reverse_delays,
             monitors,
+            rx_next,
             lifecycle_started,
             packet_counters: vec![0; node_count],
             site_counters: vec![0; node_count + 1],
@@ -484,6 +492,7 @@ impl Network {
                 let (flow, is_feedback) = match msg {
                     ControlMsg::MarkerFeedback { marker, .. } => (marker.flow, true),
                     ControlMsg::Loss { flow, .. } => (flow, false),
+                    ControlMsg::Ack { flow, .. } => (flow, false),
                 };
                 // A control message that outlived its flow's slot (the
                 // slot was recycled to a new generation) must not be
@@ -549,6 +558,10 @@ impl Network {
                     return;
                 }
                 self.lifecycle_started[flow.index()] = Some(window as u32);
+                // Replicated on every shard (like the bookkeeping above)
+                // so the *egress* owner — which may not be the counting
+                // shard — starts the new activation with a fresh receiver.
+                self.rx_next[flow.index()] = 0;
                 if counting {
                     self.with_logic(ingress, |logic, ctx| logic.on_flow_start(ctx, flow));
                 }
@@ -633,10 +646,12 @@ impl Network {
             self.flows.push(info);
             self.monitors.push(FlowMonitor::new(now, self.window));
             self.lifecycle_started.push(None);
+            self.rx_next.push(0);
             self.reverse_delays.push(rds);
         } else {
             self.flows[plan.slot] = info;
             self.monitors[plan.slot] = FlowMonitor::new(now, self.window);
+            self.rx_next[plan.slot] = 0;
             // The previous occupant's stop may still sit deferred behind
             // a pause; its delivery is blocked by the generation guard,
             // so the new occupant starts from a clean lifecycle state.
@@ -684,13 +699,24 @@ impl Network {
             return;
         }
         if flow.egress() == node {
-            let delay = self.now.saturating_since(packet.sent_at);
-            self.trace(TraceEvent::Deliver {
-                node,
-                packet: packet.id,
-                flow: packet.flow,
-            });
-            self.monitors[packet.flow.index()].record_delivery(self.now, packet.size, delay);
+            match packet.seq {
+                None => {
+                    // Open-loop delivery: the pre-transport path, byte for
+                    // byte.
+                    let delay = self.now.saturating_since(packet.sent_at);
+                    self.trace(TraceEvent::Deliver {
+                        node,
+                        packet: packet.id,
+                        flow: packet.flow,
+                    });
+                    self.monitors[packet.flow.index()].record_delivery(
+                        self.now,
+                        packet.size,
+                        delay,
+                    );
+                }
+                Some(si) => self.handle_gbn_arrival(node, &packet, si),
+            }
         } else if self.pause_end(node).is_some() {
             // A paused router's data plane keeps moving packets, but its
             // control plane does not run: forward blindly along the path
@@ -707,6 +733,51 @@ impl Network {
         } else {
             self.with_logic(node, |logic, ctx| logic.on_packet(ctx, packet));
         }
+    }
+
+    /// The egress side of the go-back-N transport: deliver in-order
+    /// packets, discard (but account) duplicates and out-of-order
+    /// arrivals, and send a cumulative ack back to the ingress along the
+    /// reverse path.
+    ///
+    /// Retransmitted packets keep their *original* `sent_at`, so an
+    /// in-order retransmit's delivery delay spans back to the first
+    /// attempt (flow-completion accounting sees when the byte was first
+    /// offered). The ack echoes that timestamp together with the
+    /// retransmit flag so the sender's RTT estimator can apply Karn's
+    /// rule and skip the ambiguous sample.
+    fn handle_gbn_arrival(&mut self, node: NodeId, packet: &Packet, si: crate::packet::SeqInfo) {
+        let idx = packet.flow.index();
+        if si.seq == self.rx_next[idx] {
+            self.rx_next[idx] = si.seq + 1;
+            let delay = self.now.saturating_since(packet.sent_at);
+            self.trace(TraceEvent::Deliver {
+                node,
+                packet: packet.id,
+                flow: packet.flow,
+            });
+            self.monitors[idx].record_delivery(self.now, packet.size, delay);
+        } else {
+            // A go-back-N receiver accepts only the next in-order
+            // sequence number; everything else (redelivered windows
+            // after an RTO, reordered arrivals) is discarded without
+            // touching the goodput counters.
+            self.monitors[idx].record_duplicate(packet.size);
+        }
+        // Every arrival is (re-)acked cumulatively — duplicate acks are
+        // the sender's fast-retransmit signal.
+        let flow = &self.flows[idx];
+        let pos = flow.path.len() - 1;
+        debug_assert_eq!(flow.path[pos], node, "gbn ack sink off the egress");
+        let delay = self.reverse_delays[idx][pos];
+        let ingress = flow.ingress();
+        let msg = ControlMsg::Ack {
+            flow: packet.flow,
+            cum_seq: self.rx_next[idx],
+            echo: packet.sent_at,
+            retx: si.retransmit,
+        };
+        self.push_control(node, ingress, delay, msg);
     }
 
     fn with_logic<F>(&mut self, node: NodeId, f: F)
@@ -833,6 +904,7 @@ impl Network {
         let flow = match msg {
             ControlMsg::MarkerFeedback { marker, .. } => marker.flow,
             ControlMsg::Loss { flow, .. } => flow,
+            ControlMsg::Ack { flow, .. } => flow,
         };
         // Decide first, trace after: the fault state needs `&mut self`
         // while tracing borrows `&self`.
@@ -975,6 +1047,8 @@ impl Network {
                     cumulative,
                     delivered_packets: totals.delivered_packets,
                     delivered_bytes: totals.delivered_bytes,
+                    duplicate_packets: totals.duplicate_packets,
+                    duplicate_bytes: totals.duplicate_bytes,
                     tail_drops: totals.tail_drops,
                     policy_drops: totals.policy_drops,
                     fault_drops: totals.fault_drops,

@@ -24,6 +24,20 @@ pub struct Marker {
     pub normalized_rate: f64,
 }
 
+/// Transport sequencing metadata carried by packets of an ack-clocked
+/// (go-back-N) flow. Open-loop sources leave [`Packet::seq`] unset and
+/// take the legacy delivery path untouched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeqInfo {
+    /// Zero-based cumulative sequence number within the flow.
+    pub seq: u64,
+    /// Whether this is a retransmission. Retransmits keep the *original*
+    /// [`Packet::sent_at`] (so flow-completion accounting sees the first
+    /// attempt), and the egress echoes this flag in the ack so the
+    /// sender's RTT estimator can apply Karn's rule.
+    pub retransmit: bool,
+}
+
 /// A data packet traversing the network.
 ///
 /// Marker packets are carried piggybacked in [`Packet::marker`]: they
@@ -45,6 +59,8 @@ pub struct Packet {
     pub label: Option<f64>,
     /// Time the ingress edge emitted the packet.
     pub sent_at: SimTime,
+    /// Go-back-N sequencing metadata; `None` for open-loop traffic.
+    pub seq: Option<SeqInfo>,
 }
 
 impl Packet {
@@ -57,6 +73,7 @@ impl Packet {
             marker: None,
             label: None,
             sent_at,
+            seq: None,
         }
     }
 
@@ -69,6 +86,12 @@ impl Packet {
     /// Attaches a CSFQ label (builder-style).
     pub fn with_label(mut self, label: f64) -> Self {
         self.label = Some(label);
+        self
+    }
+
+    /// Attaches go-back-N sequencing metadata (builder-style).
+    pub fn with_seq(mut self, seq: u64, retransmit: bool) -> Self {
+        self.seq = Some(SeqInfo { seq, retransmit });
         self
     }
 }

@@ -140,8 +140,16 @@ impl TopologyBuilder {
     }
 
     /// Adds a flow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flow's path revisits a node. [`FlowInfo`] keeps one
+    /// next-hop entry per node, so a looping path would silently forward
+    /// out of whichever hop was written last — reject it here, where the
+    /// offending spec is still identifiable.
     pub fn flow(&mut self, spec: FlowSpec) -> FlowId {
         let id = FlowId::from_index(self.flow_specs.len());
+        reject_node_revisit(&spec.path, &format!("flow {id}"));
         self.flow_specs.push(spec);
         id
     }
@@ -285,6 +293,7 @@ impl TopologyBuilder {
                     hops,
                     spec.activations,
                 )
+                .with_transport(spec.transport)
             })
             .collect();
 
@@ -312,6 +321,7 @@ impl TopologyBuilder {
                 .routes
                 .iter()
                 .map(|path| {
+                    reject_node_revisit(path, "churn route");
                     for &n in path {
                         assert!(
                             n.index() < names.len(),
@@ -384,6 +394,21 @@ impl TopologyBuilder {
     }
 }
 
+/// Rejects paths that visit any node twice. The per-node `next_hops`
+/// table in [`FlowInfo`] is single-valued, so a revisiting path cannot
+/// be represented — before this check it was accepted and forwarded out
+/// of the *last* hop written for the node, a silent mis-route.
+fn reject_node_revisit(path: &[NodeId], what: &str) {
+    for (i, &node) in path.iter().enumerate() {
+        if let Some(first) = path[..i].iter().position(|&p| p == node) {
+            panic!(
+                "{what}: path revisits node {node} (positions {first} and {i}); \
+                 per-node forwarding state cannot represent looping paths"
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -417,6 +442,40 @@ mod tests {
         let a = b.node("a", |_| Box::new(ForwardLogic));
         let c = b.node("c", |_| Box::new(ForwardLogic));
         b.flow(FlowSpec::new(vec![a, c], 1));
+        b.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "revisits node")]
+    fn looping_path_rejected() {
+        // Regression: a-c-d-c-e used to build silently, with node c's
+        // single next-hop entry overwritten to the c→e hop, so packets
+        // skipped d's second visit and took the wrong link.
+        let mut b = TopologyBuilder::new(0);
+        let a = b.node("a", |_| Box::new(ForwardLogic));
+        let c = b.node("c", |_| Box::new(ForwardLogic));
+        let d = b.node("d", |_| Box::new(ForwardLogic));
+        let e = b.node("e", |_| Box::new(ForwardLogic));
+        b.link(a, c, spec());
+        b.link(c, d, spec());
+        b.link(d, c, spec());
+        b.link(c, e, spec());
+        b.flow(FlowSpec::new(vec![a, c, d, c, e], 1).active(SimTime::ZERO, None));
+    }
+
+    #[test]
+    #[should_panic(expected = "revisits node")]
+    fn looping_churn_route_rejected() {
+        use crate::churn::ChurnSpec;
+        let mut b = TopologyBuilder::new(0);
+        let a = b.node("a", |_| Box::new(ForwardLogic));
+        let c = b.node("c", |_| Box::new(ForwardLogic));
+        b.duplex_link(a, c, spec());
+        b.churn(
+            ChurnSpec::new(1.0, 10.0, 100.0)
+                .route(vec![a, c, a])
+                .window(SimTime::ZERO, SimTime::from_secs(1)),
+        );
         b.build();
     }
 

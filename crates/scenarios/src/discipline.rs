@@ -21,6 +21,7 @@ use baselines::{FifoCore, FredConfig, FredCore, GreedySource, RedConfig, RedCore
 use corelite::{CoreliteConfig, CoreliteCore, CoreliteEdge};
 use csfq::{CsfqConfig, CsfqCore, CsfqEdge};
 use netsim::logic::{ForwardLogic, RouterLogic};
+use netsim::Transport;
 
 use crate::runner::ScenarioFlow;
 
@@ -95,8 +96,16 @@ impl Discipline for Corelite {
         Box::new(CoreliteCore::new(seed, self.config.clone()))
     }
 
-    fn edge_logic(&self, seed: u64, _flow: &ScenarioFlow) -> Box<dyn RouterLogic> {
-        Box::new(CoreliteEdge::new(seed, self.config.clone()))
+    fn edge_logic(&self, seed: u64, flow: &ScenarioFlow) -> Box<dyn RouterLogic> {
+        // The runner gives every static flow its own ingress edge, so
+        // the transport choice is per-flow: the open-loop LIMD edge for
+        // the default, a closed-loop go-back-N sender (window-LIMD or
+        // Reno congestion control, Corelite markers either way) for the
+        // ack-clocked transports.
+        match flow.transport {
+            Transport::Limd => Box::new(CoreliteEdge::new(seed, self.config.clone())),
+            Transport::Gbn | Transport::Reno => Box::new(corelite::gbn_edge(&self.config)),
+        }
     }
 }
 
@@ -316,6 +325,7 @@ mod tests {
 
     fn flow(weight: u32) -> ScenarioFlow {
         ScenarioFlow {
+            transport: Default::default(),
             path: Route::new(0, 1).into(),
             weight,
             min_rate: 0.0,

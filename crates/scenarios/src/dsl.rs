@@ -23,6 +23,15 @@
 //! flow route=0-1 weight=2 active=0..60 active=65..
 //! ```
 //!
+//! A `transport=` attribute picks the ingress sender: the default
+//! open-loop `limd` rate controller, or a closed-loop go-back-N sender
+//! clocked by cumulative acks — `gbn` (window-LIMD congestion control)
+//! or `reno` (slow start + AIMD):
+//!
+//! ```text
+//! flow route=0-2 weight=2 transport=reno
+//! ```
+//!
 //! A `topology` directive selects the core network (default
 //! `topology paper` — the Figure-2 chain):
 //!
@@ -88,6 +97,7 @@
 
 use std::fmt;
 
+use netsim::Transport;
 use sim_core::time::SimTime;
 
 use crate::fault::FaultSpec;
@@ -670,6 +680,7 @@ fn parse_flow(rest: &str, line: usize) -> Result<ScenarioFlow, ParseScenarioErro
     let mut start: Option<f64> = None;
     let mut stop: Option<f64> = None;
     let mut activations: Vec<(SimTime, Option<SimTime>)> = Vec::new();
+    let mut transport = Transport::default();
     for kv in rest.split_whitespace() {
         let (key, value) = kv
             .split_once('=')
@@ -755,6 +766,18 @@ fn parse_flow(rest: &str, line: usize) -> Result<ScenarioFlow, ParseScenarioErro
                 }
                 activations.push((SimTime::from_secs_f64(a), b.map(SimTime::from_secs_f64)));
             }
+            "transport" => {
+                transport = match value {
+                    "limd" => Transport::Limd,
+                    "gbn" => Transport::Gbn,
+                    "reno" => Transport::Reno,
+                    other => {
+                        return Err(err(format!(
+                            "unknown transport {other:?} (expected limd, gbn, or reno)"
+                        )))
+                    }
+                };
+            }
             other => return Err(err(format!("unknown flow attribute {other:?}"))),
         }
     }
@@ -783,6 +806,7 @@ fn parse_flow(rest: &str, line: usize) -> Result<ScenarioFlow, ParseScenarioErro
         weight,
         min_rate,
         activations,
+        transport,
     })
 }
 
@@ -815,6 +839,22 @@ flow route=0-3 weight=1 start=5 stop=20 min_rate=10
             s.flows[1].activations,
             vec![(SimTime::from_secs(5), Some(SimTime::from_secs(20)))]
         );
+    }
+
+    #[test]
+    fn transport_attribute_parses_and_defaults() {
+        let s = parse_scenario(
+            "horizon 10\nflow route=0-1 transport=reno\nflow route=0-1 transport=gbn\n\
+             flow route=0-1 transport=limd\nflow route=0-1\n",
+        )
+        .unwrap();
+        assert_eq!(s.flows[0].transport, Transport::Reno);
+        assert_eq!(s.flows[1].transport, Transport::Gbn);
+        assert_eq!(s.flows[2].transport, Transport::Limd);
+        assert_eq!(s.flows[3].transport, Transport::Limd);
+        let e = parse_scenario("horizon 10\nflow route=0-1 transport=tcp\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("unknown transport"), "{}", e.message);
     }
 
     #[test]

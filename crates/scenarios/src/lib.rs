@@ -47,5 +47,7 @@ pub mod topology;
 pub use discipline::Discipline;
 pub use fault::FaultSpec;
 pub use runner::{ExperimentResult, ReferenceSpec, Scenario, ScenarioChurn, ScenarioFlow};
-pub use schedules::{fig3_4, fig5_6, fig7_8, fig9_10, PaperFigure};
+pub use schedules::{
+    fig3_4, fig5_6, fig7_8, fig9_10, mixed_transports, mixed_transports_fat_tree, PaperFigure,
+};
 pub use topology::{CorePath, Route, TopologySpec};

@@ -373,12 +373,14 @@ mod tests {
             "report_test",
             vec![
                 ScenarioFlow {
+                    transport: Default::default(),
                     path: Route::new(0, 1).into(),
                     weight: 1,
                     min_rate: 0.0,
                     activations: vec![(SimTime::ZERO, None)],
                 },
                 ScenarioFlow {
+                    transport: Default::default(),
                     path: Route::new(0, 1).into(),
                     weight: 2,
                     min_rate: 0.0,

@@ -8,7 +8,7 @@ use fairness::maxmin::MaxMinProblem;
 use netsim::flow::FlowSpec;
 use netsim::telemetry::Probe;
 use netsim::topology::TopologyBuilder;
-use netsim::{FlowId, SimReport};
+use netsim::{FlowId, SimReport, Transport};
 use sim_core::stats::TimeSeries;
 use sim_core::time::SimTime;
 
@@ -32,6 +32,10 @@ pub struct ScenarioFlow {
     pub min_rate: f64,
     /// Activation periods `(start, stop)`; `None` = until the end.
     pub activations: Vec<(SimTime, Option<SimTime>)>,
+    /// Transport behaviour at the ingress edge: the default open-loop
+    /// LIMD rate controller, or a closed-loop go-back-N sender
+    /// (ack-clocked, with LIMD or Reno congestion control).
+    pub transport: Transport,
 }
 
 impl ScenarioFlow {
@@ -43,7 +47,14 @@ impl ScenarioFlow {
             weight,
             min_rate: 0.0,
             activations: vec![(start, None)],
+            transport: Transport::default(),
         }
+    }
+
+    /// Sets the transport (builder style).
+    pub fn transport(mut self, transport: Transport) -> Self {
+        self.transport = transport;
+        self
     }
 }
 
@@ -581,7 +592,9 @@ impl Scenario {
             let mut path = vec![ingress];
             path.extend(f.path.0.iter().map(|&c| cores[c]));
             path.push(egress);
-            let mut spec = FlowSpec::new(path, f.weight).min_rate(f.min_rate);
+            let mut spec = FlowSpec::new(path, f.weight)
+                .min_rate(f.min_rate)
+                .transport(f.transport);
             for &(start, stop) in &f.activations {
                 spec = spec.active(start, stop);
             }
@@ -781,12 +794,14 @@ mod tests {
             "test",
             vec![
                 ScenarioFlow {
+                    transport: Default::default(),
                     path: Route::new(0, 1).into(),
                     weight: 1,
                     min_rate: 0.0,
                     activations: vec![(SimTime::ZERO, None)],
                 },
                 ScenarioFlow {
+                    transport: Default::default(),
                     path: Route::new(0, 1).into(),
                     weight: 2,
                     min_rate: 0.0,

@@ -2,11 +2,12 @@
 
 use corelite::CoreliteConfig;
 use csfq::CsfqConfig;
+use netsim::Transport;
 use sim_core::time::SimTime;
 
 use crate::discipline::{Corelite, Csfq, Discipline};
 use crate::runner::{Scenario, ScenarioFlow};
-use crate::topology::Route;
+use crate::topology::{Route, TopologySpec};
 
 /// §4.1 (Figures 3 and 4): 20 flows with the paper's weights; flows 1, 9,
 /// 10, 11 and 16 live only during `[250 s, 500 s)`, all others during
@@ -16,6 +17,7 @@ pub fn fig3_4(seed: u64) -> Scenario {
     let late = [1, 9, 10, 11, 16];
     let flows = (1..=20)
         .map(|i| ScenarioFlow {
+            transport: Default::default(),
             path: Route::of_paper_flow(i).into(),
             weight: Route::paper_weight(i),
             min_rate: 0.0,
@@ -41,6 +43,7 @@ pub fn fig3_4(seed: u64) -> Scenario {
 pub fn fig5_6(seed: u64) -> Scenario {
     let flows = (1..=10)
         .map(|i| ScenarioFlow {
+            transport: Default::default(),
             path: Route::of_paper_flow(i).into(),
             weight: (i as u32).div_ceil(2),
             min_rate: 0.0,
@@ -70,6 +73,7 @@ fn staggered_weight(i: usize) -> u32 {
 pub fn fig7_8(seed: u64) -> Scenario {
     let flows = (1..=20)
         .map(|i| ScenarioFlow {
+            transport: Default::default(),
             path: Route::of_paper_flow(i).into(),
             weight: staggered_weight(i),
             min_rate: 0.0,
@@ -94,6 +98,7 @@ pub fn fig9_10(seed: u64) -> Scenario {
             let stop = start + 60;
             let restart = stop + 5;
             ScenarioFlow {
+                transport: Default::default(),
                 path: Route::of_paper_flow(i).into(),
                 weight: staggered_weight(i),
                 min_rate: 0.0,
@@ -105,6 +110,68 @@ pub fn fig9_10(seed: u64) -> Scenario {
         })
         .collect();
     Scenario::paper("fig9_10_churn", flows, SimTime::from_secs(160), seed)
+}
+
+/// Closed-loop-vs-open-loop fairness on the paper chain: the ten
+/// fig5/6 flows (weights `⌈i/2⌉`), but every even-numbered flow runs
+/// the ack-clocked Reno go-back-N transport while odd ones keep the
+/// paper's open-loop LIMD edge. The weighted max-min reference is
+/// unchanged — 16.67 pkt/s per unit weight at the C1–C2 bottleneck —
+/// so any gap between cohorts is the transports', not the topology's.
+pub fn mixed_transports(seed: u64) -> Scenario {
+    let flows = (1..=10)
+        .map(|i| ScenarioFlow {
+            path: Route::of_paper_flow(i).into(),
+            weight: (i as u32).div_ceil(2),
+            min_rate: 0.0,
+            activations: vec![(SimTime::ZERO, None)],
+            transport: if i % 2 == 0 {
+                Transport::Reno
+            } else {
+                Transport::Limd
+            },
+        })
+        .collect();
+    Scenario::paper(
+        "mixed_transports_chain",
+        flows,
+        SimTime::from_secs(80),
+        seed,
+    )
+}
+
+/// All three transports contending on the 4×2 fat-tree: leaf 0 sends
+/// to each other leaf through spine 0, leaf 1 to each other leaf
+/// through spine 1 — so each group of three flows shares its
+/// leaf-to-spine uplink (weights 1, 2, 3 ⇒ 83.3/166.7/250 pkt/s
+/// shares), and every group mixes all three transports (rotated
+/// between groups so each transport sees each weight). The non-chain
+/// case for mixed-transport fairness.
+pub fn mixed_transports_fat_tree(seed: u64) -> Scenario {
+    let transports = [Transport::Limd, Transport::Gbn, Transport::Reno];
+    let groups = [(0usize, 0usize, 0usize), (1, 1, 1)]; // (src leaf, spine, transport rotation)
+    let flows = groups
+        .iter()
+        .flat_map(|&(src, spine, rot)| {
+            (0..TopologySpec::FAT_TREE_LEAVES)
+                .filter(move |&dst| dst != src)
+                .enumerate()
+                .map(move |(k, dst)| ScenarioFlow {
+                    path: TopologySpec::fat_tree_path(src, dst, spine),
+                    weight: k as u32 + 1,
+                    min_rate: 0.0,
+                    activations: vec![(SimTime::ZERO, None)],
+                    transport: transports[(k + rot) % transports.len()],
+                })
+        })
+        .collect();
+    Scenario::on(
+        TopologySpec::fat_tree(),
+        "mixed_transports_fat_tree",
+        flows,
+        SimTime::from_secs(80),
+        seed,
+    )
 }
 
 /// One evaluation figure of the paper (Figures 3–10; 1 and 2 are

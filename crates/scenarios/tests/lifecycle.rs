@@ -17,6 +17,7 @@ fn restart_scenario() -> Scenario {
         "lifecycle_restart",
         vec![
             ScenarioFlow {
+                transport: Default::default(),
                 path: Route::new(0, 1).into(),
                 weight: 2,
                 min_rate: 0.0,
@@ -89,6 +90,7 @@ fn stop_on_measurement_window_boundary_keeps_series_consistent() {
         "boundary_stop",
         vec![
             ScenarioFlow {
+                transport: Default::default(),
                 path: Route::new(0, 1).into(),
                 weight: 1,
                 min_rate: 0.0,

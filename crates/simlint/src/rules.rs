@@ -234,6 +234,7 @@ const HOT_PATH_MODULES: &[&str] = &[
     "crates/netsim/src/link.rs",
     "crates/netsim/src/slab.rs",
     "crates/netsim/src/telemetry.rs",
+    "crates/netsim/src/transport.rs",
     "crates/corelite/src/edge.rs",
     "crates/corelite/src/router.rs",
     "crates/csfq/src/core.rs",
@@ -255,6 +256,7 @@ const DENSE_STATE_MODULES: &[&str] = &[
     "crates/netsim/src/link.rs",
     "crates/netsim/src/monitor.rs",
     "crates/netsim/src/slab.rs",
+    "crates/netsim/src/transport.rs",
     "crates/corelite/src/edge.rs",
     "crates/corelite/src/router.rs",
     "crates/corelite/src/gateway.rs",
@@ -398,8 +400,9 @@ pub struct FileClass {
 /// (`core_state_*` as a core module, `panic_path_*` as an event-loop
 /// module, `hot_alloc_*` as a hot-path module, `dense_state_*` as a
 /// per-id state module, `flow_lifecycle_*` as a per-epoch flow-table
-/// module) so the fixtures exercise the path-scoped rules without
-/// masquerading as real tree paths.
+/// module, `transport_sender_*` as both hot-path and per-id-state like
+/// the real `crates/netsim/src/transport.rs`) so the fixtures exercise
+/// the path-scoped rules without masquerading as real tree paths.
 pub fn classify(rel: &str) -> FileClass {
     if let Some(name) = rel
         .contains("simlint/fixtures/")
@@ -408,8 +411,8 @@ pub fn classify(rel: &str) -> FileClass {
         return FileClass {
             core_module: name.starts_with("core_state"),
             event_loop: name.starts_with("panic_path"),
-            hot_path: name.starts_with("hot_alloc"),
-            dense_state: name.starts_with("dense_state"),
+            hot_path: name.starts_with("hot_alloc") || name.starts_with("transport_sender"),
+            dense_state: name.starts_with("dense_state") || name.starts_with("transport_sender"),
             flow_lifecycle: name.starts_with("flow_lifecycle"),
             replay: name.starts_with("rng_stream_hygiene") || name.starts_with("taint_"),
             is_test: false,

@@ -60,6 +60,10 @@ const ROOT_MODULES: &[&str] = &[
     "crates/netsim/src/churn.rs",
     "crates/netsim/src/fault.rs",
     "crates/netsim/src/shard.rs",
+    // The ack-clocked transport: pump/retransmit/RTO helpers run
+    // between dispatch and the RouterLogic callbacks, and the RTT
+    // estimator feeds the replayed control loop directly.
+    "crates/netsim/src/transport.rs",
     "crates/sim-core/src/event.rs",
 ];
 

@@ -104,3 +104,21 @@ fn inline_allow_is_load_bearing_in_float_eq_fixture() {
         "without the allow comment the sentinel compare must be flagged: {v:?}"
     );
 }
+
+/// The transport-sender fixture pair: the `transport_sender_` prefix
+/// classifies like `crates/netsim/src/transport.rs` (hot-path +
+/// per-id-state), and the `RouterLogic` impl is a taint root — so the
+/// bad fixture trips dense-state, hot-alloc, and the wall-clock taint
+/// companion, while the slab-backed, buffer-reusing twin is clean.
+#[test]
+fn transport_sender_fixtures_cover_alloc_state_and_taint() {
+    let bad = violations_for("transport_sender_bad");
+    for rule in ["dense-state", "hot-alloc", "taint-wall-clock"] {
+        assert!(
+            bad.iter().any(|v| v.rule == rule),
+            "transport_sender_bad must trip {rule}: {bad:?}"
+        );
+    }
+    let ok = violations_for("transport_sender_ok");
+    assert!(ok.is_empty(), "transport_sender_ok must be clean: {ok:?}");
+}

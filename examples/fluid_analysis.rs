@@ -33,6 +33,7 @@ fn main() {
         flows: weights
             .iter()
             .map(|&w| ScenarioFlow {
+                transport: Default::default(),
                 path: Route::new(0, 1).into(),
                 weight: w,
                 min_rate: 0.0,

@@ -22,6 +22,7 @@ fn main() {
     // Flow 0: the long flow over C1→C4 (three congested links).
     // Flows 1-6: two local flows per congested link.
     let mut flows = vec![ScenarioFlow {
+        transport: Default::default(),
         path: Route::new(0, 3).into(),
         weight: 2,
         min_rate: 0.0,
@@ -30,6 +31,7 @@ fn main() {
     for link in 0..3 {
         for _ in 0..2 {
             flows.push(ScenarioFlow {
+                transport: Default::default(),
                 path: Route::new(link, link + 1).into(),
                 weight: 2,
                 min_rate: 0.0,

@@ -61,6 +61,7 @@ fn main() {
         flows: customers
             .iter()
             .map(|&(class, start)| ScenarioFlow {
+                transport: Default::default(),
                 path: Route::new(0, 1).into(),
                 weight: class.weight(),
                 min_rate: 0.0,

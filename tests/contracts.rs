@@ -19,6 +19,7 @@ fn contract_scenario(contract: f64, seed: u64) -> Scenario {
         flows: vec![
             // The contracted flow (weight 1).
             ScenarioFlow {
+                transport: Default::default(),
                 path: Route::new(0, 1).into(),
                 weight: 1,
                 min_rate: contract,
@@ -26,18 +27,21 @@ fn contract_scenario(contract: f64, seed: u64) -> Scenario {
             },
             // Three best-effort weight-1 flows.
             ScenarioFlow {
+                transport: Default::default(),
                 path: Route::new(0, 1).into(),
                 weight: 1,
                 min_rate: 0.0,
                 activations: vec![(SimTime::ZERO, None)],
             },
             ScenarioFlow {
+                transport: Default::default(),
                 path: Route::new(0, 1).into(),
                 weight: 1,
                 min_rate: 0.0,
                 activations: vec![(SimTime::ZERO, None)],
             },
             ScenarioFlow {
+                transport: Default::default(),
                 path: Route::new(0, 1).into(),
                 weight: 1,
                 min_rate: 0.0,
@@ -122,6 +126,7 @@ fn contract_survives_a_congestion_storm() {
     let mut scenario = contract_scenario(250.0, 44);
     for _ in 0..10 {
         scenario.flows.push(ScenarioFlow {
+            transport: Default::default(),
             path: Route::new(0, 1).into(),
             weight: 2,
             min_rate: 0.0,

@@ -17,6 +17,7 @@ fn scenario(weights: &[u32], horizon: u64, seed: u64) -> Scenario {
         flows: weights
             .iter()
             .map(|&w| ScenarioFlow {
+                transport: Default::default(),
                 path: Route::new(0, 1).into(),
                 weight: w,
                 min_rate: 0.0,
@@ -72,18 +73,21 @@ fn csfq_relabels_so_downstream_links_see_capped_labels() {
         name: "csfq_two_hop",
         flows: vec![
             ScenarioFlow {
+                transport: Default::default(),
                 path: Route::new(0, 2).into(), // crosses C1-C2 and C2-C3
                 weight: 2,
                 min_rate: 0.0,
                 activations: vec![(SimTime::ZERO, None)],
             },
             ScenarioFlow {
+                transport: Default::default(),
                 path: Route::new(0, 1).into(),
                 weight: 2,
                 min_rate: 0.0,
                 activations: vec![(SimTime::ZERO, None)],
             },
             ScenarioFlow {
+                transport: Default::default(),
                 path: Route::new(1, 2).into(),
                 weight: 2,
                 min_rate: 0.0,

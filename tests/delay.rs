@@ -18,6 +18,7 @@ fn scenario(seed: u64) -> Scenario {
         name: "delay",
         flows: (0..6)
             .map(|i| ScenarioFlow {
+                transport: Default::default(),
                 path: Route::new(0, 1).into(),
                 weight: i as u32 % 3 + 1,
                 min_rate: 0.0,

@@ -22,6 +22,7 @@ fn scenario(seed: u64) -> Scenario {
         name: "determinism",
         flows: (0..4)
             .map(|i| ScenarioFlow {
+                transport: Default::default(),
                 path: Route::new(0, 1).into(),
                 weight: i % 2 + 1,
                 min_rate: 0.0,

@@ -20,18 +20,21 @@ fn join_leave(seed: u64) -> Scenario {
         name: "join_leave",
         flows: vec![
             ScenarioFlow {
+                transport: Default::default(),
                 path: Route::new(0, 1).into(),
                 weight: 1,
                 min_rate: 0.0,
                 activations: vec![(SimTime::ZERO, None)],
             },
             ScenarioFlow {
+                transport: Default::default(),
                 path: Route::new(0, 1).into(),
                 weight: 2,
                 min_rate: 0.0,
                 activations: vec![(SimTime::ZERO, None)],
             },
             ScenarioFlow {
+                transport: Default::default(),
                 path: Route::new(0, 1).into(),
                 weight: 3,
                 min_rate: 0.0,

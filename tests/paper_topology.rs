@@ -14,6 +14,7 @@ fn compressed_fig3(seed: u64) -> Scenario {
     let late = [1, 9, 10, 11, 16];
     let flows = (1..=20)
         .map(|i| ScenarioFlow {
+            transport: Default::default(),
             path: Route::of_paper_flow(i).into(),
             weight: Route::paper_weight(i),
             min_rate: 0.0,

@@ -25,6 +25,7 @@ fn corelite_tracks_maxmin_for_random_populations() {
                 let last = (first_draw + span).min(Route::CORE_COUNT - 1);
                 let first = first_draw.min(last - 1);
                 ScenarioFlow {
+                    transport: Default::default(),
                     path: Route::new(first, last).into(),
                     weight,
                     min_rate: 0.0,

@@ -128,6 +128,7 @@ fn min_rate_floors_survive_on_non_chain_topologies() {
     let topology = TopologySpec::parking_lot(2);
     let flows = vec![
         ScenarioFlow {
+            transport: Default::default(),
             path: CorePath::new(vec![0, 1, 2]),
             weight: 1,
             min_rate: 300.0,

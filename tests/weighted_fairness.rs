@@ -21,6 +21,7 @@ fn six_flows(seed: u64) -> Scenario {
         flows: weights
             .into_iter()
             .map(|w| ScenarioFlow {
+                transport: Default::default(),
                 path: Route::new(0, 1).into(),
                 weight: w,
                 min_rate: 0.0,
